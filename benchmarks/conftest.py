@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper at a reduced
+Monte-Carlo scale (the paper used 1000 replications; we default to 16–24
+so the whole suite finishes in minutes on a laptop), prints the same
+rows/series the paper reports, and asserts the *shape* of the result —
+orderings, plateaus, crossovers — with tolerances sized to the replication
+noise.  Absolute agreement is not expected (our substrate is a simulator,
+not Summit), faithful shape is.
+
+Set ``PCKPT_BENCH_REPLICATIONS`` to raise the scale (e.g. 1000 to match
+the paper).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+#: Replications per cell for simulation-backed benchmarks.
+REPLICATIONS = int(os.environ.get("PCKPT_BENCH_REPLICATIONS", "16"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The scale every simulation benchmark runs at."""
+    return ExperimentScale(replications=REPLICATIONS, seed=2022, workers=None)
+
+
+@pytest.fixture(scope="session")
+def light_scale() -> ExperimentScale:
+    """A lighter scale for the widest sweeps (Fig 8's 7-point range)."""
+    return ExperimentScale(replications=max(REPLICATIONS // 2, 8), seed=2022,
+                           workers=None)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result.
+
+    These are macro-benchmarks (an experiment takes seconds to minutes);
+    a single timed round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

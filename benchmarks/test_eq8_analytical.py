@@ -1,0 +1,73 @@
+"""E14 — Eqs. 4–8: the analytical LM-vs-p-ckpt break-even model.
+
+Regenerates the α(σ) break-even curve and validates the paper's quoted
+bounds — plus the reproduction finding that the published Eq. (8) is not
+the exact solution of Eq. (7) (see repro.analysis.breakeven docstring).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakeven import (
+    SIGMA_UPPER_BOUND,
+    alpha_breakeven,
+    alpha_breakeven_curve,
+    alpha_breakeven_exact,
+    beta_fraction,
+    pckpt_beats_lm,
+    sigma_upper_bound,
+)
+from repro.experiments.report import format_series
+from conftest import run_once
+
+
+def _curves():
+    sigmas = np.linspace(0.0, 0.60, 13)
+    published = alpha_breakeven_curve(sigmas)
+    exact = np.array([alpha_breakeven_exact(s) for s in sigmas])
+    return sigmas, published, exact
+
+
+def test_eq8_breakeven_curve(benchmark):
+    sigmas, published, exact = run_once(benchmark, _curves)
+    print()
+    print(
+        format_series(
+            "sigma",
+            [f"{s:.2f}" for s in sigmas],
+            {"alpha_eq8_published": list(published),
+             "alpha_eq7_exact": list(exact)},
+            title="E14 — LM-vs-p-ckpt break-even alpha(sigma)",
+        )
+    )
+
+    # Paper bounds: published alpha spans [1.0, 1.30) for sigma < 0.61.
+    assert published[0] == pytest.approx(1.0)
+    assert published[-1] < 1.31
+    assert np.all(np.diff(published) > 0)
+
+    # sigma's consistency bound is the golden-ratio conjugate (~0.618),
+    # which the paper rounds to 0.61.
+    assert sigma_upper_bound() == pytest.approx(0.618, abs=0.001)
+    assert SIGMA_UPPER_BOUND == 0.61
+
+    # Reproduction finding: the exact Eq. (7) solution is strictly more
+    # demanding than the published Eq. (8) for every sigma > 0.
+    assert np.all(exact[1:] > published[1:])
+    # At sigma = 0.5 the gap is large (2.41 vs 1.24).
+    assert alpha_breakeven_exact(0.5) == pytest.approx(2.414, abs=0.01)
+    assert alpha_breakeven(0.5) == pytest.approx(1.243, abs=0.01)
+
+    # Eq. (7) itself is honoured by the decision predicate.
+    for sigma in (0.2, 0.4):
+        thr = alpha_breakeven_exact(sigma)
+        assert pckpt_beats_lm(thr * 1.01, sigma, 50.0, 50.0)
+        assert not pckpt_beats_lm(thr * 0.99, sigma, 50.0, 50.0)
+
+    # Eq. (6) sanity: beta -> 1 as alpha grows, beta(1, 0) = 0.
+    assert beta_fraction(100.0, 0.0) == pytest.approx(0.99)
+    assert beta_fraction(1.0, 0.0) == 0.0

@@ -1,0 +1,39 @@
+"""E2 — Fig 2b: single-node I/O bandwidth vs transfer size × task count."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2b
+from repro.iomodel.bandwidth import GiB
+from conftest import run_once
+
+
+def test_fig2b_single_node_sweep(benchmark):
+    result = run_once(benchmark, fig2b.run, seed=2022, nruns=10)
+    print()
+    print(fig2b.render(result))
+
+    sweep = result.sweep
+
+    # The paper's conclusion: 8 MPI writer tasks maximize bandwidth.
+    assert result.optimal_tasks == 8
+
+    # Large transfers at 8 tasks realize 13–13.5 GB/s (±noise).
+    i8 = sweep.task_counts.index(8)
+    peak = sweep.bandwidth[i8, -1]
+    assert 12.5 * GiB <= peak <= 14.5 * GiB
+
+    # Bandwidth grows monotonically with transfer size at every task count
+    # (latency roll-off), modulo measurement noise on the largest sizes.
+    truth = np.asarray(sweep.bandwidth)
+    for row in truth:
+        big = row[-1]
+        assert row[0] < 0.1 * big  # 1 MiB transfers are latency-dominated
+
+    # The 8-task curve dominates 1-task and 42-task curves everywhere.
+    i1 = sweep.task_counts.index(1)
+    i42 = sweep.task_counts.index(42)
+    assert np.all(truth[i8] >= truth[i1])
+    assert truth[i8, -1] > truth[i42, -1]

@@ -1,0 +1,36 @@
+"""E3 — Fig 2c: weak-scaling I/O performance matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2c
+from repro.iomodel.bandwidth import GiB, TiB
+from conftest import run_once
+
+
+def test_fig2c_weak_scaling_matrix(benchmark):
+    result = run_once(benchmark, fig2c.run, seed=2022, nruns=10)
+    print()
+    print(fig2c.render(result))
+
+    sweep = result.sweep
+    bw = np.asarray(sweep.bandwidth)
+
+    # Application-realized saturation sits near 1.3 TiB/s — far below the
+    # 2.5 TB/s server-side ceiling, the paper's central Sec. IV point.
+    assert 1.1 * TiB < result.saturation_bw < 1.6 * TiB
+
+    # Aggregate bandwidth grows with node count at large transfer sizes...
+    big_col = bw[:, -1]
+    assert np.all(np.diff(big_col) > -0.05 * big_col[:-1])
+    # ...but with strongly diminishing returns past ~512 nodes.
+    i512 = sweep.node_counts.index(512)
+    gain_at_scale = big_col[-1] / big_col[i512]
+    early_gain = big_col[i512] / big_col[0]
+    assert gain_at_scale < 1.5
+    assert early_gain > 30
+
+    # The matrix the simulation interpolates is faithful off-grid.
+    assert result.max_interp_rel_error < 0.15

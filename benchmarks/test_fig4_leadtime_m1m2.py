@@ -1,0 +1,63 @@
+"""E4 — Fig 4: lead-time variability impact on M1 (safeguard) and M2 (LM).
+
+Expected shapes (Observation 1):
+
+* CHIMERA (largest app): M1 provides essentially nothing; M2's benefits
+  collapse once lead times shrink by 10%.
+* POP (small app): both models provide stable reductions across the whole
+  variability range; M1 eliminates most recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import leadvar
+from conftest import run_once
+
+
+def test_fig4a_chimera(benchmark, bench_scale):
+    result = run_once(
+        benchmark, leadvar.run, "CHIMERA", ("M1", "M2"), scale=bench_scale
+    )
+    print()
+    print(leadvar.render(result))
+
+    # M1 (safeguard) never helps CHIMERA: the all-node PFS commit takes
+    # minutes against ~43 s leads.  Reductions hug zero at every change.
+    for change in result.changes:
+        red = result.reductions[("M1", change)]
+        assert abs(red["recomputation"]) < 20.0
+        assert abs(red["checkpoint"]) < 15.0
+
+    # M2 helps at the reference and above...
+    assert result.reductions[("M2", 0)]["total"] > 15.0
+    assert result.reductions[("M2", 50)]["total"] > 20.0
+    # ...but collapses once leads shrink 10% (the 41 s LM transfer no
+    # longer fits under the dominant ~43 s lead-time mass).
+    assert result.reductions[("M2", -10)]["total"] < (
+        result.reductions[("M2", 0)]["total"] - 10.0
+    )
+    assert result.reductions[("M2", -50)]["recomputation"] < 15.0
+
+
+def test_fig4c_pop(benchmark, bench_scale):
+    result = run_once(
+        benchmark, leadvar.run, "POP", ("M1", "M2"), scale=bench_scale
+    )
+    print()
+    print(leadvar.render(result))
+
+    # Small app: M1 eliminates the bulk of recomputation at every lead
+    # change (its safeguard takes <1 s), and is insensitive to variability.
+    recs = [result.reductions[("M1", c)]["recomputation"] for c in result.changes]
+    assert min(recs) > 50.0
+    assert max(recs) - min(recs) < 35.0
+
+    # M1 does not touch checkpoint overhead (Eq. 1 OCI unchanged).
+    for c in result.changes:
+        assert abs(result.reductions[("M1", c)]["checkpoint"]) < 10.0
+
+    # M2 reduces checkpoint overhead consistently (σ-discounted OCI).
+    cks = [result.reductions[("M2", c)]["checkpoint"] for c in result.changes]
+    assert min(cks) > 30.0

@@ -1,0 +1,66 @@
+"""E10 — Fig 7: lead-time variability impact on P1 and P2.
+
+Expected shapes (Observation 3):
+
+* CHIMERA: P1 yields large recomputation reductions and tolerates a −50%
+  lead-time change while still providing savings; P2's recomputation
+  pattern follows M2 upward but P1 downward (the hybrid inherits the best
+  side).
+* XGC: P1 nearly eliminates recomputation regardless of variability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import leadvar
+from conftest import run_once
+
+
+def test_fig7a_chimera(benchmark, bench_scale):
+    result = run_once(
+        benchmark, leadvar.run, "CHIMERA", ("P1", "P2"), scale=bench_scale
+    )
+    print()
+    print(leadvar.render(result))
+
+    # P1 recomputation reductions are large at the reference...
+    assert result.reductions[("P1", 0)]["recomputation"] > 45.0
+    # ...and still positive at −50% (where M2 had already collapsed).
+    assert result.reductions[("P1", -50)]["recomputation"] > 10.0
+
+    # P1 does not improve checkpoint overhead (Eq. 1 OCI; Obs 5).
+    for change in result.changes:
+        assert abs(result.reductions[("P1", change)]["checkpoint"]) < 15.0
+
+    # P2's checkpoint-reduction pattern follows M2 (paper, Sec. VII): a
+    # strong σ-OCI gain at the reference and above, diminishing once the
+    # lead times shrink below the LM transfer window.
+    for change in (0, 10, 50):
+        assert result.reductions[("P2", change)]["checkpoint"] > 10.0
+    assert (
+        result.reductions[("P2", -10)]["checkpoint"]
+        < result.reductions[("P2", 0)]["checkpoint"]
+    )
+    # ...while its recomputation reduction tracks P1 when leads shrink.
+    assert result.reductions[("P2", -50)]["recomputation"] > 5.0
+
+    # Total: P2 dominates P1 at the reference.
+    assert (
+        result.reductions[("P2", 0)]["total"]
+        > result.reductions[("P1", 0)]["total"] - 3.0
+    )
+
+
+def test_fig7b_xgc(benchmark, bench_scale):
+    result = run_once(
+        benchmark, leadvar.run, "XGC", ("P1", "P2"), scale=bench_scale
+    )
+    print()
+    print(leadvar.render(result))
+
+    # P1 nearly eliminates recomputation across the whole range.
+    recs = [result.reductions[("P1", c)]["recomputation"] for c in result.changes]
+    assert min(recs) > 50.0
+    # Insensitive to variability (XGC's p-ckpt commit is ~7 s).
+    assert max(recs) - min(recs) < 30.0

@@ -1,0 +1,44 @@
+"""E11 — Fig 8: FT-ratio difference between LM and p-ckpt inside P2.
+
+Expected shape (Observation 4): for small applications the difference is
+large and positive (LM dominates) across the ±90% range; for the largest
+applications it shrinks at the reference and flips negative (p-ckpt takes
+over) as lead times decrease.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8
+from conftest import run_once
+
+
+def test_fig8_dominance_curves(benchmark, light_scale):
+    result = run_once(benchmark, fig8.run, scale=light_scale)
+    print()
+    print(fig8.render(result))
+
+    d = result.difference
+
+    # Small app (POP): LM dominates everywhere in the range.
+    pop = [d[("POP", c)] for c in result.changes]
+    assert min(pop) > 40.0
+
+    # CHIMERA: LM's edge shrinks with app size at the reference...
+    assert d[("CHIMERA", 0)] < d[("POP", 0)] - 10.0
+    # ...and flips to p-ckpt dominance when leads shrink hard.
+    assert d[("CHIMERA", -50)] < 0.0
+    assert d[("XGC", -50)] < 0.0
+
+    # Longer leads restore LM's preference for CHIMERA.
+    assert d[("CHIMERA", 50)] > d[("CHIMERA", -50)]
+
+    # The takeover happens earlier (at milder shrinkage) for the largest
+    # application: at −10% CHIMERA has already flipped while XGC has not.
+    assert d[("CHIMERA", -10)] < 0.0 < d[("XGC", -10)]
+
+    # At −90% both mechanisms are nearly dead for the large apps: the
+    # difference collapses toward zero ("before the FT ratio difference
+    # reaches zero as lead times completely diminish").
+    assert abs(d[("CHIMERA", -90)]) < abs(d[("CHIMERA", -10)])

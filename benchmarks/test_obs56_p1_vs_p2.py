@@ -1,0 +1,98 @@
+"""E16 — Observations 5 & 6: P1-vs-P2 trade-off and OCI elongation.
+
+* Obs 5: P2's σ-discounted OCI cuts checkpoint overhead ≈42–70%; p-ckpt
+  itself leaves checkpoint overhead nearly unchanged (its blocked cost is
+  only the vulnerable node's phase-1 commit).
+* Obs 6: the elongated interval makes P2 recompute more than P1 after
+  unavoided failures — p-ckpt (P1) is the right call on failure-prone
+  systems with short jobs; hybrid (P2) for long-running jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.young import oci_elongation_percent
+from repro.experiments import fig6
+from repro.experiments.report import format_table
+from repro.failures.weibull import TITAN_WEIBULL
+from conftest import run_once
+
+
+def test_obs5_obs6_tradeoff(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        fig6.run,
+        TITAN_WEIBULL,
+        models=("B", "M2", "P1", "P2"),
+        apps=("CHIMERA", "XGC", "POP"),
+        scale=bench_scale,
+    )
+
+    rows = []
+    for app in result.apps:
+        base = result.cells[("B", app)]
+        p1 = result.cells[("P1", app)]
+        p2 = result.cells[("P2", app)]
+        m2 = result.cells[("M2", app)]
+        ck_red_p2 = (
+            (base.overhead.checkpoint_reported - p2.overhead.checkpoint_reported)
+            / base.overhead.checkpoint_reported * 100.0
+        )
+        rows.append(
+            [
+                app,
+                ck_red_p2,
+                (p1.oci_initial / base.oci_initial - 1.0) * 100.0,
+                (p2.oci_initial / base.oci_initial - 1.0) * 100.0,
+                p1.overhead.recomputation / 3600.0,
+                p2.overhead.recomputation / 3600.0,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["app", "P2_ckpt_red_%", "P1_oci_elong_%", "P2_oci_elong_%",
+             "P1_recomp_h", "P2_recomp_h"],
+            rows,
+            title="Obs 5/6 — checkpoint savings vs recomputation penalty",
+            floatfmt="{:.1f}",
+        )
+    )
+
+    for app in result.apps:
+        base = result.cells[("B", app)]
+        p1 = result.cells[("P1", app)]
+        p2 = result.cells[("P2", app)]
+
+        # Obs 5: P2 checkpoint-overhead reduction in the paper's band.
+        ck_red = (
+            (base.overhead.checkpoint_reported - p2.overhead.checkpoint_reported)
+            / base.overhead.checkpoint_reported * 100.0
+        )
+        assert 20.0 < ck_red < 80.0, (app, ck_red)
+
+        # P1's blocked p-ckpt cost is tiny: checkpoint overhead ≈ B's.
+        ck_p1_delta = abs(
+            p1.overhead.checkpoint_reported - base.overhead.checkpoint_reported
+        ) / base.overhead.checkpoint_reported
+        assert ck_p1_delta < 0.15, (app, ck_p1_delta)
+
+        # Obs 6: the elongated interval costs P2 recomputation vs P1.
+        assert p2.overhead.recomputation > 0.85 * p1.overhead.recomputation
+
+        # P1 uses Eq. (1): no elongation.  P2 uses Eq. (2): substantial.
+        assert p1.oci_initial == pytest.approx(base.oci_initial, rel=1e-6)
+        elong = (p2.oci_initial / base.oci_initial - 1.0) * 100.0
+        assert 25.0 < elong < 350.0, (app, elong)
+
+    # The elongation grows as checkpoint size shrinks (sigma rises):
+    elongs = {
+        app: result.cells[("P2", app)].oci_initial
+        / result.cells[("B", app)].oci_initial
+        for app in result.apps
+    }
+    assert elongs["POP"] > elongs["XGC"] > elongs["CHIMERA"]
+
+    # Cross-check against the closed form (Eq. 2): sigma=0.85 -> +158%.
+    assert oci_elongation_percent(0.85) == pytest.approx(158.0, abs=2.0)

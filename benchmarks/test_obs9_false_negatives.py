@@ -1,0 +1,70 @@
+"""E13 — Observation 9: sensitivity to the false-negative rate.
+
+FP fixed at 18%, FN swept to 40%.  Every model declines; the LM-assisted
+models (M2/P2) lose recomputation reductions faster than M1/P1 because
+their σ-based OCI keeps assuming the nominal recall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import obs9
+from conftest import run_once
+
+
+def test_obs9_false_negative_sweep(benchmark, bench_scale):
+    result = run_once(
+        benchmark, obs9.run, "XGC", ("M1", "M2", "P1", "P2"), scale=bench_scale
+    )
+    print()
+    print(obs9.render(result))
+
+    lo_fn, hi_fn = result.fn_rates[0], result.fn_rates[-1]
+
+    # Every prediction-based model loses total reduction as FN grows.
+    for model in ("M2", "P1", "P2"):
+        assert (
+            result.reductions[(model, hi_fn)]["total"]
+            < result.reductions[(model, lo_fn)]["total"] + 5.0
+        )
+
+    # The LM-assisted models decline faster in recomputation reduction
+    # than the p-ckpt model (their OCI stays stretched for failures they
+    # can no longer catch).
+    assert result.decline("P2") > result.decline("P1") - 5.0
+    assert result.decline("M2") > result.decline("P1") - 5.0
+    assert result.decline("M2") + result.decline("P2") > (
+        result.decline("M1") + result.decline("P1")
+    )
+
+    # P1 remains the most robust model at 40% FN for recomputation.
+    assert result.reductions[("P1", hi_fn)]["recomputation"] >= max(
+        result.reductions[("M2", hi_fn)]["recomputation"],
+        result.reductions[("P2", hi_fn)]["recomputation"],
+    ) - 8.0
+
+
+def test_obs9_future_work_fix(benchmark, bench_scale):
+    """The paper's proposed fix: include the accuracy factor in Eq. (2).
+
+    P2-fn (σ scaled by the actual recall) must checkpoint more often than
+    stock P2 at high FN rates, recovering part of the recomputation loss.
+    """
+    result = run_once(
+        benchmark, obs9.run, "XGC", ("P2", "P2-fn"), fn_rates=(0.40,),
+        scale=bench_scale,
+    )
+    print()
+    print(obs9.render(result))
+
+    stock = result.cells[("P2", 0.40)]
+    fixed = result.cells[("P2-fn", 0.40)]
+    # The fix shortens the checkpoint interval...
+    assert fixed.oci_initial < stock.oci_initial
+    # ...which must not lose recomputation reduction vs stock P2.
+    assert (
+        result.reductions[("P2-fn", 0.40)]["recomputation"]
+        >= result.reductions[("P2", 0.40)]["recomputation"] - 8.0
+    )

@@ -1,0 +1,82 @@
+"""E15 — Table I: the workload catalogue and Eq. (3) rescaling.
+
+Validates the six application characterizations and demonstrates the
+Titan→Summit rescaling round trip the paper applied to produce them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.iomodel.bandwidth import GiB
+from repro.workloads.applications import APPLICATION_ORDER, APPLICATIONS
+from repro.workloads.scaling import rescale_application, scale_checkpoint_size
+from conftest import run_once
+
+#: Titan-era node memory (32 GB) vs Summit (512 GB) — Eq. (3) inputs.
+TITAN_DRAM = 32.0 * GiB
+SUMMIT_DRAM = 512.0 * GiB
+
+
+def _table():
+    rows = []
+    for name in APPLICATION_ORDER:
+        app = APPLICATIONS[name]
+        rows.append(
+            [
+                name,
+                app.nodes,
+                app.checkpoint_bytes_total / GiB,
+                app.checkpoint_bytes_per_node / GiB,
+                app.compute_hours,
+            ]
+        )
+    return rows
+
+
+def test_table1_catalogue(benchmark):
+    rows = run_once(benchmark, _table)
+    print()
+    print(
+        format_table(
+            ["app", "nodes", "ckpt_total_GiB", "ckpt_per_node_GiB", "compute_h"],
+            rows,
+            title="Table I — HPC workload characteristics (Summit-scaled)",
+            floatfmt="{:.1f}",
+        )
+    )
+
+    # The exact Table I numbers.
+    expect = {
+        "CHIMERA": (2272, 646_382.0, 360),
+        "XGC": (1515, 149_625.0, 240),
+        "S3D": (505, 20_199.0, 240),
+        "GYRO": (126, 197.2, 120),
+        "POP": (126, 102.5, 480),
+        "VULCAN": (64, 3.27, 720),
+    }
+    for name, (nodes, ckpt_gib, hours) in expect.items():
+        app = APPLICATIONS[name]
+        assert app.nodes == nodes
+        assert app.checkpoint_bytes_total / GiB == pytest.approx(ckpt_gib)
+        assert app.compute_hours == hours
+
+    # Every per-node footprint fits Summit DRAM and two BB generations.
+    for app in APPLICATIONS.values():
+        per_node = app.checkpoint_bytes_per_node
+        assert per_node <= SUMMIT_DRAM
+        assert 2 * per_node <= 1.6 * 1024 * GiB
+
+    # Eq. (3) round trip: scale a Summit app back to a Titan-sized
+    # configuration and forward again — must be the identity.
+    app = APPLICATIONS["XGC"]
+    titan_nodes = app.nodes * 4
+    back = rescale_application(app, titan_nodes, SUMMIT_DRAM, TITAN_DRAM)
+    forward = rescale_application(back, app.nodes, TITAN_DRAM, SUMMIT_DRAM)
+    assert forward.checkpoint_bytes_total == pytest.approx(
+        app.checkpoint_bytes_total
+    )
+
+    # Eq. (3) algebra at the formula level.
+    assert scale_checkpoint_size(1.0, 1, 1.0, 2, 3.0) == pytest.approx(6.0)

@@ -1,0 +1,52 @@
+"""E5 — Table II: FT ratio for CHIMERA/XGC/POP under M1 and M2.
+
+Paper values (reference lead times):
+
+=========  =====  =====
+app        M1     M2
+=========  =====  =====
+CHIMERA    0.006  0.47
+XGC        0.04   0.66
+POP        0.84   0.85
+=========  =====  =====
+
+plus the CHIMERA M2 cliff: 0.57 at +10% but 0.04 at −10%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ftratio
+from conftest import run_once
+
+
+def test_table2_ft_ratio(benchmark, bench_scale):
+    result = run_once(benchmark, ftratio.run, ("M1", "M2"), scale=bench_scale)
+    print()
+    print(ftratio.render(result, title="Table II — FT ratio under M1 and M2"))
+
+    r = result.ratios
+
+    # Reference lead times (0% change): match the paper's Table II.
+    assert r[("CHIMERA", "M1", 0)] < 0.08
+    assert r[("CHIMERA", "M2", 0)] == pytest.approx(0.47, abs=0.12)
+    assert r[("XGC", "M1", 0)] < 0.12
+    assert r[("XGC", "M2", 0)] == pytest.approx(0.66, abs=0.12)
+    assert r[("POP", "M1", 0)] == pytest.approx(0.84, abs=0.10)
+    assert r[("POP", "M2", 0)] == pytest.approx(0.85, abs=0.10)
+
+    # The CHIMERA M2 cliff: fine at +10%, near zero at −10%.
+    assert r[("CHIMERA", "M2", 10)] == pytest.approx(0.57, abs=0.12)
+    assert r[("CHIMERA", "M2", -10)] < 0.15
+    # And the +10% → +50% plateau (the 28–37 s lead-time mass gap).
+    assert abs(r[("CHIMERA", "M2", 50)] - r[("CHIMERA", "M2", 10)]) < 0.12
+
+    # XGC M2 survives −10% but collapses at −50%.
+    assert r[("XGC", "M2", -10)] == pytest.approx(0.58, abs=0.12)
+    assert r[("XGC", "M2", -50)] < 0.15
+
+    # POP is insensitive to lead-time variability under both models.
+    for model in ("M1", "M2"):
+        vals = [r[("POP", model, c)] for c in result.changes]
+        assert max(vals) - min(vals) < 0.15

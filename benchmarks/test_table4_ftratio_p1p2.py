@@ -1,0 +1,47 @@
+"""E9 — Table IV: FT ratio for CHIMERA/XGC/POP under P1 and P2.
+
+Paper values (reference lead times): CHIMERA 0.70/0.69, XGC 0.84/0.83,
+POP 0.86/0.85 — and crucially the ratios stay high where M1/M2's collapse
+(Table II), because p-ckpt's FT latency is only the vulnerable node's
+single-node PFS commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ftratio
+from conftest import run_once
+
+
+def test_table4_ft_ratio(benchmark, bench_scale):
+    result = run_once(benchmark, ftratio.run, ("P1", "P2"), scale=bench_scale)
+    print()
+    print(ftratio.render(result, title="Table IV — FT ratio under P1 and P2"))
+
+    r = result.ratios
+
+    # Reference lead times: the paper's Table IV row 0%.
+    assert r[("CHIMERA", "P1", 0)] == pytest.approx(0.70, abs=0.12)
+    assert r[("CHIMERA", "P2", 0)] == pytest.approx(0.69, abs=0.12)
+    assert r[("XGC", "P1", 0)] == pytest.approx(0.84, abs=0.10)
+    assert r[("XGC", "P2", 0)] == pytest.approx(0.83, abs=0.10)
+    assert r[("POP", "P1", 0)] == pytest.approx(0.86, abs=0.10)
+    assert r[("POP", "P2", 0)] == pytest.approx(0.85, abs=0.10)
+
+    # P1 ≈ P2 everywhere (both mitigate the same failures; they differ in
+    # overhead, not in FT ratio) — the paper's explicit observation.
+    for app in result.apps:
+        for change in result.changes:
+            assert abs(r[(app, "P1", change)] - r[(app, "P2", change)]) < 0.15
+
+    # p-ckpt degrades gracefully where LM fell off a cliff: CHIMERA at
+    # −10% stays near 0.67 (Table II's M2 is 0.04 there).
+    assert r[("CHIMERA", "P1", -10)] == pytest.approx(0.67, abs=0.12)
+    # Even at −50% CHIMERA retains a substantial ratio (paper: 0.36) —
+    # degraded versus the reference, but far from M2's collapse to 0.04.
+    assert 0.2 < r[("CHIMERA", "P1", -50)] < 0.6
+    assert r[("CHIMERA", "P1", -50)] < r[("CHIMERA", "P1", 0)] - 0.08
+    # XGC is essentially flat across the whole range (paper: 0.84 ± 0.01).
+    vals = [r[("XGC", "P1", c)] for c in result.changes]
+    assert max(vals) - min(vals) < 0.15

@@ -1,0 +1,86 @@
+"""Simulator-vs-theory validation: first-order expectations for model B.
+
+The classic Young/Daly analysis predicts model B's overheads in closed
+form. Our simulator must land within the band first-order theory can
+claim (~20%): much tighter would be suspicious (the theory ignores
+Weibull clustering and the drain window), much looser would indicate an
+accounting bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.expected import expected_base_overheads
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_replications
+from repro.failures.weibull import TITAN_WEIBULL
+from repro.platform.system import SUMMIT
+from repro.workloads.applications import APPLICATIONS
+from conftest import run_once
+
+
+def test_base_model_matches_first_order_theory(benchmark, bench_scale):
+    apps = ("CHIMERA", "XGC", "POP")
+    reps = max(bench_scale.replications, 24)
+
+    def campaign():
+        out = {}
+        for name in apps:
+            out[name] = run_replications(
+                APPLICATIONS[name], "B", replications=reps,
+                weibull=TITAN_WEIBULL, seed=13,
+            )
+        return out
+
+    measured = run_once(benchmark, campaign)
+
+    rows = []
+    for name in apps:
+        app = APPLICATIONS[name]
+        theory = expected_base_overheads(app, SUMMIT, TITAN_WEIBULL)
+        sim = measured[name]
+        rows.append(
+            [
+                name,
+                theory.checkpoint / 3600,
+                sim.overhead.checkpoint_reported / 3600,
+                theory.recomputation / 3600,
+                sim.overhead.recomputation / 3600,
+                theory.expected_failures,
+                sim.ft.failures / sim.replications,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["app", "ckpt_theory_h", "ckpt_sim_h", "recomp_theory_h",
+             "recomp_sim_h", "fails_theory", "fails_sim"],
+            rows,
+            title="Model B: first-order theory vs simulation",
+            floatfmt="{:.2f}",
+        )
+    )
+
+    for name in apps:
+        app = APPLICATIONS[name]
+        theory = expected_base_overheads(app, SUMMIT, TITAN_WEIBULL)
+        sim = measured[name]
+
+        # Checkpoint overhead: deterministic cadence — tight agreement.
+        assert sim.overhead.checkpoint_reported == pytest.approx(
+            theory.checkpoint, rel=0.15
+        ), name
+
+        # Failure counts: renewal theory vs simulation.  The absolute
+        # floor covers small-count apps (POP expects <1 failure per run,
+        # where Poisson noise dominates any relative band).
+        assert sim.ft.failures / sim.replications == pytest.approx(
+            theory.expected_failures, rel=0.35, abs=0.3
+        ), name
+
+        # Recomputation: Weibull clustering adds variance; 40% band.
+        if theory.recomputation > 600.0:
+            assert sim.overhead.recomputation == pytest.approx(
+                theory.recomputation, rel=0.40
+            ), name

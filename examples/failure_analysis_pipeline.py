@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The Desh-style failure-analysis pipeline, end to end.
+
+1. Synthesize six months' worth of cluster logs with embedded failure
+   chains (plus benign noise);
+2. mine the chains back out and measure their lead times (Fig 2a);
+3. refit the lead-time mixture and compare against the generating model;
+4. use the fitted model the way the C/R models do: estimate σ — the
+   fraction of failures live migration could avert for each application.
+
+Run:
+    python examples/failure_analysis_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.failures import (
+    PAPER_LEAD_TIME_MODEL,
+    fit_lead_time_model,
+    mine_chains,
+    synthesize_log,
+)
+from repro.experiments.report import format_table
+from repro.platform import SUMMIT
+from repro.workloads import APPLICATIONS
+
+
+def main() -> None:
+    rng = np.random.default_rng(2022)
+
+    print("Synthesizing logs with 5000 embedded failure chains ...")
+    records = synthesize_log(rng, n_failures=5000, nodes=1024)
+    print(f"  {len(records)} log records")
+
+    chains = mine_chains(records)
+    print(f"  mined {len(chains)} chains "
+          f"({len(chains) / 5000:.1%} recovery rate)")
+
+    fitted = fit_lead_time_model(chains)
+    rows = []
+    for seq in PAPER_LEAD_TIME_MODEL.sequences:
+        mined = next(
+            (s for s in fitted.sequences if s.sequence_id == seq.sequence_id),
+            None,
+        )
+        rows.append(
+            [
+                seq.sequence_id,
+                seq.occurrences,
+                seq.mean_lead,
+                mined.mean_lead if mined else float("nan"),
+                mined.occurrences if mined else 0,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["seq", "true_per_10k", "true_mean_s", "mined_mean_s", "mined_n"],
+            rows,
+            title="Fig 2a — generating model vs mined chains",
+            floatfmt="{:.1f}",
+        )
+    )
+
+    print()
+    rows = []
+    for name, app in APPLICATIONS.items():
+        theta = SUMMIT.lm_transfer_time(app.checkpoint_bytes_per_node)
+        sigma = 0.85 * float(fitted.survival(theta))
+        rows.append([name, theta, sigma])
+    print(
+        format_table(
+            ["app", "lm_transfer_s", "sigma"],
+            rows,
+            title="σ per application (fraction of failures LM can avert)",
+            floatfmt="{:.2f}",
+        )
+    )
+    print()
+    print("Large footprints push the LM transfer time past the dominant")
+    print("~43 s lead-time mass, collapsing σ — exactly why the paper's")
+    print("hybrid falls back to p-ckpt for large applications.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Fig 6-style shoot-out: all five C/R models on three applications.
+
+Compares B, M1 (safeguard), M2 (live migration), P1 (p-ckpt), and
+P2 (hybrid p-ckpt) on CHIMERA, XGC and POP under Titan's failure
+distribution — a laptop-scale rendition of the paper's headline figure.
+
+Run:
+    python examples/model_shootout.py [--replications N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import fig6
+from repro.experiments.config import ExperimentScale
+from repro.failures import TITAN_WEIBULL
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--replications", type=int, default=24)
+    args = parser.parse_args()
+
+    scale = ExperimentScale(replications=args.replications, seed=42)
+    result = fig6.run(
+        TITAN_WEIBULL,
+        apps=("CHIMERA", "XGC", "POP"),
+        scale=scale,
+    )
+    print(fig6.render(result))
+    print()
+    print("Reading the table: the paper's Observation 2 expects p-ckpt")
+    print("(P1) and hybrid p-ckpt (P2) to beat safeguard (M1) and live")
+    print("migration (M2), with the gap widest on the largest apps —")
+    print("M1's all-node safeguard cannot finish inside a ~43 s lead,")
+    print("while p-ckpt only needs the vulnerable node's own commit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Analytical LM-vs-p-ckpt break-even model (paper Eqs. 4–8, Obs. 8).
+
+The paper closes its evaluation with a closed-form comparison: p-ckpt
+outperforms live migration when its extra recomputation savings exceed
+LM's checkpoint-overhead savings.  Under a uniform lead-time distribution
+and equal interconnect / single-node-PFS bandwidths, the condition reduces
+to a bound on α — the ratio of LM transfer size to checkpoint size:
+
+.. math::
+
+    \\frac{\\sigma + 1}{\\sigma + \\sqrt{1-\\sigma}} < \\alpha
+
+valid for σ ∈ [0, 0.61); the implied break-even α spans ≈[1.04, 1.30).
+
+Reproduction note
+-----------------
+The published Eq. (8) does **not** follow algebraically from Eq. (7) at a
+50/50 overhead split: solving Eq. (7) exactly gives
+
+.. math::
+
+    \\alpha > \\frac{1-\\sigma}{\\sqrt{1-\\sigma} - \\sigma}
+
+which is substantially more demanding (e.g. 2.41 vs 1.24 at σ = 0.5) and
+diverges at the same golden-ratio bound σ = (√5−1)/2 ≈ 0.618.  We provide
+both: :func:`alpha_breakeven` reproduces the published formula,
+:func:`alpha_breakeven_exact` the consistent derivation (see
+EXPERIMENTS.md, experiment E14).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "SIGMA_UPPER_BOUND",
+    "lm_checkpoint_reduction",
+    "beta_fraction",
+    "pckpt_beats_lm",
+    "alpha_breakeven",
+    "alpha_breakeven_exact",
+    "alpha_breakeven_curve",
+    "sigma_upper_bound",
+]
+
+#: Largest σ for which the model is self-consistent (the paper derives
+#: σ < 0.61 from "LM's total savings cannot exceed base recomputation").
+SIGMA_UPPER_BOUND: float = 0.61
+
+
+def lm_checkpoint_reduction(ckpt_overhead_base: float, sigma: float) -> float:
+    """Eq. (5): checkpoint-overhead reduction LM buys via the longer OCI.
+
+    :math:`ckpt^B_{overhead} (1 - \\sqrt{1-\\sigma})`.
+    """
+    if ckpt_overhead_base < 0:
+        raise ValueError("base checkpoint overhead must be non-negative")
+    if not (0.0 <= sigma < 1.0):
+        raise ValueError("sigma must be in [0, 1)")
+    return ckpt_overhead_base * (1.0 - math.sqrt(1.0 - sigma))
+
+
+def beta_fraction(alpha: float, sigma: float) -> float:
+    """Eq. (6): fraction of failures p-ckpt handles, β = (α−1+σ)/α.
+
+    Derived for a uniform lead-time distribution with equal inter-node and
+    single-node PFS bandwidths (true on Summit: 12.5 vs 13–13.5 GB/s).
+    """
+    if alpha < 1.0:
+        raise ValueError("alpha must be >= 1 (LM moves at least the checkpoint)")
+    if not (0.0 <= sigma <= 1.0):
+        raise ValueError("sigma must be in [0, 1]")
+    return (alpha - 1.0 + sigma) / alpha
+
+
+def pckpt_beats_lm(
+    alpha: float,
+    sigma: float,
+    recomp_overhead_base: float,
+    ckpt_overhead_base: float,
+) -> bool:
+    """Eq. (7): does p-ckpt (P1) beat LM (M2) for this configuration?
+
+    True when LM's checkpoint savings are smaller than p-ckpt's extra
+    recomputation savings:
+    ``(1−sqrt(1−σ)) / (β−σ) < recomp_B / ckpt_B`` with β from Eq. (6).
+    """
+    if recomp_overhead_base < 0 or ckpt_overhead_base <= 0:
+        raise ValueError("overheads must be non-negative (ckpt positive)")
+    beta = beta_fraction(alpha, sigma)
+    margin = beta - sigma
+    lhs_num = 1.0 - math.sqrt(1.0 - sigma)
+    if margin <= 0.0:
+        # p-ckpt handles no more failures than LM: it can only win if LM's
+        # checkpoint savings are non-positive, i.e. never for sigma > 0.
+        return lhs_num < 0.0
+    return lhs_num / margin < recomp_overhead_base / ckpt_overhead_base
+
+
+def alpha_breakeven(sigma: float) -> float:
+    """Eq. (8): minimum α for p-ckpt to beat LM (50/50 overhead split).
+
+    :math:`\\alpha > (\\sigma + 1) / (\\sigma + \\sqrt{1-\\sigma})`.
+    """
+    if not (0.0 <= sigma < SIGMA_UPPER_BOUND):
+        raise ValueError(f"sigma must be in [0, {SIGMA_UPPER_BOUND})")
+    return (sigma + 1.0) / (sigma + math.sqrt(1.0 - sigma))
+
+
+def alpha_breakeven_exact(sigma: float) -> float:
+    """Exact Eq. (7) break-even at a 50/50 overhead split.
+
+    Solving ``1 − sqrt(1−σ) < β − σ`` with β from Eq. (6) for α gives
+    ``α > (1−σ) / (sqrt(1−σ) − σ)``; diverges at σ = (√5−1)/2.
+    """
+    if not (0.0 <= sigma < 1.0):
+        raise ValueError("sigma must be in [0, 1)")
+    denom = math.sqrt(1.0 - sigma) - sigma
+    if denom <= 0.0:
+        return math.inf
+    return (1.0 - sigma) / denom
+
+
+def alpha_breakeven_curve(sigmas: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`alpha_breakeven` over an array of σ values."""
+    s = np.asarray(sigmas, dtype=float)
+    if np.any(s < 0) or np.any(s >= SIGMA_UPPER_BOUND):
+        raise ValueError(f"sigmas must lie in [0, {SIGMA_UPPER_BOUND})")
+    return (s + 1.0) / (s + np.sqrt(1.0 - s))
+
+
+def sigma_upper_bound() -> float:
+    """Solve the consistency constraint that pins σ < 0.61.
+
+    The constraint is ``recomp_reduction_LM + ckpt_reduction_LM <
+    recomp_overhead_B`` with the 50/50 overhead split, i.e.
+    ``σ + (1 − sqrt(1−σ)) < 1`` ⇒ ``σ < sqrt(1−σ)`` ⇒ ``σ² + σ − 1 < 0``,
+    whose positive root is (√5 − 1)/2 ≈ 0.618 — the paper rounds to 0.61.
+    """
+    return (math.sqrt(5.0) - 1.0) / 2.0

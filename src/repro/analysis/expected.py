@@ -1,0 +1,99 @@
+"""First-order closed-form overhead expectations (Young/Daly-style).
+
+Used to validate the simulator: for the base model B the classic
+first-order theory predicts
+
+* checkpoint overhead ≈ (T / OCI) · t_ckpt_bb,
+* recomputation ≈ N_fail · (OCI/2 + t_ckpt_bb/2)   (uniform failure
+  position within an interval),
+* recovery ≈ N_fail · (restore + restart),
+
+with N_fail ≈ makespan / MTBF solved self-consistently (failures also
+strike re-executed work).  Agreement within ~10–20% is expected — the
+theory ignores Weibull clustering, the Fig 1(B) drain window, and
+restarts compounding — and the validation benchmark asserts exactly that
+band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.young import young_oci
+from ..failures.weibull import SECONDS_PER_HOUR, WeibullParams
+from ..platform.system import PlatformSpec
+from ..workloads.applications import ApplicationSpec
+
+__all__ = ["ExpectedOverheads", "expected_base_overheads"]
+
+
+@dataclass(frozen=True)
+class ExpectedOverheads:
+    """Closed-form expectations for one (app, platform, weibull) triple.
+
+    All values in seconds; ``makespan`` solves the self-consistency
+    fixed point (more wall time ⇒ more failures ⇒ more wall time).
+    """
+
+    oci: float
+    expected_failures: float
+    checkpoint: float
+    recomputation: float
+    recovery: float
+    makespan: float
+
+    @property
+    def total(self) -> float:
+        """Total expected fault-tolerance overhead (seconds)."""
+        return self.checkpoint + self.recomputation + self.recovery
+
+
+def expected_base_overheads(
+    app: ApplicationSpec,
+    platform: PlatformSpec,
+    weibull: WeibullParams,
+    iterations: int = 25,
+) -> ExpectedOverheads:
+    """First-order expected overheads of model B.
+
+    Parameters
+    ----------
+    iterations:
+        Fixed-point iterations for the makespan (converges geometrically;
+        25 is far more than needed).
+    """
+    per_node = app.checkpoint_bytes_per_node
+    bb = platform.node.burst_buffer
+    t_bb = bb.write_time(per_node)
+    rate = weibull.per_node_rate()
+    oci = young_oci(t_bb, rate, app.nodes)
+    mtbf_seconds = weibull.app_mtbf_hours(app.nodes) * SECONDS_PER_HOUR
+
+    # Per-failure costs.
+    restore = max(
+        bb.read_time(per_node),
+        platform.pfs.replacement_read_time(per_node),
+    )
+    per_failure_recovery = restore + platform.restart_delay
+    # Uniform failure position within a (compute + checkpoint) cycle.
+    per_failure_recompute = 0.5 * (oci + t_bb)
+
+    ckpts = app.compute_seconds / oci
+    ckpt_overhead = ckpts * t_bb
+
+    makespan = app.compute_seconds + ckpt_overhead
+    for _ in range(iterations):
+        n_fail = makespan / mtbf_seconds
+        recompute = n_fail * per_failure_recompute
+        recovery = n_fail * per_failure_recovery
+        makespan = app.compute_seconds + ckpt_overhead + recompute + recovery
+
+    n_fail = makespan / mtbf_seconds
+    return ExpectedOverheads(
+        oci=oci,
+        expected_failures=n_fail,
+        checkpoint=ckpt_overhead,
+        recomputation=n_fail * per_failure_recompute,
+        recovery=n_fail * per_failure_recovery,
+        makespan=makespan,
+    )

@@ -1,0 +1,162 @@
+"""Overhead and fault-tolerance metric containers.
+
+These mirror the paper's accounting exactly (Sec. V definitions):
+
+* **checkpoint overhead** — wall time the application is *blocked* writing
+  checkpoints (synchronous BB writes, proactive PFS writes) plus the
+  slowdown imposed by in-flight live migrations;
+* **recomputation overhead** — wall time spent re-executing work lost to
+  failures;
+* **recovery overhead** — wall time spent restoring state (BB/PFS reads,
+  restart latency).
+
+FT ratio = successfully mitigated failures / total failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["OverheadBreakdown", "FTStats", "percent_reduction"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass
+class OverheadBreakdown:
+    """Accumulated overhead, split by the paper's categories (seconds).
+
+    ``migration`` is tracked separately for analysis but folded into the
+    checkpoint category by :attr:`checkpoint_reported`, because the paper
+    counts LM's (tiny) interference alongside proactive-action cost.
+    """
+
+    checkpoint: float = 0.0
+    recomputation: float = 0.0
+    recovery: float = 0.0
+    migration: float = 0.0
+
+    def validate(self) -> None:
+        """Raise if any component is negative (accounting bug guard)."""
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v < -1e-9:
+                raise ValueError(f"negative overhead component {f.name}={v}")
+
+    @property
+    def checkpoint_reported(self) -> float:
+        """Checkpoint category as the paper reports it (incl. LM cost)."""
+        return self.checkpoint + self.migration
+
+    @property
+    def total(self) -> float:
+        """Total fault-tolerance overhead (seconds)."""
+        return self.checkpoint + self.recomputation + self.recovery + self.migration
+
+    @property
+    def total_hours(self) -> float:
+        """Total overhead in hours (the annotation atop Fig 6's bars)."""
+        return self.total / SECONDS_PER_HOUR
+
+    def __add__(self, other: "OverheadBreakdown") -> "OverheadBreakdown":
+        return OverheadBreakdown(
+            checkpoint=self.checkpoint + other.checkpoint,
+            recomputation=self.recomputation + other.recomputation,
+            recovery=self.recovery + other.recovery,
+            migration=self.migration + other.migration,
+        )
+
+    def scaled(self, factor: float) -> "OverheadBreakdown":
+        """Component-wise scaling (used for averaging replications)."""
+        return OverheadBreakdown(
+            checkpoint=self.checkpoint * factor,
+            recomputation=self.recomputation * factor,
+            recovery=self.recovery * factor,
+            migration=self.migration * factor,
+        )
+
+
+@dataclass
+class FTStats:
+    """Fault-tolerance event counts for one simulation run.
+
+    Attributes
+    ----------
+    failures:
+        Real failures injected.
+    predicted:
+        Failures the predictor caught (true predictions).
+    mitigated_lm:
+        Failures averted by a completed live migration.
+    mitigated_pckpt:
+        Failures survived because the vulnerable node's prioritized PFS
+        commit finished in time.
+    mitigated_safeguard:
+        Failures survived because a full safeguard checkpoint finished.
+    false_alarms:
+        Predictions with no subsequent failure.
+    lm_aborts:
+        Live migrations aborted mid-flight (shorter-lead prediction or
+        premature failure).
+    """
+
+    failures: int = 0
+    predicted: int = 0
+    mitigated_lm: int = 0
+    mitigated_pckpt: int = 0
+    mitigated_safeguard: int = 0
+    false_alarms: int = 0
+    lm_aborts: int = 0
+
+    @property
+    def mitigated(self) -> int:
+        """Total failures mitigated by any proactive mechanism."""
+        return self.mitigated_lm + self.mitigated_pckpt + self.mitigated_safeguard
+
+    @property
+    def ft_ratio(self) -> float:
+        """Mitigated / total failures (0 when no failures occurred)."""
+        return self.mitigated / self.failures if self.failures else 0.0
+
+    @property
+    def lm_pckpt_ft_difference(self) -> float:
+        """(LM-mitigated − p-ckpt-mitigated) / total failures — Fig 8's y-axis.
+
+        Positive ⇒ LM dominates; negative ⇒ p-ckpt dominates.
+        """
+        if not self.failures:
+            return 0.0
+        return (self.mitigated_lm - self.mitigated_pckpt) / self.failures
+
+    def validate(self) -> None:
+        """Raise on impossible count relationships."""
+        for f in fields(self):
+            if getattr(self, f.name) < 0:
+                raise ValueError(f"negative count {f.name}")
+        if self.predicted > self.failures:
+            raise ValueError("more true predictions than failures")
+        if self.mitigated > self.failures:
+            raise ValueError("more mitigations than failures")
+
+    def __add__(self, other: "FTStats") -> "FTStats":
+        return FTStats(
+            failures=self.failures + other.failures,
+            predicted=self.predicted + other.predicted,
+            mitigated_lm=self.mitigated_lm + other.mitigated_lm,
+            mitigated_pckpt=self.mitigated_pckpt + other.mitigated_pckpt,
+            mitigated_safeguard=self.mitigated_safeguard + other.mitigated_safeguard,
+            false_alarms=self.false_alarms + other.false_alarms,
+            lm_aborts=self.lm_aborts + other.lm_aborts,
+        )
+
+
+def percent_reduction(base: float, value: float) -> float:
+    """Percent reduction of *value* relative to *base* (higher = better).
+
+    Returns 0 when *base* is 0 (no overhead to reduce).
+    """
+    if base < 0 or value < 0:
+        raise ValueError("overheads must be non-negative")
+    if base == 0.0:
+        return 0.0
+    return (base - value) / base * 100.0

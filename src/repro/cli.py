@@ -1,0 +1,277 @@
+"""Command-line interface: ``pckpt``.
+
+Subcommands
+-----------
+``pckpt simulate APP MODEL``
+    One Monte-Carlo cell (application × model) with overhead breakdown.
+``pckpt experiment ID``
+    Regenerate one paper artifact (fig2a, fig2b, fig2c, fig4, fig6a,
+    fig6b, fig6-sys8, fig6c, fig7, fig8, table2, table4, obs9).
+``pckpt list``
+    Show the workload catalogue and model zoo.
+
+Examples
+--------
+::
+
+    pckpt simulate POP P2 --replications 100
+    pckpt experiment table2 --replications 50
+    pckpt experiment fig6a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    BENCH_SCALE,
+    ExperimentScale,
+    export,
+    fig2a,
+    fig2b,
+    fig2c,
+    fig6,
+    fig6c,
+    fig8,
+    ftratio,
+    leadvar,
+    obs9,
+    run_replications,
+)
+from .experiments.report import format_kv
+from .failures.weibull import (
+    FAILURE_DISTRIBUTIONS,
+    LANL_SYSTEM8_WEIBULL,
+    LANL_SYSTEM18_WEIBULL,
+    TITAN_WEIBULL,
+)
+from .models.registry import PAPER_MODELS, get_model
+from .workloads.applications import APPLICATION_ORDER, APPLICATIONS
+
+__all__ = ["main", "build_parser"]
+
+
+def _scale(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        replications=args.replications, seed=args.seed, workers=args.workers
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    app = APPLICATIONS[args.app.upper()]
+    scale = _scale(args)
+    weibull = FAILURE_DISTRIBUTIONS[args.distribution]
+    result = run_replications(
+        app,
+        args.model,
+        replications=scale.replications,
+        weibull=weibull,
+        seed=scale.seed,
+        workers=scale.workers,
+    )
+    print(
+        format_kv(
+            {
+                "application": app.name,
+                "model": result.model_name,
+                "replications": result.replications,
+                "failure distribution": weibull.name,
+                "total overhead (h)": result.total_overhead_hours,
+                "checkpoint overhead (h)": result.overhead.checkpoint_reported / 3600,
+                "recomputation overhead (h)": result.overhead.recomputation / 3600,
+                "recovery overhead (h)": result.overhead.recovery / 3600,
+                "makespan (h)": result.makespan_seconds / 3600,
+                "FT ratio": result.ft_ratio,
+                "failures (pooled)": result.ft.failures,
+                "mitigated by LM": result.ft.mitigated_lm,
+                "mitigated by p-ckpt": result.ft.mitigated_pckpt,
+                "mitigated by safeguard": result.ft.mitigated_safeguard,
+                "initial OCI (s)": result.oci_initial,
+            },
+            title=f"{app.name} under model {result.model_name}",
+        )
+    )
+    return 0
+
+
+#: Everything `pckpt experiment all` regenerates, in paper order.
+ALL_EXPERIMENTS = (
+    "fig2a", "fig2b", "fig2c", "fig4", "table2", "fig6a", "fig6b",
+    "fig6-sys8", "table4", "fig7", "fig8", "fig6c", "obs9",
+)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = _scale(args)
+    exp = args.id.lower()
+    if exp == "all":
+        for sub in ALL_EXPERIMENTS:
+            print(f"\n=== {sub} ===")
+            code = _cmd_experiment(
+                argparse.Namespace(
+                    id=sub,
+                    replications=args.replications,
+                    seed=args.seed,
+                    workers=args.workers,
+                    json=None,
+                    csv=None,
+                )
+            )
+            if code != 0:  # pragma: no cover - defensive
+                return code
+        return 0
+
+    results = []
+    if exp == "fig2a":
+        r = fig2a.run(seed=scale.seed)
+        results.append(r)
+        print(fig2a.render(r))
+    elif exp == "fig2b":
+        r = fig2b.run(seed=scale.seed)
+        results.append(r)
+        print(fig2b.render(r))
+    elif exp == "fig2c":
+        r = fig2c.run(seed=scale.seed)
+        results.append(r)
+        print(fig2c.render(r))
+    elif exp == "fig4":
+        for app in ("CHIMERA", "XGC", "POP"):
+            r = leadvar.run(app, ("M1", "M2"), scale=scale)
+            results.append(r)
+            print(leadvar.render(r))
+            print()
+    elif exp == "fig7":
+        for app in ("CHIMERA", "XGC", "POP"):
+            r = leadvar.run(app, ("P1", "P2"), scale=scale)
+            results.append(r)
+            print(leadvar.render(r))
+            print()
+    elif exp == "table2":
+        r = ftratio.run(("M1", "M2"), scale=scale)
+        results.append(r)
+        print(ftratio.render(r, title="Table II — FT ratio under M1 and M2"))
+    elif exp == "table4":
+        r = ftratio.run(("P1", "P2"), scale=scale)
+        results.append(r)
+        print(ftratio.render(r, title="Table IV — FT ratio under P1 and P2"))
+    elif exp == "fig6a":
+        r = fig6.run(TITAN_WEIBULL, scale=scale)
+        results.append(r)
+        print(fig6.render(r))
+    elif exp == "fig6b":
+        r = fig6.run(LANL_SYSTEM18_WEIBULL, scale=scale)
+        results.append(r)
+        print(fig6.render(r))
+    elif exp in ("fig6-sys8", "obs7"):
+        r = fig6.run(LANL_SYSTEM8_WEIBULL, scale=scale)
+        results.append(r)
+        print(fig6.render(r))
+    elif exp == "fig6c":
+        r = fig6c.run(scale=scale)
+        results.append(r)
+        print(fig6c.render(r))
+    elif exp == "fig8":
+        r = fig8.run(scale=scale)
+        results.append(r)
+        print(fig8.render(r))
+    elif exp == "obs9":
+        r = obs9.run(scale=scale)
+        results.append(r)
+        print(obs9.render(r))
+    else:
+        print(f"unknown experiment {exp!r}", file=sys.stderr)
+        return 2
+
+    if getattr(args, "json", None) or getattr(args, "csv", None):
+        rows = [rec for r in results for rec in export.records(r)]
+        if args.json:
+            export.write_json(args.json, rows)
+            print(f"[wrote {len(rows)} records to {args.json}]")
+        if args.csv:
+            export.write_csv(args.csv, rows)
+            print(f"[wrote {len(rows)} records to {args.csv}]")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Applications (Table I):")
+    for name in APPLICATION_ORDER:
+        app = APPLICATIONS[name]
+        print(
+            f"  {name:8s} nodes={app.nodes:5d} "
+            f"ckpt={app.checkpoint_bytes_total / 2**30:12.1f} GiB "
+            f"compute={app.compute_hours:5.0f} h"
+        )
+    print("Models:")
+    for name, cfg in PAPER_MODELS.items():
+        caps = [
+            cap
+            for cap, on in (
+                ("prediction", cfg.use_prediction),
+                ("safeguard", cfg.supports_safeguard),
+                ("live-migration", cfg.supports_lm),
+                ("p-ckpt", cfg.supports_pckpt),
+                ("sigma-OCI", cfg.use_sigma_oci),
+            )
+            if on
+        ]
+        print(f"  {name:3s} {', '.join(caps) if caps else 'periodic only'}")
+    print("Variants: M2-<alpha>/P2-<alpha> (LM transfer factor), P2-fn, "
+          "<model>-sync, <model>-online, <model>-nbr")
+    print("Failure distributions:", ", ".join(FAILURE_DISTRIBUTIONS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="pckpt",
+        description="P-ckpt reproduction: coordinated prioritized checkpointing",
+    )
+    parser.add_argument("--replications", type=int, default=BENCH_SCALE.replications)
+    parser.add_argument("--seed", type=int, default=BENCH_SCALE.seed)
+    parser.add_argument("--workers", type=int, default=None)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one application x model cell")
+    p_sim.add_argument("app", help="application name (Table I)")
+    p_sim.add_argument("model", help="model name (B/M1/M2/P1/P2/M2-<a>/P2-fn)")
+    p_sim.add_argument(
+        "--distribution",
+        choices=sorted(FAILURE_DISTRIBUTIONS),
+        default=TITAN_WEIBULL.name,
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument(
+        "id",
+        help=(
+            "fig2a|fig2b|fig2c|fig4|fig6a|fig6b|fig6-sys8|fig6c|fig7|fig8|"
+            "table2|table4|obs9"
+        ),
+    )
+    p_exp.add_argument("--json", metavar="FILE", default=None,
+                       help="also write raw records as JSON")
+    p_exp.add_argument("--csv", metavar="FILE", default=None,
+                       help="also write raw records as CSV")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_list = sub.add_parser("list", help="show workloads and models")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

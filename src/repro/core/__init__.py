@@ -1,0 +1,33 @@
+"""The paper's contribution: the coordinated prioritized checkpoint
+(p-ckpt) protocol, its lead-time priority queue, the Fig 5 node state
+machine, and the hybrid proactive-action coordinator."""
+
+from .coordinator import ProactiveAction, ProactiveCoordinator
+from .pckpt import (
+    PckptProtocol,
+    ProtocolAborted,
+    ProtocolOutcome,
+    entry_from_prediction,
+)
+from .priority import LeadTimePriorityQueue, VulnerableEntry
+from .statemachine import (
+    ALLOWED_TRANSITIONS,
+    IllegalTransition,
+    can_transition,
+    transition,
+)
+
+__all__ = [
+    "PckptProtocol",
+    "ProtocolAborted",
+    "ProtocolOutcome",
+    "entry_from_prediction",
+    "LeadTimePriorityQueue",
+    "VulnerableEntry",
+    "ProactiveAction",
+    "ProactiveCoordinator",
+    "ALLOWED_TRANSITIONS",
+    "IllegalTransition",
+    "can_transition",
+    "transition",
+]

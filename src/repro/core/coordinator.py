@@ -1,0 +1,90 @@
+"""Proactive-action arbitration for the hybrid model (Fig 5 + Sec. VI).
+
+:class:`ProactiveCoordinator` is the decision brain shared by the C/R
+models: given a prediction's lead time and the platform's FT latencies it
+chooses among live migration, p-ckpt, safeguard checkpointing, or doing
+nothing, according to the model's capability flags.  The hybrid rule is
+the paper's: **LM is the preferred proactive choice** (cheaper in network
+traffic, application keeps running) whenever the lead time covers the LM
+transfer; otherwise p-ckpt guarantees the vulnerable node's commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ProactiveAction", "ProactiveCoordinator"]
+
+
+class ProactiveAction(enum.Enum):
+    """What to do about a prediction."""
+
+    IGNORE = "ignore"
+    SAFEGUARD = "safeguard"
+    PCKPT = "pckpt"
+    LIVE_MIGRATION = "lm"
+
+
+@dataclass(frozen=True)
+class ProactiveCoordinator:
+    """Capability-driven proactive decision rule.
+
+    Attributes
+    ----------
+    supports_lm / supports_pckpt / supports_safeguard:
+        Which mechanisms the C/R model implements.
+    lm_transfer_seconds:
+        FT latency of one live migration (θ); LM is chosen only when the
+        lead time strictly exceeds it.
+    lm_margin:
+        Safety factor on θ (1.0 = paper's behaviour: any lead ≥ θ goes to
+        LM).
+    """
+
+    supports_lm: bool = False
+    supports_pckpt: bool = False
+    supports_safeguard: bool = False
+    lm_transfer_seconds: float = 0.0
+    lm_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lm_transfer_seconds < 0:
+            raise ValueError("lm_transfer_seconds must be non-negative")
+        if self.lm_margin < 1.0:
+            raise ValueError("lm_margin must be >= 1")
+        if self.supports_lm and self.lm_transfer_seconds == 0.0 and self.lm_margin != 1.0:
+            raise ValueError("margin without a transfer time is meaningless")
+
+    def lm_feasible(self, lead_seconds: float) -> bool:
+        """Whether a migration started now completes before the failure."""
+        return (
+            self.supports_lm
+            and lead_seconds >= self.lm_margin * self.lm_transfer_seconds
+        )
+
+    def decide(self, lead_seconds: float) -> ProactiveAction:
+        """Pick the proactive action for a prediction with this lead time.
+
+        Order of preference (paper Sec. VI): LM when feasible, else
+        p-ckpt, else safeguard, else nothing.
+        """
+        if lead_seconds < 0:
+            raise ValueError("lead time must be non-negative")
+        if self.lm_feasible(lead_seconds):
+            return ProactiveAction.LIVE_MIGRATION
+        if self.supports_pckpt:
+            return ProactiveAction.PCKPT
+        if self.supports_safeguard:
+            return ProactiveAction.SAFEGUARD
+        return ProactiveAction.IGNORE
+
+    def should_abort_lm_for(self, new_lead: float, lm_remaining: float) -> bool:
+        """Fig 5's abort rule: a prediction that LM cannot also cover.
+
+        The in-flight migration is aborted when the *new* prediction's
+        lead is too short for the protocol to wait for the migration —
+        i.e. the new failure would strike before the current migration
+        finishes, so p-ckpt must start immediately.
+        """
+        return self.supports_pckpt and new_lead < lm_remaining

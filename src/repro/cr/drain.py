@@ -1,0 +1,121 @@
+"""Asynchronous BB→PFS checkpoint draining.
+
+Periodic checkpoints are staged to the node-local BBs (blocking the
+application only for the fast BB write) and later *bled off* to the PFS in
+the background.  The bleed-off is throttled — only a bounded number of
+nodes transfer concurrently — so it does not contend with application I/O
+(paper Sec. II).  A snapshot becomes usable for replacement-node recovery
+only when its drain completes; a rollback cancels in-flight drains of
+now-invalid snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..des import Environment, Interrupt, Process
+from ..platform.pfs import PFSSpec
+from .checkpoint import Snapshot, SnapshotLedger
+
+__all__ = ["DrainManager"]
+
+
+class DrainManager:
+    """Owns the background drain pipeline of one application.
+
+    Drains are serialized (one snapshot in flight at a time) in a FIFO:
+    with a sane OCI the pipe is empty long before the next checkpoint, but
+    the manager stays correct if configuration makes drains slower than
+    the checkpoint cadence.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    pfs:
+        PFS spec (provides :meth:`~repro.platform.pfs.PFSSpec.drain_time`).
+    ledger:
+        Snapshot ledger to notify on completion.
+    nodes:
+        Application node count.
+    bytes_per_node:
+        Per-node checkpoint size.
+    on_drained:
+        Optional callback invoked with the snapshot when a drain lands.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        pfs: PFSSpec,
+        ledger: SnapshotLedger,
+        nodes: int,
+        bytes_per_node: float,
+        on_drained: Optional[Callable[[Snapshot], None]] = None,
+    ) -> None:
+        self.env = env
+        self.pfs = pfs
+        self.ledger = ledger
+        self.nodes = nodes
+        self.bytes_per_node = bytes_per_node
+        self.on_drained = on_drained
+        self._pending: list[Snapshot] = []
+        self._worker: Optional[Process] = None
+        #: Completed drain count (diagnostics / tests).
+        self.completed = 0
+        #: Cancelled (rolled-back) snapshot count.
+        self.cancelled = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while any drain is queued or in flight."""
+        return bool(self._pending) or self._worker is not None
+
+    def submit(self, snap: Snapshot) -> None:
+        """Queue a freshly staged periodic snapshot for draining."""
+        self._pending.append(snap)
+        if self._worker is None:
+            self._worker = self.env.process(self._run(), name="drain-worker")
+
+    def cancel_newer_than(self, work: float) -> None:
+        """Drop queued/in-flight drains of snapshots newer than *work*.
+
+        Called on rollback: those snapshots no longer represent reachable
+        application state.
+        """
+        before = len(self._pending)
+        self._pending = [s for s in self._pending if s.work <= work]
+        self.cancelled += before - len(self._pending)
+        if self._worker is not None and self._worker.is_alive:
+            self._worker.interrupt(("drain-cancel", work))
+
+    def _run(self):
+        """Worker process: drain queued snapshots one at a time."""
+        try:
+            while self._pending:
+                snap = self._pending.pop(0)
+                duration = self.pfs.drain_time(self.nodes, self.bytes_per_node)
+                remaining = duration
+                start = self.env.now
+                while remaining > 0:
+                    try:
+                        yield self.env.timeout(remaining)
+                        remaining = 0.0
+                    except Interrupt as intr:
+                        kind, work = intr.cause
+                        assert kind == "drain-cancel"
+                        if snap.work > work:
+                            # This snapshot was invalidated mid-flight.
+                            self.cancelled += 1
+                            snap = None  # type: ignore[assignment]
+                            break
+                        remaining -= self.env.now - start
+                        start = self.env.now
+                if snap is None:
+                    continue
+                self.ledger.record_drained(snap)
+                self.completed += 1
+                if self.on_drained is not None:
+                    self.on_drained(snap)
+        finally:
+            self._worker = None

@@ -1,0 +1,121 @@
+"""Recovery-path modeling (paper Sec. II checkpoint model).
+
+Two recovery regimes exist, with very different costs:
+
+* **after an unmitigated failure** from a *periodic* snapshot: only the
+  replacement node reads the PFS; every survivor restores from its local
+  BB.  Cost = max(single-node PFS read, BB read) + restart latency — PFS
+  is never the bottleneck (single reader), so recovery is cheap.
+* **after a proactively mitigated failure** (safeguard or p-ckpt): the
+  snapshot exists only on the PFS, so *all* nodes read it back at
+  aggregate PFS bandwidth.  This is why model P1 is the only one showing
+  visible recovery overhead (≈2.5–6% of total, Fig 6).
+
+An optional **neighbor level** (FTI level 1 / Bouguerra et al.'s
+substrate — the paper cites it as orthogonal) mirrors each periodic
+checkpoint onto a partner node's BB: the replacement node then pulls its
+share from the dead node's partner over the interconnect instead of the
+PFS.  With the paper's single-node failure model the partner always
+survives, so the neighbor copy is always usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..platform.burstbuffer import BurstBufferSpec
+from ..platform.interconnect import InterconnectSpec
+from ..platform.pfs import PFSSpec
+from .checkpoint import Snapshot, SnapshotKind, SnapshotLedger
+
+__all__ = ["RecoveryPlan", "plan_recovery"]
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """The cost and target of one recovery operation.
+
+    Attributes
+    ----------
+    restore_work:
+        Application progress (useful seconds) of the restored snapshot;
+        0.0 when no snapshot survives and the job restarts from scratch.
+    read_seconds:
+        Wall time of the restore reads.
+    restart_delay:
+        Fixed relaunch latency (replacement allocation, MPI wire-up).
+    from_bb:
+        True when survivors restored from their BBs (fast path).
+    """
+
+    restore_work: float
+    read_seconds: float
+    restart_delay: float
+    from_bb: bool
+
+    @property
+    def total_seconds(self) -> float:
+        """Total recovery overhead contribution."""
+        return self.read_seconds + self.restart_delay
+
+
+def plan_recovery(
+    ledger: SnapshotLedger,
+    pfs: PFSSpec,
+    bb: BurstBufferSpec,
+    nodes: int,
+    bytes_per_node: float,
+    restart_delay: float,
+    neighbor: Optional[InterconnectSpec] = None,
+) -> RecoveryPlan:
+    """Determine the best recovery action after a node failure.
+
+    Parameters
+    ----------
+    ledger:
+        The job's snapshot ledger.
+    pfs, bb:
+        Storage specs for read-time queries.
+    nodes:
+        Application node count (restore fan-in for the PFS path).
+    bytes_per_node:
+        Per-node checkpoint size.
+    restart_delay:
+        Platform relaunch latency (seconds).
+    neighbor:
+        When the job runs neighbor-level checkpointing, the interconnect
+        the replacement node pulls its share over; survivors still use
+        their BBs.  The neighbor copy covers the *newest BB generation*
+        (it is written alongside the BB stage), so recovery no longer
+        waits for the PFS drain.
+    """
+    snap = ledger.recovery_snapshot()
+    if neighbor is not None and ledger.bb is not None and (
+        snap is None or ledger.bb.work >= snap.work
+    ):
+        # Neighbor level: the newest BB generation is recoverable even
+        # before its drain lands — the partner holds the dead node's copy
+        # and streams it to the replacement over the interconnect.
+        read = max(
+            bb.read_time(bytes_per_node),
+            neighbor.transfer_time(bytes_per_node) + bb.read_time(bytes_per_node),
+        )
+        return RecoveryPlan(ledger.bb.work, read, restart_delay, from_bb=True)
+
+    if snap is None:
+        # Nothing committed anywhere: full restart, nothing to read.
+        return RecoveryPlan(0.0, 0.0, restart_delay, from_bb=False)
+
+    if snap.kind is SnapshotKind.PERIODIC and ledger.survivors_can_use_bb():
+        # Survivors hit their BBs in parallel; the replacement node is the
+        # only PFS reader.  The two proceed concurrently.
+        read = max(
+            bb.read_time(bytes_per_node),
+            pfs.replacement_read_time(bytes_per_node),
+        )
+        return RecoveryPlan(snap.work, read, restart_delay, from_bb=True)
+
+    # Proactive snapshot (or BBs out of sync): everyone reads the PFS.
+    read = pfs.full_restore_read_time(nodes, bytes_per_node)
+    return RecoveryPlan(snap.work, read, restart_delay, from_bb=False)

@@ -1,0 +1,78 @@
+"""A from-scratch discrete-event simulation kernel (SimPy-compatible core).
+
+The paper evaluates p-ckpt with SimPy; this package provides the same
+process-based simulation semantics so the C/R models read like the paper's
+description:
+
+* :class:`Environment` — event loop with a deterministic
+  ``(time, priority, sequence)``-ordered heap;
+* generator-based :class:`Process` objects that ``yield`` events;
+* :class:`Timeout`, bare :class:`Event`, :class:`AllOf` / :class:`AnyOf`
+  conditions, and process :meth:`~Process.interrupt`;
+* :class:`Resource` / :class:`PriorityResource` for contended slots
+  (PFS drain lanes, prioritized PFS access);
+* :class:`Store` / :class:`PriorityStore` / :class:`Container` for message
+  queues and bulk capacities.
+
+Example
+-------
+>>> from repro.des import Environment
+>>> env = Environment()
+>>> def worker(env, results):
+...     yield env.timeout(3.0)
+...     results.append(env.now)
+>>> out = []
+>>> _ = env.process(worker(env, out))
+>>> env.run()
+>>> out
+[3.0]
+"""
+
+from .core import Environment, Infinity
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .exceptions import EmptySchedule, Interrupt, SimulationError, StopProcess
+from .monitor import Trace, TraceRecord
+from .process import Process, ProcessGenerator
+from .resources import PriorityRequest, PriorityResource, Release, Request, Resource
+from .stores import (
+    Container,
+    ContainerGet,
+    ContainerPut,
+    PriorityItem,
+    PriorityStore,
+    Store,
+    StoreGet,
+    StorePut,
+)
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "ProcessGenerator",
+    "Interrupt",
+    "StopProcess",
+    "SimulationError",
+    "EmptySchedule",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "PriorityRequest",
+    "Release",
+    "Store",
+    "PriorityStore",
+    "PriorityItem",
+    "StorePut",
+    "StoreGet",
+    "Container",
+    "ContainerPut",
+    "ContainerGet",
+    "Trace",
+    "TraceRecord",
+]

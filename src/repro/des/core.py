@@ -1,0 +1,203 @@
+"""The simulation :class:`Environment` — event loop and clock.
+
+The environment owns a binary-heap event queue ordered by
+``(time, priority, sequence)``.  The sequence number makes scheduling
+deterministic: two events scheduled for the same time and priority are
+processed in the order they were scheduled.  Determinism matters for this
+package because every experiment must be exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+from .events import NORMAL, AllOf, AnyOf, Event, Timeout
+from .exceptions import EmptySchedule, SimulationError
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "Infinity"]
+
+#: Positive infinity, usable as an `until` value meaning "run to exhaustion".
+Infinity: float = float("inf")
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds in this package).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(5)
+    ...     return "done"
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> env.now
+    5.0
+    >>> p.value
+    'done'
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now: float = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid: int = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection -------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    @property
+    def queue_size(self) -> int:
+        """Number of scheduled-but-unprocessed events (diagnostics)."""
+        return len(self._queue)
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after *delay*."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` from *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Condition that fires once all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition that fires once any of *events* has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Schedule *event* to be processed after *delay*.
+
+        Kernel API; user code triggers events via ``succeed``/``fail``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid += 1
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        EmptySchedule
+            If no events remain.
+        """
+        try:
+            self._now, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events left") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure — propagate it out of the loop.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the event queue is exhausted.
+            A number — run until the clock reaches that time.
+            An :class:`Event` — run until that event is processed and
+            return its value.
+
+        Returns
+        -------
+        The value of *until* when it is an event, else ``None``.
+        """
+        if until is None:
+            at = Infinity
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            at = Infinity
+            if stop_event.callbacks is None:
+                # Already processed — nothing to run.
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(_StopFlag())
+        else:
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until ({at}) must be greater than now ({self._now})")
+            stop_event = None
+
+        try:
+            while self._queue:
+                next_time = self._queue[0][0]
+                if next_time > at:
+                    self._now = at
+                    break
+                self.step()
+                if stop_event is not None and stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+        except _StopSimulation:  # pragma: no cover - internal control flow
+            pass
+
+        if stop_event is not None and stop_event.callbacks is not None:
+            raise SimulationError(
+                f"simulation ended before the until-event {stop_event!r} was triggered"
+            )
+        if until is None or stop_event is None:
+            if at is not Infinity and self._now < at:
+                self._now = at
+            return None
+        return None
+
+    def run_until_empty(self) -> None:
+        """Drain every remaining event (convenience for tests)."""
+        while self._queue:
+            self.step()
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception (kept for API parity; unused)."""
+
+
+class _StopFlag:
+    """Callback object marking that the until-event has been processed."""
+
+    def __call__(self, event: Event) -> None:
+        # Presence in callbacks is enough; run() checks callbacks is None.
+        return None

@@ -1,0 +1,64 @@
+"""Exception types used by the :mod:`repro.des` discrete-event kernel.
+
+The kernel deliberately mirrors SimPy's exception taxonomy so that
+simulation code written against the paper's description (which used SimPy)
+reads identically here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "StopProcess",
+    "EmptySchedule",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain.
+
+    :meth:`Environment.run` catches this internally; user code only sees it
+    when stepping the environment manually.
+    """
+
+
+class StopProcess(Exception):
+    """Raised inside a process to terminate it early with a return value.
+
+    Equivalent to executing ``return value`` inside the process generator;
+    provided for call sites that are several frames below the generator and
+    cannot ``return`` directly.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupt carries an arbitrary ``cause`` describing why the victim
+    was interrupted (e.g. a failure-prediction notification in the p-ckpt
+    protocol).  Interrupting a process does *not* remove it from the event
+    it was waiting for; the victim may re-yield the same event to resume
+    waiting, exactly like SimPy.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt({self.cause!r})"

@@ -1,0 +1,98 @@
+"""Lightweight instrumentation for simulations.
+
+:class:`Trace` collects timestamped records emitted by simulation
+components; the C/R models use it both for debugging (the protocol-trace
+example) and for metric accounting cross-checks in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the record.
+    source:
+        Component that emitted it (e.g. ``"node/17"`` or ``"pckpt"``).
+    kind:
+        Short machine-readable tag (e.g. ``"ckpt_bb_start"``).
+    detail:
+        Arbitrary payload for humans / assertions.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Any = None
+
+
+class Trace:
+    """An append-only, filterable record of simulation activity.
+
+    Tracing is off by default in production runs; models accept an optional
+    trace and emit only when one is supplied, so the hot path stays clean.
+    """
+
+    def __init__(self, env: "Environment", enabled: bool = True,
+                 max_records: Optional[int] = None) -> None:
+        self.env = env
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, source: str, kind: str, detail: Any = None) -> None:
+        """Append a record at the current simulation time."""
+        if not self.enabled:
+            return
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            return
+        self.records.append(TraceRecord(self.env.now, source, kind, detail))
+
+    def count(self, kind: str) -> int:
+        """Number of records of *kind* (counted even past max_records)."""
+        return self._counts.get(kind, 0)
+
+    def filter(self, kind: Optional[str] = None, source: Optional[str] = None
+               ) -> Iterator[TraceRecord]:
+        """Iterate records matching the given kind and/or source."""
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            yield rec
+
+    def kinds(self) -> Tuple[str, ...]:
+        """All record kinds seen so far, in first-seen order."""
+        return tuple(self._counts)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Render the trace as aligned text lines (for examples/debugging)."""
+        rows = self.records if limit is None else self.records[:limit]
+        lines = [
+            f"[{rec.time:14.3f}s] {rec.source:<16s} {rec.kind:<24s} {rec.detail!r}"
+            for rec in rows
+        ]
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more records)")
+        return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Store and container primitives for producer/consumer coordination.
+
+:class:`Store` is an unbounded-or-bounded FIFO of Python objects — the
+kernel's message-queue primitive, used for p-ckpt notifications
+(prediction events, pfs-commit broadcasts) between node processes.
+:class:`PriorityStore` orders retrieval by item priority (the node-local
+priority queue of the p-ckpt protocol).  :class:`Container` models bulk
+continuous capacity (bytes in a burst buffer).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, List, NamedTuple
+
+from .events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = [
+    "StorePut",
+    "StoreGet",
+    "Store",
+    "PriorityItem",
+    "PriorityStore",
+    "ContainerPut",
+    "ContainerGet",
+    "Container",
+]
+
+
+class StorePut(Event):
+    """Request to put *item* into a store; fires when accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Request to take one item from a store; fires with the item."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_waiters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw the get request if it has not been fulfilled yet."""
+        if self._value is PENDING:
+            # Mark as no longer interested; dispatcher skips triggered events
+            # and we remove eagerly where cheap.
+            self._ok = True
+            self._value = _GET_CANCELLED
+            self.callbacks = None
+
+
+#: Sentinel value assigned to cancelled StoreGet events.
+_GET_CANCELLED: Any = object()
+
+
+class Store:
+    """FIFO store of arbitrary items with optional capacity bound.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Maximum number of items held; ``inf`` (default) for unbounded.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of items the store holds."""
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Offer *item*; the returned event fires once it is stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request one item; the returned event fires with the item."""
+        return StoreGet(self)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals ---------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self._store_item(event.item)
+            event.succeed(None)
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self._take_item())
+            return True
+        return False
+
+    def _store_item(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _take_item(self) -> Any:
+        return self.items.pop(0)
+
+    def _dispatch(self) -> None:
+        """Match puts against capacity and gets against items until stuck."""
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters:
+                put = self._put_waiters[0]
+                if put._value is not PENDING:
+                    self._put_waiters.pop(0)
+                    continue
+                if self._do_put(put):
+                    self._put_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+            while self._get_waiters:
+                get = self._get_waiters[0]
+                if get._value is not PENDING:
+                    self._get_waiters.pop(0)
+                    continue
+                if self._do_get(get):
+                    self._get_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} items={len(self.items)}>"
+
+
+class PriorityItem(NamedTuple):
+    """An item with an explicit priority; lower values dequeue first.
+
+    The payload does not participate in comparisons, so heterogeneous or
+    non-orderable payloads are fine.
+    """
+
+    priority: float
+    item: Any
+
+    def __lt__(self, other: "PriorityItem") -> bool:  # type: ignore[override]
+        return self.priority < other.priority
+
+
+class PriorityStore(Store):
+    """A store whose :meth:`get` returns the lowest-priority item first.
+
+    Items should be :class:`PriorityItem` instances (or anything orderable).
+    Equal priorities dequeue in insertion order.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env, capacity)
+        self._seq = 0
+        self._heap: List[Any] = []
+
+    def _store_item(self, item: Any) -> None:
+        heappush(self._heap, (item, self._seq))
+        self._seq += 1
+        self.items = [entry[0] for entry in sorted(self._heap)]
+
+    def _take_item(self) -> Any:
+        item, _ = heappop(self._heap)
+        self.items = [entry[0] for entry in sorted(self._heap)]
+        return item
+
+
+class ContainerPut(Event):
+    """Request to deposit *amount* into a container."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        container._put_waiters.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    """Request to withdraw *amount* from a container."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = float(amount)
+        container._get_waiters.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A homogeneous bulk resource (e.g. bytes of burst-buffer space).
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Maximum level; ``inf`` for unbounded.
+    init:
+        Initial level.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if init < 0 or init > capacity:
+            raise ValueError(f"init level {init} outside [0, {capacity}]")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(init)
+        self._put_waiters: List[ContainerPut] = []
+        self._get_waiters: List[ContainerGet] = []
+
+    @property
+    def capacity(self) -> float:
+        """Maximum level."""
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Current level."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Deposit *amount*; fires once there is room."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Withdraw *amount*; fires once enough is available."""
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters:
+                put = self._put_waiters[0]
+                if self._level + put.amount <= self._capacity:
+                    self._level += put.amount
+                    put.succeed(None)
+                    self._put_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+            while self._get_waiters:
+                get = self._get_waiters[0]
+                if self._level >= get.amount:
+                    self._level -= get.amount
+                    get.succeed(None)
+                    self._get_waiters.pop(0)
+                    progress = True
+                else:
+                    break
+
+    def __repr__(self) -> str:
+        return f"<Container level={self._level}/{self._capacity}>"

@@ -1,0 +1,30 @@
+"""Experiment drivers: one module per paper table/figure, plus the
+Monte-Carlo runner and report formatting (see DESIGN.md §3)."""
+
+from . import export, fig2a, fig2b, fig2c, fig6, fig6c, fig8, ftratio, leadvar, obs9
+from .config import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
+from .runner import SimulationResult, run_replications, simulate_application
+from .sweep import false_negative_sweep, lead_time_sweep, model_comparison
+
+__all__ = [
+    "SimulationResult",
+    "run_replications",
+    "simulate_application",
+    "ExperimentScale",
+    "SMOKE_SCALE",
+    "BENCH_SCALE",
+    "PAPER_SCALE",
+    "model_comparison",
+    "lead_time_sweep",
+    "false_negative_sweep",
+    "export",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig6",
+    "fig6c",
+    "fig8",
+    "ftratio",
+    "leadvar",
+    "obs9",
+]

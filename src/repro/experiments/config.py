@@ -1,0 +1,48 @@
+"""Shared experiment configuration.
+
+The paper runs 1000 replications per cell; that is available via
+:data:`PAPER_SCALE`, while tests and benchmarks default to
+:data:`BENCH_SCALE` so a full table regenerates in seconds-to-minutes on a
+laptop.  All drivers accept an :class:`ExperimentScale` so the trade-off is
+explicit at every call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ExperimentScale", "BENCH_SCALE", "SMOKE_SCALE", "PAPER_SCALE"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How much Monte-Carlo effort a driver spends.
+
+    Attributes
+    ----------
+    replications:
+        Runs per (application, model, parameter) cell.
+    seed:
+        Root seed (replications spawn deterministic children).
+    workers:
+        Process-pool width; ``None`` = auto.
+    """
+
+    replications: int = 30
+    seed: int = 2022  # the paper's publication year, for flavour
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+
+
+#: Fast shape-check scale for unit tests.
+SMOKE_SCALE = ExperimentScale(replications=5)
+
+#: Default benchmark scale — stable shapes in reasonable wall time.
+BENCH_SCALE = ExperimentScale(replications=30)
+
+#: The paper's scale (1000 runs averaged).
+PAPER_SCALE = ExperimentScale(replications=1000)

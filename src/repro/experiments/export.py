@@ -1,0 +1,160 @@
+"""Machine-readable export of experiment results (JSON / CSV).
+
+Each driver's result object converts to a flat list of records (one dict
+per measured cell), so downstream plotting — matplotlib, pandas, a
+spreadsheet — can regenerate the paper's figures from the raw data:
+
+>>> from repro.experiments import fig6, export
+>>> result = fig6.run(scale=...)          # doctest: +SKIP
+>>> export.write_json("fig6a.json", export.records(result))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from .fig2a import Fig2aResult
+from .fig2b import Fig2bResult
+from .fig2c import Fig2cResult
+from .fig6 import Fig6Result
+from .fig6c import Fig6cResult
+from .fig8 import Fig8Result
+from .ftratio import FTRatioResult
+from .leadvar import LeadVarResult
+from .obs9 import Obs9Result
+from .runner import SimulationResult
+
+__all__ = ["simulation_record", "records", "to_csv", "write_json", "write_csv"]
+
+
+def simulation_record(result: SimulationResult) -> Dict[str, Any]:
+    """Flatten one Monte-Carlo cell into a JSON-able record."""
+    return {
+        "app": result.app_name,
+        "model": result.model_name,
+        "replications": result.replications,
+        "checkpoint_overhead_s": result.overhead.checkpoint_reported,
+        "recomputation_overhead_s": result.overhead.recomputation,
+        "recovery_overhead_s": result.overhead.recovery,
+        "total_overhead_s": result.overhead.total,
+        "total_overhead_std_s": result.overhead_std,
+        "makespan_s": result.makespan_seconds,
+        "ft_ratio": result.ft_ratio,
+        "failures": result.ft.failures,
+        "predicted": result.ft.predicted,
+        "mitigated_lm": result.ft.mitigated_lm,
+        "mitigated_pckpt": result.ft.mitigated_pckpt,
+        "mitigated_safeguard": result.ft.mitigated_safeguard,
+        "false_alarms": result.ft.false_alarms,
+        "lm_aborts": result.ft.lm_aborts,
+        "oci_initial_s": result.oci_initial,
+        "oci_final_s": result.oci_final,
+    }
+
+
+def _with(extra: Dict[str, Any], cell: SimulationResult) -> Dict[str, Any]:
+    rec = simulation_record(cell)
+    rec.update(extra)
+    return rec
+
+
+def records(result) -> List[Dict[str, Any]]:
+    """Convert any driver result into a flat list of records."""
+    if isinstance(result, Fig6Result):
+        return [
+            _with({"weibull": result.weibull_name}, cell)
+            for cell in result.cells.values()
+        ]
+    if isinstance(result, Fig6cResult):
+        return [simulation_record(cell) for cell in result.cells.values()]
+    if isinstance(result, LeadVarResult):
+        return [
+            _with({"lead_change_percent": change}, cell)
+            for (model, change), cell in result.cells.items()
+        ]
+    if isinstance(result, FTRatioResult):
+        return [
+            _with({"lead_change_percent": change}, cell)
+            for (app, model, change), cell in result.cells.items()
+        ]
+    if isinstance(result, Fig8Result):
+        return [
+            _with(
+                {
+                    "lead_change_percent": change,
+                    "lm_pckpt_difference_percent": result.difference[(app, change)],
+                },
+                cell,
+            )
+            for (app, change), cell in result.cells.items()
+        ]
+    if isinstance(result, Obs9Result):
+        return [
+            _with({"false_negative_rate": fn}, cell)
+            for (model, fn), cell in result.cells.items()
+        ]
+    if isinstance(result, Fig2aResult):
+        out = []
+        for sid, stats in sorted(result.analytic.items()):
+            rec = {"sequence_id": sid, "source": "analytic", **stats}
+            out.append(rec)
+        for sid, stats in sorted(result.mined.items()):
+            out.append({"sequence_id": sid, "source": "mined", **stats})
+        return out
+    if isinstance(result, Fig2bResult):
+        sweep = result.sweep
+        return [
+            {
+                "tasks": t,
+                "transfer_bytes": s,
+                "bandwidth_bps": float(sweep.bandwidth[i, j]),
+                "bandwidth_std_bps": float(sweep.bandwidth_std[i, j]),
+            }
+            for i, t in enumerate(sweep.task_counts)
+            for j, s in enumerate(sweep.transfer_sizes)
+        ]
+    if isinstance(result, Fig2cResult):
+        sweep = result.sweep
+        return [
+            {
+                "nodes": n,
+                "transfer_bytes": s,
+                "bandwidth_bps": float(sweep.bandwidth[i, j]),
+                "bandwidth_std_bps": float(sweep.bandwidth_std[i, j]),
+            }
+            for i, n in enumerate(sweep.node_counts)
+            for j, s in enumerate(sweep.transfer_sizes)
+        ]
+    raise TypeError(f"no record converter for {type(result).__name__}")
+
+
+def to_csv(rows: List[Dict[str, Any]]) -> str:
+    """Render records as CSV text (union of keys, stable order)."""
+    if not rows:
+        return ""
+    fields: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def write_json(path: str, rows: List[Dict[str, Any]]) -> None:
+    """Write records to *path* as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(rows, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_csv(path: str, rows: List[Dict[str, Any]]) -> None:
+    """Write records to *path* as CSV."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_csv(rows))

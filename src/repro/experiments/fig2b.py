@@ -1,0 +1,51 @@
+"""Experiment E2 — Fig 2b: single-node I/O bandwidth characterization.
+
+Re-runs the paper's first I/O experiment: aggregate write bandwidth on one
+compute node versus transfer size, for writer-task counts from 1 to 42,
+averaged over 10 noisy runs.  The paper's conclusion — 8 MPI tasks
+maximize single-node bandwidth — must reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..iomodel.bandwidth import GiB
+from ..iomodel.calibration import SingleNodeSweep, run_single_node_sweep
+from .report import format_table
+
+__all__ = ["Fig2bResult", "run", "render"]
+
+
+@dataclass
+class Fig2bResult:
+    """The sweep plus the headline conclusion."""
+
+    sweep: SingleNodeSweep
+    optimal_tasks: int
+
+
+def run(seed: int = 2022, nruns: int = 10) -> Fig2bResult:
+    """Execute the synthetic measurement campaign."""
+    rng = np.random.default_rng(seed)
+    sweep = run_single_node_sweep(rng, nruns=nruns)
+    return Fig2bResult(sweep=sweep, optimal_tasks=sweep.optimal_task_count())
+
+
+def render(result: Fig2bResult) -> str:
+    """Format the Fig 2b curves (rows = task counts, cols = sizes)."""
+    sweep = result.sweep
+    headers = ["tasks"] + [f"{s / GiB:g}GiB" for s in sweep.transfer_sizes]
+    rows = [
+        [t] + [bw / GiB for bw in sweep.bandwidth[i]]
+        for i, t in enumerate(sweep.task_counts)
+    ]
+    table = format_table(
+        headers,
+        rows,
+        title="Fig 2b — single-node aggregate write bandwidth (GiB/s)",
+        floatfmt="{:.2f}",
+    )
+    return table + f"\n=> optimal writer tasks per node: {result.optimal_tasks}"

@@ -1,0 +1,112 @@
+"""Experiments E6/E7/E8 — Fig 6a/6b and the System-8 variant (Obs. 7).
+
+For every Table I application, compare the five C/R models under one
+Table III failure distribution: stacked overhead breakdown normalized to
+the base model, annotated with absolute overhead hours — the paper's
+Fig 6 bars as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..failures.weibull import TITAN_WEIBULL, WeibullParams
+from ..workloads.applications import APPLICATION_ORDER
+from .config import BENCH_SCALE, ExperimentScale
+from .report import format_table
+from .runner import SimulationResult
+from .sweep import model_comparison
+
+__all__ = ["Fig6Result", "run", "render", "DEFAULT_MODELS"]
+
+DEFAULT_MODELS: Tuple[str, ...] = ("B", "M1", "M2", "P1", "P2")
+
+
+@dataclass
+class Fig6Result:
+    """Overhead comparison under one failure distribution."""
+
+    weibull_name: str
+    apps: Tuple[str, ...]
+    models: Tuple[str, ...]
+    cells: Dict[tuple, SimulationResult]
+
+    def total_reduction(self, model: str, app: str) -> float:
+        """Percent total-overhead reduction of *model* vs B for *app*."""
+        base = self.cells[("B", app)]
+        return self.cells[(model, app)].reduction_vs(base)["total"]
+
+    def reduction_range(self, model: str) -> Tuple[float, float]:
+        """(min, max) total reduction across applications — the paper's
+        headline "≈53–65%" style numbers."""
+        vals = [self.total_reduction(model, a) for a in self.apps]
+        return (min(vals), max(vals))
+
+
+def run(
+    weibull: WeibullParams = TITAN_WEIBULL,
+    models: Sequence[str] = DEFAULT_MODELS,
+    apps: Sequence[str] = APPLICATION_ORDER,
+    scale: ExperimentScale = BENCH_SCALE,
+    **kwargs,
+) -> Fig6Result:
+    """Run the Fig 6 grid under *weibull*."""
+    cells = model_comparison(list(models), list(apps), weibull, scale=scale, **kwargs)
+    return Fig6Result(
+        weibull_name=weibull.name,
+        apps=tuple(apps),
+        models=tuple(models),
+        cells=cells,
+    )
+
+
+def render(result: Fig6Result) -> str:
+    """Format one Fig 6 panel: per-app stacked overheads and reductions."""
+    headers = [
+        "app",
+        "model",
+        "total_h",
+        "ckpt_h",
+        "recomp_h",
+        "recov_h",
+        "overhead_%ofB",
+        "reduction_%",
+        "ft_ratio",
+    ]
+    rows = []
+    for app in result.apps:
+        base = result.cells[("B", app)]
+        for m in result.models:
+            r = result.cells[(m, app)]
+            rows.append(
+                [
+                    app,
+                    m,
+                    r.total_overhead_hours,
+                    r.overhead.checkpoint_reported / 3600.0,
+                    r.overhead.recomputation / 3600.0,
+                    r.overhead.recovery / 3600.0,
+                    100.0 * r.overhead.total / base.overhead.total
+                    if base.overhead.total
+                    else 0.0,
+                    r.reduction_vs(base)["total"],
+                    r.ft_ratio,
+                ]
+            )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Fig 6 — overhead breakdown under the {result.weibull_name} "
+            "failure distribution (normalized to model B)"
+        ),
+        floatfmt="{:.2f}",
+    )
+    summaries = []
+    for m in result.models:
+        if m == "B":
+            continue
+        lo, hi = result.reduction_range(m)
+        summaries.append(f"{m}: {lo:.0f}..{hi:.0f}%")
+    return table + "\n=> total-overhead reduction ranges: " + "; ".join(summaries)

@@ -1,0 +1,82 @@
+"""Experiment E12 — Fig 6c: impact of the LM transfer-size factor α.
+
+The paper varies LM's transfer size (M2-α models, α = data moved / ckpt
+size) and compares against p-ckpt (P1): for large applications P1 beats
+M2 until α drops toward the Eq. (8) break-even (≈1–2.5×); for small
+applications LM always wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..failures.weibull import TITAN_WEIBULL, WeibullParams
+from .config import BENCH_SCALE, ExperimentScale
+from .report import format_table
+from .runner import SimulationResult
+from .sweep import model_comparison
+
+__all__ = ["Fig6cResult", "run", "render", "DEFAULT_ALPHAS", "DEFAULT_APPS"]
+
+DEFAULT_ALPHAS: Tuple[float, ...] = (1.0, 2.0, 2.5, 3.0, 4.0)
+DEFAULT_APPS: Tuple[str, ...] = ("CHIMERA", "XGC", "POP")
+
+
+@dataclass
+class Fig6cResult:
+    """Total-overhead reductions of P1 and the M2-α family."""
+
+    apps: Tuple[str, ...]
+    alphas: Tuple[float, ...]
+    #: reductions[(model_name, app)] = percent total reduction vs B
+    reductions: Dict[tuple, float]
+    cells: Dict[tuple, SimulationResult]
+
+    def crossover_alpha(self, app: str) -> float | None:
+        """Largest α at which M2-α still loses to P1 (None if never)."""
+        p1 = self.reductions[("P1", app)]
+        losing = [a for a in self.alphas if self.reductions[(f"M2-{a:g}", app)] < p1]
+        return max(losing) if losing else None
+
+
+def run(
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    apps: Sequence[str] = DEFAULT_APPS,
+    weibull: WeibullParams = TITAN_WEIBULL,
+    scale: ExperimentScale = BENCH_SCALE,
+    **kwargs,
+) -> Fig6cResult:
+    """Run P1 against the M2-α family."""
+    models = ["P1"] + [f"M2-{a:g}" for a in alphas]
+    cells = model_comparison(models, list(apps), weibull, scale=scale, **kwargs)
+    reductions: Dict[tuple, float] = {}
+    for app in apps:
+        base = cells[("B", app)]
+        for m in models:
+            reductions[(m, app)] = cells[(m, app)].reduction_vs(base)["total"]
+    return Fig6cResult(
+        apps=tuple(apps),
+        alphas=tuple(alphas),
+        reductions=reductions,
+        cells=cells,
+    )
+
+
+def render(result: Fig6cResult) -> str:
+    """Format the Fig 6c bars as a table (% total reduction vs B)."""
+    headers = ["app", "P1"] + [f"M2-{a:g}" for a in result.alphas] + ["crossover_alpha"]
+    rows = []
+    for app in result.apps:
+        xo = result.crossover_alpha(app)
+        rows.append(
+            [app, result.reductions[("P1", app)]]
+            + [result.reductions[(f"M2-{a:g}", app)] for a in result.alphas]
+            + ["-" if xo is None else f"{xo:g}"]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Fig 6c — LM transfer-size sweep: % total-overhead reduction vs B",
+        floatfmt="{:.1f}",
+    )

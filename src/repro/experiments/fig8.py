@@ -1,0 +1,74 @@
+"""Experiment E11 — Fig 8: LM vs p-ckpt dominance inside the hybrid model.
+
+Within model P2, which proactive mechanism handles more failures?  The
+paper plots the FT-ratio *difference* (LM − p-ckpt, normalized by total
+failures) against lead-time changes from −90% to +90%: positive means LM
+dominates (always true for small applications), negative means p-ckpt has
+taken over (large applications at shrinking lead times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .config import BENCH_SCALE, ExperimentScale
+from .report import format_series
+from .runner import SimulationResult
+from .sweep import lead_time_sweep
+
+__all__ = ["Fig8Result", "run", "render", "DEFAULT_CHANGES"]
+
+DEFAULT_CHANGES: Tuple[float, ...] = (-90, -50, -10, 0, 10, 50, 90)
+
+
+@dataclass
+class Fig8Result:
+    """FT-ratio difference curves per application."""
+
+    apps: Tuple[str, ...]
+    changes: Tuple[float, ...]
+    #: difference[(app, change)] = (lm_mitigated − pckpt_mitigated)/failures, %
+    difference: Dict[tuple, float]
+    cells: Dict[tuple, SimulationResult]
+
+    def series(self, app: str) -> list:
+        """One Fig 8 curve."""
+        return [self.difference[(app, c)] for c in self.changes]
+
+
+def run(
+    apps: Sequence[str] = ("CHIMERA", "XGC", "S3D", "POP"),
+    changes: Sequence[float] = DEFAULT_CHANGES,
+    scale: ExperimentScale = BENCH_SCALE,
+    **kwargs,
+) -> Fig8Result:
+    """Sweep P2 across the extended lead-time range."""
+    difference: Dict[tuple, float] = {}
+    cells: Dict[tuple, SimulationResult] = {}
+    for app in apps:
+        grid = lead_time_sweep(
+            app, ["P2"], changes, scale=scale, include_base=False, **kwargs
+        )
+        for (_, change), res in grid.items():
+            difference[(app, change)] = 100.0 * res.ft.lm_pckpt_ft_difference
+            cells[(app, change)] = res
+    return Fig8Result(
+        apps=tuple(apps),
+        changes=tuple(changes),
+        difference=difference,
+        cells=cells,
+    )
+
+
+def render(result: Fig8Result) -> str:
+    """Format the Fig 8 curves."""
+    return format_series(
+        "lead_change_%",
+        [f"{c:+g}" for c in result.changes],
+        {app: result.series(app) for app in result.apps},
+        title=(
+            "Fig 8 — FT-ratio difference (LM − p-ckpt) in model P2, % of "
+            "failures (positive: LM dominates)"
+        ),
+    )

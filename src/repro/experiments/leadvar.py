@@ -1,0 +1,86 @@
+"""Experiments E4/E10 — Figs 4 and 7: lead-time variability impact.
+
+Shared driver: for one application, sweep the prediction lead-time change
+and report each model's percent overhead reduction (checkpoint /
+recomputation / recovery) relative to the base model at the same change —
+exactly the y-axis of Figs 4 and 7.  Fig 4 calls it with models (M1, M2);
+Fig 7 with (P1, P2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .config import BENCH_SCALE, ExperimentScale
+from .report import format_table
+from .runner import SimulationResult
+from .sweep import lead_time_sweep
+
+__all__ = ["LeadVarResult", "run", "render", "DEFAULT_CHANGES"]
+
+DEFAULT_CHANGES: Tuple[float, ...] = (50, 10, 0, -10, -50)
+
+_CATEGORIES = ("checkpoint", "recomputation", "recovery", "total")
+
+
+@dataclass
+class LeadVarResult:
+    """Reductions per (model, change, category), plus raw cells."""
+
+    app_name: str
+    models: Tuple[str, ...]
+    changes: Tuple[float, ...]
+    #: reductions[(model, change)] = {category: percent}
+    reductions: Dict[tuple, Dict[str, float]]
+    cells: Dict[tuple, SimulationResult]
+
+    def series(self, model: str, category: str) -> list:
+        """One curve of a Fig 4/7 panel."""
+        return [self.reductions[(model, c)][category] for c in self.changes]
+
+
+def run(
+    app_name: str,
+    models: Sequence[str] = ("M1", "M2"),
+    changes: Sequence[float] = DEFAULT_CHANGES,
+    scale: ExperimentScale = BENCH_SCALE,
+    **kwargs,
+) -> LeadVarResult:
+    """Sweep lead-time variability for *app_name* and the given models."""
+    cells = lead_time_sweep(app_name, list(models), changes, scale=scale, **kwargs)
+    reductions: Dict[tuple, Dict[str, float]] = {}
+    for change in changes:
+        base = cells[("B", change)]
+        for model in models:
+            reductions[(model, change)] = cells[(model, change)].reduction_vs(base)
+    return LeadVarResult(
+        app_name=app_name,
+        models=tuple(models),
+        changes=tuple(changes),
+        reductions=reductions,
+        cells=cells,
+    )
+
+
+def render(result: LeadVarResult) -> str:
+    """Format the per-change reduction table (one Fig 4/7 panel)."""
+    headers = ["lead_change_%"] + [
+        f"{m}:{cat[:6]}" for m in result.models for cat in _CATEGORIES
+    ]
+    rows = []
+    for change in result.changes:
+        row: list = [f"{change:+g}%"]
+        for m in result.models:
+            red = result.reductions[(m, change)]
+            row.extend(red[cat] for cat in _CATEGORIES)
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Lead-time variability impact for {result.app_name} "
+            f"(% overhead reduction vs base model B; higher is better)"
+        ),
+        floatfmt="{:.1f}",
+    )

@@ -1,0 +1,96 @@
+"""Experiment E13 — Observation 9: sensitivity to false negatives.
+
+Hold the false-positive rate at 18% and sweep the false-negative rate up
+to 40%.  Every model's overhead reduction declines, but the LM-assisted
+models (M2/P2) lose *recomputation* reductions faster than M1/P1 — their
+σ-based OCI keeps assuming the nominal 85% recall, so the checkpoint
+interval stays too long for the failures they can actually catch.
+
+The driver can also run the paper's proposed fix (``P2-fn``, whose σ uses
+the actual recall) as an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .config import BENCH_SCALE, ExperimentScale
+from .report import format_table
+from .runner import SimulationResult
+from .sweep import false_negative_sweep
+
+__all__ = ["Obs9Result", "run", "render", "DEFAULT_FN_RATES"]
+
+DEFAULT_FN_RATES: Tuple[float, ...] = (0.15, 0.25, 0.40)
+
+
+@dataclass
+class Obs9Result:
+    """Reductions per (model, FN rate)."""
+
+    app_name: str
+    models: Tuple[str, ...]
+    fn_rates: Tuple[float, ...]
+    #: reductions[(model, fn)] = {category: percent vs B at same fn}
+    reductions: Dict[tuple, Dict[str, float]]
+    cells: Dict[tuple, SimulationResult]
+
+    def decline(self, model: str, category: str = "recomputation") -> float:
+        """Reduction lost between the lowest and highest FN rate (points)."""
+        lo, hi = self.fn_rates[0], self.fn_rates[-1]
+        return (
+            self.reductions[(model, lo)][category]
+            - self.reductions[(model, hi)][category]
+        )
+
+
+def run(
+    app_name: str = "XGC",
+    models: Sequence[str] = ("M1", "M2", "P1", "P2"),
+    fn_rates: Sequence[float] = DEFAULT_FN_RATES,
+    scale: ExperimentScale = BENCH_SCALE,
+    **kwargs,
+) -> Obs9Result:
+    """Sweep the FN rate for *app_name*."""
+    cells = false_negative_sweep(app_name, list(models), fn_rates, scale=scale, **kwargs)
+    reductions: Dict[tuple, Dict[str, float]] = {}
+    for fn in fn_rates:
+        base = cells[("B", fn)]
+        for model in models:
+            name = model if isinstance(model, str) else model.name
+            reductions[(name, fn)] = cells[(name, fn)].reduction_vs(base)
+    return Obs9Result(
+        app_name=app_name,
+        models=tuple(m if isinstance(m, str) else m.name for m in models),
+        fn_rates=tuple(fn_rates),
+        reductions=reductions,
+        cells=cells,
+    )
+
+
+def render(result: Obs9Result) -> str:
+    """Format reductions vs FN rate."""
+    headers = ["fn_rate"] + [
+        f"{m}:{cat}" for m in result.models for cat in ("total", "recomputation")
+    ]
+    rows = []
+    for fn in result.fn_rates:
+        row: list = [f"{fn:.0%}"]
+        for m in result.models:
+            red = result.reductions[(m, fn)]
+            row.extend((red["total"], red["recomputation"]))
+        rows.append(row)
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Observation 9 — overhead reductions vs false-negative rate "
+            f"({result.app_name}, FP fixed at 18%)"
+        ),
+        floatfmt="{:.1f}",
+    )
+    declines = ", ".join(
+        f"{m}: -{result.decline(m):.0f}pts" for m in result.models
+    )
+    return table + f"\n=> recomputation-reduction decline (15%->40% FN): {declines}"

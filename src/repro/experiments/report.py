@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Every experiment driver renders through these helpers so benchmark output
+visually matches the paper's tables/figures: same rows, same columns, same
+units.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats go through *floatfmt*; everything else through ``str``.
+    """
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows: List[List[str]] = [[cell(v) for v in row] for row in rows]
+    cols = [list(col) for col in zip(*([list(headers)] + str_rows))] if str_rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(v) for v in col) for col in cols]
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render named series against a shared x-axis (a figure-as-text)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [s[i] for s in series.values()]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, floatfmt=floatfmt)
+
+
+def format_kv(pairs: dict[str, object], title: str | None = None) -> str:
+    """Render key/value facts, one per line."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        lines.append(f"{k.ljust(width)} : {v}")
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Monte-Carlo experiment runner.
+
+One replication = one :class:`~repro.models.base.CRSimulation` run with a
+dedicated child seed.  Replications are embarrassingly parallel; the
+runner vectorizes the outer loop across processes (HPC-parallel idiom:
+keep the inner simulation single-threaded and simple, parallelize the
+replication loop) while staying exactly reproducible — child seeds come
+from ``SeedSequence.spawn``, so the result is independent of worker count
+and scheduling order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..analysis.metrics import FTStats, OverheadBreakdown, percent_reduction
+from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
+from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
+from ..failures.weibull import TITAN_WEIBULL, WeibullParams
+from ..models.base import CRSimulation, ModelConfig, RunOutput
+from ..models.registry import get_model
+from ..platform.system import SUMMIT, PlatformSpec
+from ..workloads.applications import ApplicationSpec
+
+__all__ = ["SimulationResult", "simulate_application", "run_replications"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one (application, model) cell.
+
+    Attributes
+    ----------
+    app_name / model_name:
+        What was simulated.
+    replications:
+        Number of Monte-Carlo runs aggregated.
+    overhead:
+        Mean per-run overhead breakdown (seconds).
+    overhead_std:
+        Standard deviation of per-run *total* overhead (seconds).
+    makespan_seconds:
+        Mean wall time to completion.
+    ft:
+        Event counts summed over all replications (ratios are computed on
+        the pooled counts — the paper's "averaged over 1000 runs").
+    oci_initial / oci_final:
+        Mean first/last checkpoint interval (seconds).
+    """
+
+    app_name: str
+    model_name: str
+    replications: int
+    overhead: OverheadBreakdown
+    overhead_std: float
+    makespan_seconds: float
+    ft: FTStats
+    oci_initial: float
+    oci_final: float
+
+    @property
+    def total_overhead_hours(self) -> float:
+        """Mean total overhead in hours (Fig 6 bar annotations)."""
+        return self.overhead.total / SECONDS_PER_HOUR
+
+    @property
+    def overhead_percent_of_base(self) -> None:
+        """Placeholder: use :func:`percent_reduction` against a base run."""
+        return None
+
+    @property
+    def ft_ratio(self) -> float:
+        """Pooled FT ratio across replications."""
+        return self.ft.ft_ratio
+
+    def reduction_vs(self, base: "SimulationResult") -> Dict[str, float]:
+        """Percent overhead reductions relative to a base-model result.
+
+        Returns the paper's three categories plus the total.
+        """
+        return {
+            "checkpoint": percent_reduction(
+                base.overhead.checkpoint_reported, self.overhead.checkpoint_reported
+            ),
+            "recomputation": percent_reduction(
+                base.overhead.recomputation, self.overhead.recomputation
+            ),
+            "recovery": percent_reduction(
+                base.overhead.recovery, self.overhead.recovery
+            ),
+            "total": percent_reduction(base.overhead.total, self.overhead.total),
+        }
+
+
+def _run_once(
+    app: ApplicationSpec,
+    config: ModelConfig,
+    platform: PlatformSpec,
+    weibull: WeibullParams,
+    lead_model: LeadTimeModel,
+    predictor: PredictorSpec,
+    seed_seq,
+) -> RunOutput:
+    """Worker: one replication (top-level for pickling)."""
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        seed_seq = np.random.SeedSequence(seed_seq)
+    rng = np.random.default_rng(seed_seq)
+    sim = CRSimulation(
+        app,
+        config,
+        platform=platform,
+        weibull=weibull,
+        lead_model=lead_model,
+        predictor=predictor,
+        rng=rng,
+    )
+    return sim.run()
+
+
+def _aggregate(
+    app: ApplicationSpec, config: ModelConfig, outputs: Sequence[RunOutput]
+) -> SimulationResult:
+    n = len(outputs)
+    mean_overhead = OverheadBreakdown()
+    ft = FTStats()
+    totals = np.array([o.overhead.total for o in outputs])
+    for out in outputs:
+        mean_overhead = mean_overhead + out.overhead
+        ft = ft + out.ft
+    mean_overhead = mean_overhead.scaled(1.0 / n)
+    return SimulationResult(
+        app_name=app.name,
+        model_name=config.name,
+        replications=n,
+        overhead=mean_overhead,
+        overhead_std=float(totals.std()),
+        makespan_seconds=float(np.mean([o.makespan for o in outputs])),
+        ft=ft,
+        oci_initial=float(np.mean([o.oci_initial for o in outputs])),
+        oci_final=float(np.mean([o.oci_final for o in outputs])),
+    )
+
+
+def _resolve_model(model: Union[str, ModelConfig]) -> ModelConfig:
+    return get_model(model) if isinstance(model, str) else model
+
+
+def simulate_application(
+    app: ApplicationSpec,
+    model: Union[str, ModelConfig],
+    platform: PlatformSpec = SUMMIT,
+    weibull: WeibullParams = TITAN_WEIBULL,
+    lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+    predictor: PredictorSpec = DEFAULT_PREDICTOR,
+    seed: int = 0,
+) -> SimulationResult:
+    """Run a single replication of one application under one model.
+
+    Convenience entry point for examples and quick looks; experiments use
+    :func:`run_replications`.
+    """
+    config = _resolve_model(model)
+    out = _run_once(app, config, platform, weibull, lead_model, predictor, seed)
+    return _aggregate(app, config, [out])
+
+
+def run_replications(
+    app: ApplicationSpec,
+    model: Union[str, ModelConfig],
+    replications: int = 100,
+    platform: PlatformSpec = SUMMIT,
+    weibull: WeibullParams = TITAN_WEIBULL,
+    lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+    predictor: PredictorSpec = DEFAULT_PREDICTOR,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> SimulationResult:
+    """Monte-Carlo estimate for one (application, model) cell.
+
+    Parameters
+    ----------
+    replications:
+        Number of runs (the paper uses 1000; benchmarks use fewer).
+    seed:
+        Root seed; children are spawned deterministically per replication.
+    workers:
+        Process count; ``None`` chooses serial below a size threshold and
+        ``os.cpu_count()`` above it; 1 forces serial.
+    """
+    if replications < 1:
+        raise ValueError("replications must be >= 1")
+    config = _resolve_model(model)
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(replications)
+
+    if workers is None:
+        workers = 1 if replications < 8 else min(os.cpu_count() or 1, replications)
+
+    if workers <= 1:
+        outputs = [
+            _run_once(app, config, platform, weibull, lead_model, predictor, c)
+            for c in children
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_once,
+                    app,
+                    config,
+                    platform,
+                    weibull,
+                    lead_model,
+                    predictor,
+                    c,
+                )
+                for c in children
+            ]
+            outputs = [f.result() for f in futures]
+    return _aggregate(app, config, outputs)

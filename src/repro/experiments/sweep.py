@@ -1,0 +1,148 @@
+"""Shared sweep engines used by the per-figure experiment drivers.
+
+Three reusable grids cover the paper's evaluation:
+
+* :func:`model_comparison` — (model × application) cells against one
+  failure distribution, with overhead reductions relative to model B
+  (Figs 6a/6b, System-8 text, Fig 6c's M2-α variants);
+* :func:`lead_time_sweep` — (model × lead-time-change) cells for one
+  application (Figs 4 and 7, Tables II and IV, Fig 8);
+* :func:`false_negative_sweep` — (model × FN-rate) cells (Observation 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
+from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
+from ..failures.weibull import TITAN_WEIBULL, WeibullParams
+from ..models.base import ModelConfig
+from ..platform.system import SUMMIT, PlatformSpec
+from ..workloads.applications import APPLICATIONS, ApplicationSpec
+from .config import BENCH_SCALE, ExperimentScale
+from .runner import SimulationResult, run_replications
+
+__all__ = [
+    "CellKey",
+    "model_comparison",
+    "lead_time_sweep",
+    "false_negative_sweep",
+]
+
+#: Grid cells are keyed "(model, column)" where column is an app name, a
+#: lead-time change, or a FN rate depending on the sweep.
+CellKey = tuple
+
+
+def _run_cell(
+    app: ApplicationSpec,
+    model: Union[str, ModelConfig],
+    scale: ExperimentScale,
+    platform: PlatformSpec,
+    weibull: WeibullParams,
+    lead_model: LeadTimeModel,
+    predictor: PredictorSpec,
+) -> SimulationResult:
+    return run_replications(
+        app,
+        model,
+        replications=scale.replications,
+        platform=platform,
+        weibull=weibull,
+        lead_model=lead_model,
+        predictor=predictor,
+        seed=scale.seed,
+        workers=scale.workers,
+    )
+
+
+def model_comparison(
+    models: Sequence[Union[str, ModelConfig]],
+    apps: Sequence[str] | None = None,
+    weibull: WeibullParams = TITAN_WEIBULL,
+    scale: ExperimentScale = BENCH_SCALE,
+    platform: PlatformSpec = SUMMIT,
+    lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+    predictor: PredictorSpec = DEFAULT_PREDICTOR,
+    include_base: bool = True,
+) -> Dict[CellKey, SimulationResult]:
+    """Run every model on every application under one failure distribution.
+
+    Returns ``{(model_name, app_name): SimulationResult}``.  Model "B" is
+    always included (prepended if missing) so reductions can be computed.
+    """
+    names = [m if isinstance(m, str) else m.name for m in models]
+    work: List[Union[str, ModelConfig]] = list(models)
+    if include_base and "B" not in names:
+        work.insert(0, "B")
+    if apps is None:
+        apps = list(APPLICATIONS)
+    out: Dict[CellKey, SimulationResult] = {}
+    for app_name in apps:
+        app = APPLICATIONS[app_name]
+        for model in work:
+            res = _run_cell(app, model, scale, platform, weibull, lead_model, predictor)
+            out[(res.model_name, app_name)] = res
+    return out
+
+
+def lead_time_sweep(
+    app_name: str,
+    models: Sequence[Union[str, ModelConfig]],
+    changes_percent: Sequence[float] = (50, 10, 0, -10, -50),
+    weibull: WeibullParams = TITAN_WEIBULL,
+    scale: ExperimentScale = BENCH_SCALE,
+    platform: PlatformSpec = SUMMIT,
+    lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+    predictor: PredictorSpec = DEFAULT_PREDICTOR,
+    include_base: bool = True,
+) -> Dict[CellKey, SimulationResult]:
+    """Sweep prediction lead-time variability for one application.
+
+    Returns ``{(model_name, change_percent): SimulationResult}``; the base
+    model (unaffected by lead times) is run once per change for exact
+    common-random-number pairing.
+    """
+    app = APPLICATIONS[app_name]
+    names = [m if isinstance(m, str) else m.name for m in models]
+    work: List[Union[str, ModelConfig]] = list(models)
+    if include_base and "B" not in names:
+        work.insert(0, "B")
+    out: Dict[CellKey, SimulationResult] = {}
+    for change in changes_percent:
+        pred = predictor.with_lead_change(change)
+        for model in work:
+            res = _run_cell(app, model, scale, platform, weibull, lead_model, pred)
+            out[(res.model_name, change)] = res
+    return out
+
+
+def false_negative_sweep(
+    app_name: str,
+    models: Sequence[Union[str, ModelConfig]],
+    fn_rates: Sequence[float] = (0.15, 0.25, 0.40),
+    weibull: WeibullParams = TITAN_WEIBULL,
+    scale: ExperimentScale = BENCH_SCALE,
+    platform: PlatformSpec = SUMMIT,
+    lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+    predictor: PredictorSpec = DEFAULT_PREDICTOR,
+    include_base: bool = True,
+) -> Dict[CellKey, SimulationResult]:
+    """Sweep the false-negative rate at fixed FP=18% (Observation 9).
+
+    Returns ``{(model_name, fn_rate): SimulationResult}``.
+    """
+    app = APPLICATIONS[app_name]
+    names = [m if isinstance(m, str) else m.name for m in models]
+    work: List[Union[str, ModelConfig]] = list(models)
+    if include_base and "B" not in names:
+        work.insert(0, "B")
+    out: Dict[CellKey, SimulationResult] = {}
+    for fn in fn_rates:
+        pred = predictor.with_false_negative_rate(fn)
+        for model in work:
+            res = _run_cell(app, model, scale, platform, weibull, lead_model, pred)
+            out[(res.model_name, fn)] = res
+    return out

@@ -1,0 +1,64 @@
+"""Failure modeling: Weibull arrivals, Desh-style lead times, prediction.
+
+* :mod:`~repro.failures.weibull` — Table III inter-arrival distributions
+  and their scaling to application node counts;
+* :mod:`~repro.failures.leadtime` — the ten-sequence lead-time mixture
+  calibrated to Fig 2a / Tables II & IV;
+* :mod:`~repro.failures.chains` — the full Desh pipeline on synthetic
+  logs (synthesize → mine → refit);
+* :mod:`~repro.failures.predictor` — recall / false-positive / lead-scale
+  statistics of the Aarohi-like online predictor;
+* :mod:`~repro.failures.injector` — the lazy seeded event stream the C/R
+  simulation consumes.
+"""
+
+from .chains import (
+    LogRecord,
+    MinedChain,
+    chain_phrases,
+    fit_lead_time_model,
+    mine_chains,
+    synthesize_log,
+)
+from .injector import FailureEvent, FailureInjector, FalseAlarmEvent
+from .leadtime import (
+    PAPER_LEAD_TIME_MODEL,
+    PAPER_SEQUENCES,
+    FailureSequenceSpec,
+    LeadTimeModel,
+    UniformLeadTimeModel,
+)
+from .predictor import DEFAULT_PREDICTOR, PredictorSpec
+from .weibull import (
+    FAILURE_DISTRIBUTIONS,
+    LANL_SYSTEM8_WEIBULL,
+    LANL_SYSTEM18_WEIBULL,
+    SECONDS_PER_HOUR,
+    TITAN_WEIBULL,
+    WeibullParams,
+)
+
+__all__ = [
+    "WeibullParams",
+    "TITAN_WEIBULL",
+    "LANL_SYSTEM8_WEIBULL",
+    "LANL_SYSTEM18_WEIBULL",
+    "FAILURE_DISTRIBUTIONS",
+    "SECONDS_PER_HOUR",
+    "FailureSequenceSpec",
+    "LeadTimeModel",
+    "PAPER_SEQUENCES",
+    "PAPER_LEAD_TIME_MODEL",
+    "UniformLeadTimeModel",
+    "PredictorSpec",
+    "DEFAULT_PREDICTOR",
+    "FailureEvent",
+    "FalseAlarmEvent",
+    "FailureInjector",
+    "LogRecord",
+    "MinedChain",
+    "chain_phrases",
+    "synthesize_log",
+    "mine_chains",
+    "fit_lead_time_model",
+]

@@ -1,0 +1,177 @@
+"""Failure/prediction event generation for the C/R simulation.
+
+Produces a lazy, seeded stream of three event kinds:
+
+* :class:`FailureEvent` — a real node failure (Weibull renewal arrivals,
+  uniform node selection), optionally carrying a prediction whose lead
+  time comes from the Desh-style :class:`~repro.failures.leadtime.LeadTimeModel`;
+* the implied *prediction notification* ``lead`` seconds earlier;
+* :class:`FalseAlarmEvent` — predictions with no subsequent failure
+  (Poisson arrivals at the rate implied by the predictor's FP fraction).
+
+The stream is lazy because the simulation clock stretches as overheads
+accrue — we cannot pre-generate a fixed horizon of failures without either
+wasting samples or running out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .leadtime import LeadTimeModel, PAPER_LEAD_TIME_MODEL
+from .predictor import DEFAULT_PREDICTOR, PredictorSpec
+from .weibull import SECONDS_PER_HOUR, WeibullParams
+
+__all__ = ["FailureEvent", "FalseAlarmEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One real failure hitting the application.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time of the failure (seconds).
+    node:
+        Index of the failing node within the application (0..c−1).
+    sequence_id:
+        Failure chain that produced it (None if unpredicted — the chain
+        was not recognized, so no lead time is observable).
+    predicted:
+        Whether the predictor caught it.
+    lead:
+        Effective (scaled) lead time; 0 when unpredicted.
+    """
+
+    time: float
+    node: int
+    sequence_id: Optional[int]
+    predicted: bool
+    lead: float
+
+    @property
+    def prediction_time(self) -> float:
+        """When the prediction notification fires (= time − lead)."""
+        return self.time - self.lead
+
+
+@dataclass(frozen=True)
+class FalseAlarmEvent:
+    """A prediction that no failure follows.
+
+    Attributes
+    ----------
+    prediction_time:
+        When the (false) prediction notification fires.
+    node:
+        Node it implicates.
+    claimed_lead:
+        Lead time the predictor claims; drives the proactive-action choice
+        just like a true prediction's lead.
+    """
+
+    prediction_time: float
+    node: int
+    claimed_lead: float
+
+
+class FailureInjector:
+    """Seeded lazy generator of failures and false alarms for one job.
+
+    Parameters
+    ----------
+    weibull:
+        System-level Weibull parameters (Table III); scaled internally to
+        the application's node count.
+    app_nodes:
+        Number of nodes the application occupies.
+    lead_model:
+        Lead-time mixture used for both true predictions and false alarms.
+    predictor:
+        Predictor statistics (recall, FP rate, lead scaling).
+    rng:
+        Dedicated generator; the injector owns its stream.
+    """
+
+    def __init__(
+        self,
+        weibull: WeibullParams,
+        app_nodes: int,
+        lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+        predictor: PredictorSpec = DEFAULT_PREDICTOR,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if app_nodes < 1:
+            raise ValueError("app_nodes must be >= 1")
+        self.weibull_app = weibull.scaled_to(app_nodes)
+        self.app_nodes = int(app_nodes)
+        self.lead_model = lead_model
+        self.predictor = predictor
+        base = rng if rng is not None else np.random.default_rng()
+        # Independent child streams so failure arrival times are common
+        # random numbers across C/R models: whether a model consumes
+        # prediction or false-alarm draws cannot perturb the failures.
+        self._rng_failures, self._rng_predict, self._rng_alarms = base.spawn(3)
+        self._last_failure_time = 0.0
+        self._last_alarm_time = 0.0
+
+    # -- rates -----------------------------------------------------------
+    @property
+    def app_failure_rate(self) -> float:
+        """Mean failures per second for this job."""
+        return 1.0 / (self.weibull_app.mtbf_hours * SECONDS_PER_HOUR)
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms per second implied by the predictor's FP fraction."""
+        return self.predictor.false_alarm_rate(
+            self.predictor.recall * self.app_failure_rate
+        )
+
+    # -- event streams -------------------------------------------------------
+    def next_failure(self) -> FailureEvent:
+        """Sample the next failure after the previous one (renewal)."""
+        gap = self.weibull_app.sample_interarrival_seconds(self._rng_failures)
+        t = self._last_failure_time + gap
+        self._last_failure_time = t
+        node = int(self._rng_failures.integers(0, self.app_nodes))
+        if self.predictor.predicts(self._rng_predict):
+            seq_id, raw_lead = self.lead_model.sample(self._rng_predict)
+            lead = self.predictor.effective_lead(raw_lead)
+            # The prediction cannot precede the previous failure's time
+            # (the chain starts after the machine is back in service).
+            lead = min(lead, gap)
+            return FailureEvent(t, node, seq_id, True, lead)
+        return FailureEvent(t, node, None, False, 0.0)
+
+    def next_false_alarm(self) -> Optional[FalseAlarmEvent]:
+        """Sample the next false alarm, or None if FP rate is zero."""
+        rate = self.false_alarm_rate
+        if rate <= 0.0:
+            return None
+        gap = float(self._rng_alarms.exponential(1.0 / rate))
+        t = self._last_alarm_time + gap
+        self._last_alarm_time = t
+        node = int(self._rng_alarms.integers(0, self.app_nodes))
+        _, raw_lead = self.lead_model.sample(self._rng_alarms)
+        return FalseAlarmEvent(t, node, self.predictor.effective_lead(raw_lead))
+
+    # -- analysis shortcuts -----------------------------------------------------
+    def predictable_fraction(self, threshold_lead: float) -> float:
+        """σ-style estimate: P(failure predicted AND scaled lead ≥ θ).
+
+        This is what the C/R models' "failure analysis model" computes to
+        plug into Eq. (2).
+        """
+        if threshold_lead < 0:
+            raise ValueError("threshold_lead must be non-negative")
+        if threshold_lead == 0.0:
+            return self.predictor.recall
+        return float(
+            self.predictor.recall
+            * self.lead_model.survival(threshold_lead / self.predictor.lead_scale)
+        )

@@ -1,0 +1,65 @@
+"""Summit-like GPFS I/O performance model (paper Sec. IV, Fig 2b/2c).
+
+Layers:
+
+* :mod:`~repro.iomodel.bandwidth` — analytic laws: single-node task/size
+  efficiency and application-realized aggregate saturation;
+* :mod:`~repro.iomodel.calibration` — synthetic re-runs of the paper's two
+  characterization experiments (10 noisy runs, averaged);
+* :mod:`~repro.iomodel.matrix` — the :class:`PFSModel` backends the C/R
+  simulation queries for write/read times.
+"""
+
+from .bandwidth import (
+    AGGREGATE_SATURATION_BW,
+    GiB,
+    KiB,
+    LATENCY_EQUIV_BYTES,
+    MAX_TASKS_PER_NODE,
+    MiB,
+    OPTIMAL_TASKS_PER_NODE,
+    SINGLE_NODE_PEAK_BW,
+    TiB,
+    aggregate_bandwidth,
+    single_node_bandwidth,
+    size_efficiency,
+    task_efficiency,
+)
+from .calibration import (
+    DEFAULT_NODE_COUNTS,
+    DEFAULT_TASK_COUNTS,
+    DEFAULT_TRANSFER_SIZES,
+    SingleNodeSweep,
+    WeakScalingSweep,
+    run_single_node_sweep,
+    run_weak_scaling_sweep,
+)
+from .congestion import CongestedPFSModel
+from .matrix import AnalyticPFSModel, MatrixPFSModel, PFSModel
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "SINGLE_NODE_PEAK_BW",
+    "OPTIMAL_TASKS_PER_NODE",
+    "MAX_TASKS_PER_NODE",
+    "LATENCY_EQUIV_BYTES",
+    "AGGREGATE_SATURATION_BW",
+    "task_efficiency",
+    "size_efficiency",
+    "single_node_bandwidth",
+    "aggregate_bandwidth",
+    "DEFAULT_TASK_COUNTS",
+    "DEFAULT_TRANSFER_SIZES",
+    "DEFAULT_NODE_COUNTS",
+    "SingleNodeSweep",
+    "WeakScalingSweep",
+    "run_single_node_sweep",
+    "run_weak_scaling_sweep",
+    "PFSModel",
+    "AnalyticPFSModel",
+    "MatrixPFSModel",
+    "CongestedPFSModel",
+]

@@ -1,0 +1,187 @@
+"""Synthetic re-runs of the paper's two I/O characterization experiments.
+
+The paper measured GPFS on Summit directly; we do not have Summit, so these
+functions *simulate the measurement campaign* on top of the analytic
+bandwidth laws in :mod:`repro.iomodel.bandwidth`, including run-to-run
+measurement noise and the 10-run averaging the paper used.  The output
+tables have the same axes as Fig 2b and Fig 2c and feed
+:class:`repro.iomodel.matrix.IOPerformanceMatrix`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .bandwidth import (
+    GiB,
+    MiB,
+    MAX_TASKS_PER_NODE,
+    aggregate_bandwidth,
+    single_node_bandwidth,
+)
+
+__all__ = [
+    "DEFAULT_TASK_COUNTS",
+    "DEFAULT_TRANSFER_SIZES",
+    "DEFAULT_NODE_COUNTS",
+    "SingleNodeSweep",
+    "WeakScalingSweep",
+    "run_single_node_sweep",
+    "run_weak_scaling_sweep",
+]
+
+#: Writer-task counts swept in the single-node experiment (Fig 2b).
+DEFAULT_TASK_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32, 42)
+
+#: Per-node transfer sizes swept in both experiments (bytes).
+DEFAULT_TRANSFER_SIZES: Tuple[float, ...] = tuple(
+    float(s)
+    for s in (
+        1 * MiB,
+        4 * MiB,
+        16 * MiB,
+        64 * MiB,
+        256 * MiB,
+        1 * GiB,
+        4 * GiB,
+        16 * GiB,
+        64 * GiB,
+        256 * GiB,
+    )
+)
+
+#: Node counts swept in the weak-scaling experiment (Fig 2c).
+DEFAULT_NODE_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+#: Multiplicative lognormal measurement noise (sigma of log-bandwidth);
+#: roughly the 5–10% run-to-run variability typical of production PFS.
+_NOISE_SIGMA: float = 0.07
+
+
+@dataclass(frozen=True)
+class SingleNodeSweep:
+    """Result of the single-node task-count × transfer-size sweep (Fig 2b).
+
+    Attributes
+    ----------
+    task_counts:
+        Writer tasks per node, one per row.
+    transfer_sizes:
+        Aggregate per-node transfer sizes (bytes), one per column.
+    bandwidth:
+        Mean measured bandwidth (bytes/s), shape (tasks, sizes).
+    bandwidth_std:
+        Run-to-run standard deviation, same shape.
+    nruns:
+        Number of repetitions averaged per cell.
+    """
+
+    task_counts: Tuple[int, ...]
+    transfer_sizes: Tuple[float, ...]
+    bandwidth: np.ndarray
+    bandwidth_std: np.ndarray
+    nruns: int
+
+    def optimal_task_count(self) -> int:
+        """Task count maximizing bandwidth at the largest transfer size.
+
+        The paper's conclusion from this experiment is "use 8 MPI tasks".
+        """
+        return int(self.task_counts[int(np.argmax(self.bandwidth[:, -1]))])
+
+
+@dataclass(frozen=True)
+class WeakScalingSweep:
+    """Result of the weak-scaling node-count × transfer-size sweep (Fig 2c).
+
+    Attributes
+    ----------
+    node_counts:
+        Nodes writing concurrently, one per row.
+    transfer_sizes:
+        Per-node transfer sizes (bytes), one per column.
+    bandwidth:
+        Mean measured aggregate bandwidth (bytes/s), shape (nodes, sizes).
+    bandwidth_std:
+        Run-to-run standard deviation, same shape.
+    nruns:
+        Number of repetitions averaged per cell.
+    """
+
+    node_counts: Tuple[int, ...]
+    transfer_sizes: Tuple[float, ...]
+    bandwidth: np.ndarray
+    bandwidth_std: np.ndarray
+    nruns: int
+
+
+def _measure(true_bw: np.ndarray, rng: np.random.Generator, nruns: int
+             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Simulate *nruns* noisy measurements of each true bandwidth value."""
+    noise = rng.lognormal(mean=0.0, sigma=_NOISE_SIGMA, size=(nruns,) + true_bw.shape)
+    samples = true_bw[None, ...] * noise
+    return samples.mean(axis=0), samples.std(axis=0)
+
+
+def run_single_node_sweep(
+    rng: np.random.Generator | None = None,
+    task_counts: Sequence[int] = DEFAULT_TASK_COUNTS,
+    transfer_sizes: Sequence[float] = DEFAULT_TRANSFER_SIZES,
+    nruns: int = 10,
+) -> SingleNodeSweep:
+    """Re-run the Fig 2b experiment synthetically.
+
+    Parameters
+    ----------
+    rng:
+        Source of measurement noise; ``None`` disables noise entirely
+        (returns the analytic truth, std 0).
+    task_counts, transfer_sizes:
+        Sweep axes.
+    nruns:
+        Repetitions per cell (the paper used 10).
+    """
+    tasks = np.asarray(task_counts, dtype=int)
+    sizes = np.asarray(transfer_sizes, dtype=float)
+    if np.any(tasks < 1) or np.any(tasks > MAX_TASKS_PER_NODE):
+        raise ValueError(f"task counts must lie in [1, {MAX_TASKS_PER_NODE}]")
+    true_bw = single_node_bandwidth(sizes[None, :], tasks[:, None])
+    if rng is None:
+        mean, std = true_bw, np.zeros_like(true_bw)
+    else:
+        mean, std = _measure(true_bw, rng, nruns)
+    return SingleNodeSweep(
+        task_counts=tuple(int(t) for t in tasks),
+        transfer_sizes=tuple(float(s) for s in sizes),
+        bandwidth=mean,
+        bandwidth_std=std,
+        nruns=nruns,
+    )
+
+
+def run_weak_scaling_sweep(
+    rng: np.random.Generator | None = None,
+    node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+    transfer_sizes: Sequence[float] = DEFAULT_TRANSFER_SIZES,
+    nruns: int = 10,
+) -> WeakScalingSweep:
+    """Re-run the Fig 2c experiment synthetically (8 writer tasks/node)."""
+    nodes = np.asarray(node_counts, dtype=int)
+    sizes = np.asarray(transfer_sizes, dtype=float)
+    if np.any(nodes < 1):
+        raise ValueError("node counts must be >= 1")
+    true_bw = aggregate_bandwidth(nodes[:, None], sizes[None, :])
+    if rng is None:
+        mean, std = true_bw, np.zeros_like(true_bw)
+    else:
+        mean, std = _measure(true_bw, rng, nruns)
+    return WeakScalingSweep(
+        node_counts=tuple(int(n) for n in nodes),
+        transfer_sizes=tuple(float(s) for s in sizes),
+        bandwidth=mean,
+        bandwidth_std=std,
+        nruns=nruns,
+    )

@@ -1,0 +1,27 @@
+"""C/R models: the simulation engine and the B/M1/M2/P1/P2 zoo."""
+
+from .base import CRSimulation, ModelConfig, RunOutput
+from .registry import (
+    MODEL_B,
+    MODEL_M1,
+    MODEL_M2,
+    MODEL_P1,
+    MODEL_P2,
+    PAPER_MODELS,
+    get_model,
+    lm_variant,
+)
+
+__all__ = [
+    "CRSimulation",
+    "ModelConfig",
+    "RunOutput",
+    "MODEL_B",
+    "MODEL_M1",
+    "MODEL_M2",
+    "MODEL_P1",
+    "MODEL_P2",
+    "PAPER_MODELS",
+    "get_model",
+    "lm_variant",
+]

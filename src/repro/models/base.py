@@ -1,0 +1,881 @@
+"""The C/R simulation engine shared by all five models (Secs. III, V–VII).
+
+One :class:`CRSimulation` runs one application to completion under one C/R
+model.  Faithful to the paper's framework: the application is a single DES
+process alternating computation and periodic BB checkpoints at the
+(dynamically recomputed) OCI, while the failure-generation component
+injects predictions, failures, and false alarms.  Model behaviour is
+declarative — a :class:`ModelConfig` enumerates which proactive mechanisms
+exist and which OCI formula applies; all mechanisms (safeguard, LM,
+p-ckpt, hybrid arbitration with LM abort) are implemented here once.
+
+Accounting identity (asserted by the integration tests)::
+
+    makespan = useful_compute
+             + checkpoint + recomputation + recovery + migration
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Union
+
+import numpy as np
+
+from ..analysis.metrics import FTStats, OverheadBreakdown
+from ..core.coordinator import ProactiveAction, ProactiveCoordinator
+from ..core.pckpt import PckptProtocol, ProtocolAborted, entry_from_prediction
+from ..core.priority import VulnerableEntry
+from ..core.statemachine import transition
+from ..platform.node import NodeHealth, NodeState
+from ..cr.checkpoint import SnapshotLedger
+from ..cr.drain import DrainManager
+from ..cr.migration import LiveMigration, MigrationOutcome
+from ..cr.oci import OCIController
+from ..cr.recovery import plan_recovery
+from ..cr.safeguard import SafeguardAborted, SafeguardCheckpoint
+from ..des import Environment, Interrupt, Trace
+from ..failures.injector import FailureEvent, FailureInjector, FalseAlarmEvent
+from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
+from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
+from ..failures.weibull import WeibullParams
+from ..platform.system import SUMMIT, PlatformSpec
+from ..workloads.applications import ApplicationSpec
+
+__all__ = ["ModelConfig", "RunOutput", "CRSimulation"]
+
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Declarative description of one C/R model's capabilities.
+
+    Attributes
+    ----------
+    name:
+        Model identifier ("B", "M1", "M2", "P1", "P2", "M2-2.5", ...).
+    use_prediction:
+        Whether predictions trigger any proactive behaviour at all.
+    supports_safeguard / supports_lm / supports_pckpt:
+        Available proactive mechanisms.
+    use_sigma_oci:
+        Apply Eq. (2)'s σ-discounted OCI (LM-capable models) instead of
+        Eq. (1).
+    lm_alpha:
+        LM transfer-size factor α (swept in Fig 6c).
+    sigma_includes_recall:
+        The paper's future-work fix for Observation 9 (off = published
+        behaviour).
+    oci_online:
+        Estimate the failure rate online instead of from the configured
+        distribution.
+    pckpt_async_phase2:
+        When True (default, the paper's deployment) the healthy nodes'
+        phase-2 commits are flushed by per-node checkpoint daemons while
+        the application resumes after phase 1 — "the p-ckpt threads run
+        only when a p-ckpt is taken but otherwise do not impact
+        applications".  False blocks the application for phase 2 too
+        (conservative ablation variant).
+    neighbor_level:
+        FTI-style level-1 extension (the paper cites it as orthogonal):
+        every periodic checkpoint is mirrored to a partner node's BB, so
+        unmitigated recovery never waits for the PFS drain — at the cost
+        of an interconnect copy per checkpoint and doubled BB footprint.
+    """
+
+    name: str
+    use_prediction: bool = True
+    supports_safeguard: bool = False
+    supports_lm: bool = False
+    supports_pckpt: bool = False
+    use_sigma_oci: bool = False
+    lm_alpha: float = 3.0
+    sigma_includes_recall: bool = False
+    oci_online: bool = False
+    pckpt_async_phase2: bool = True
+    neighbor_level: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lm_alpha <= 0:
+            raise ValueError("lm_alpha must be positive")
+        if self.use_sigma_oci and not self.supports_lm:
+            raise ValueError("sigma-adjusted OCI requires live-migration support")
+
+
+@dataclass
+class RunOutput:
+    """Raw result of one simulation run.
+
+    Attributes
+    ----------
+    makespan:
+        Total wall time to complete the job (seconds).
+    useful_seconds:
+        The job's useful compute demand (constant per app).
+    overhead:
+        The paper's three overhead categories (+ LM slowdown).
+    ft:
+        Fault-tolerance event counts.
+    oci_initial / oci_final:
+        First and last checkpoint intervals used (Obs 6's elongation).
+    periodic_checkpoints:
+        Number of completed periodic BB checkpoints.
+    proactive_runs:
+        Number of p-ckpt / safeguard protocol executions (incl. aborted).
+    """
+
+    makespan: float
+    useful_seconds: float
+    overhead: OverheadBreakdown
+    ft: FTStats
+    oci_initial: float
+    oci_final: float
+    periodic_checkpoints: int
+    proactive_runs: int
+
+
+@dataclass
+class _MitigationRecord:
+    """Per-prediction bookkeeping linking predictions to outcomes."""
+
+    action: ProactiveAction = ProactiveAction.IGNORE
+    committed: bool = False
+
+
+class _Status:
+    """Return codes of the application's inner phases."""
+
+    REACHED = "reached"
+    RESET = "reset"
+
+
+class _Phase2Job:
+    """Asynchronous p-ckpt phase 2 (healthy daemons flushing to PFS).
+
+    The snapshot it carries is *viable* from birth — every share exists
+    either on the PFS (phase-1 commits) or in a surviving daemon's memory
+    — but becomes ledger-visible (usable by a normal recovery plan) only
+    on completion.  A failure of a non-covered node mid-flight destroys a
+    share and invalidates the snapshot; the owner cancels the job.
+    """
+
+    def __init__(self, sim: "CRSimulation", outcome) -> None:
+        self.sim = sim
+        self.snapshot_work = outcome.snapshot_work
+        #: Nodes whose failure does not hurt the snapshot.
+        self.covers: Set[int] = set(outcome.committed) | set(sim._migrated_away)
+        self.duration = sim.platform.pfs.proactive_write_time(
+            outcome.healthy_nodes, sim.app.checkpoint_bytes_per_node
+        )
+        self.eta = sim.env.now + self.duration
+        self.cancelled = False
+        self._proc = sim.env.process(self._run(), name="pckpt-phase2")
+
+    def _run(self):
+        try:
+            yield self.sim.env.timeout(self.duration)
+        except Interrupt:
+            self.cancelled = True
+            if self.sim._phase2_job is self:
+                self.sim._phase2_job = None
+            return
+        self.sim.ledger.record_proactive(self.snapshot_work, self.sim.env.now)
+        self.sim._emit("pckpt", "phase2-landed", self.snapshot_work)
+        if self.sim._phase2_job is self:
+            self.sim._phase2_job = None
+
+    def cancel(self) -> None:
+        """Invalidate the in-flight snapshot (superseded or share lost)."""
+        if self._proc.is_alive and not self.cancelled:
+            self._proc.interrupt(("phase2-cancel", None))
+
+
+class CRSimulation:
+    """Simulate one application under one C/R model.
+
+    Parameters
+    ----------
+    app:
+        Workload characterization (Table I entry).
+    config:
+        Model capabilities.
+    platform:
+        Hardware platform (default Summit).
+    weibull:
+        Failure distribution (Table III entry).
+    lead_model / predictor:
+        Failure-analysis and prediction statistics.
+    rng:
+        Seeded generator (owns all stochasticity of this run).
+    trace:
+        Optional event trace for debugging / the protocol-trace example.
+    """
+
+    def __init__(
+        self,
+        app: ApplicationSpec,
+        config: ModelConfig,
+        platform: PlatformSpec = SUMMIT,
+        weibull: WeibullParams | None = None,
+        lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
+        predictor: PredictorSpec = DEFAULT_PREDICTOR,
+        rng: np.random.Generator | None = None,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        from ..failures.weibull import TITAN_WEIBULL
+
+        self.app = app
+        self.config = config
+        self.platform = platform
+        self.weibull = weibull if weibull is not None else TITAN_WEIBULL
+        self.env = Environment()
+        self.trace = trace
+        if trace is not None:
+            trace.env = self.env
+
+        per_node = app.checkpoint_bytes_per_node
+        bb = platform.node.burst_buffer
+        # Neighbor-level mirroring doubles the resident copies per node.
+        copies = 4 if config.neighbor_level else 2
+        if not bb.fits(per_node, copies=copies):
+            raise ValueError(
+                f"{app.name}: {copies} checkpoint copies "
+                f"({copies * per_node:.3e} B) exceed BB capacity"
+            )
+        if per_node > platform.node.dram_bytes:
+            raise ValueError(f"{app.name}: checkpoint exceeds DRAM")
+
+        self.injector = FailureInjector(
+            self.weibull, app.nodes, lead_model, predictor, rng=rng
+        )
+        self.t_ckpt_bb = bb.write_time(per_node)
+        if config.neighbor_level:
+            # Local BB stage, then the mirror copy to the partner's BB
+            # (conservatively serialized; the partner absorbs at BB rate).
+            self.t_ckpt_bb += platform.interconnect.transfer_time(
+                per_node
+            ) + bb.write_time(per_node)
+        self.lm_seconds = platform.lm_transfer_time(per_node, config.lm_alpha)
+        self.coordinator = ProactiveCoordinator(
+            supports_lm=config.supports_lm,
+            supports_pckpt=config.supports_pckpt,
+            supports_safeguard=config.supports_safeguard,
+            lm_transfer_seconds=self.lm_seconds,
+        )
+        self.oci = OCIController(
+            t_ckpt_bb=self.t_ckpt_bb,
+            injector=self.injector,
+            nodes=app.nodes,
+            use_sigma=config.use_sigma_oci,
+            lm_threshold=self.lm_seconds if config.use_sigma_oci else 0.0,
+            sigma_includes_recall=config.sigma_includes_recall,
+            online_estimation=config.oci_online,
+        )
+        self.ledger = SnapshotLedger()
+        self.drain = DrainManager(
+            self.env, platform.pfs, self.ledger, app.nodes, per_node
+        )
+        self.overhead = OverheadBreakdown()
+        self.ft = FTStats()
+
+        # -- dynamic state --------------------------------------------------
+        self.work_done = 0.0
+        self._records: Dict[int, _MitigationRecord] = {}  # id(prediction) -> rec
+        # node -> records of all live predictions on it; a node-level
+        # commit (p-ckpt phase 1, LM completion) covers every one of them.
+        self._watchers: Dict[int, List[_MitigationRecord]] = {}
+        self._active_lms: Dict[int, LiveMigration] = {}   # node -> migration
+        self._migrated_away: Set[int] = set()             # vacated nodes
+        # node -> latest live prediction on it (for re-enqueueing
+        # still-vulnerable nodes into a fresh protocol).
+        self._vulnerable: Dict[int, Union[FailureEvent, FalseAlarmEvent]] = {}
+        # Sparse Fig 5 state machine: only non-NORMAL nodes are tracked;
+        # every change goes through transition() so illegal interleavings
+        # fail loudly instead of corrupting FT accounting.
+        self._node_states: Dict[int, NodeState] = {}
+        self._phase2_job: Optional[_Phase2Job] = None
+        self._active_protocol: Optional[PckptProtocol] = None
+        self._active_safeguard: Optional[SafeguardCheckpoint] = None
+        self._interruptible = False
+        self._computing = False
+        self._pending: List[tuple] = []
+        self._app_proc = None
+
+        # -- run stats ---------------------------------------------------------
+        self.periodic_checkpoints = 0
+        self.proactive_runs = 0
+        self.oci_initial = self.oci.interval()
+        self.oci_final = self.oci_initial
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def run(self) -> RunOutput:
+        """Execute the simulation to job completion and return results."""
+        self._app_proc = self.env.process(self._app(), name="application")
+        self.env.process(self._failure_driver(), name="failure-driver")
+        if self.config.use_prediction and self.injector.false_alarm_rate > 0:
+            self.env.process(self._false_alarm_driver(), name="false-alarm-driver")
+        self.env.run(until=self._app_proc)
+        self.overhead.validate()
+        self.ft.validate()
+        return RunOutput(
+            makespan=self.env.now,
+            useful_seconds=self.app.compute_seconds,
+            overhead=self.overhead,
+            ft=self.ft,
+            oci_initial=self.oci_initial,
+            oci_final=self.oci_final,
+            periodic_checkpoints=self.periodic_checkpoints,
+            proactive_runs=self.proactive_runs,
+        )
+
+    # ------------------------------------------------------------------
+    # event drivers
+    # ------------------------------------------------------------------
+    def _failure_driver(self):
+        """Inject failures (and their predictions) forever."""
+        while True:
+            ev = self.injector.next_failure()
+            if ev.predicted and self.config.use_prediction:
+                if ev.prediction_time > self.env.now:
+                    yield self.env.timeout(ev.prediction_time - self.env.now)
+                self._deliver_prediction(ev)
+            if ev.time > self.env.now:
+                yield self.env.timeout(ev.time - self.env.now)
+            self._deliver_failure(ev)
+
+    def _false_alarm_driver(self):
+        """Inject false-alarm predictions forever."""
+        while True:
+            alarm = self.injector.next_false_alarm()
+            if alarm is None:
+                return
+            if alarm.prediction_time > self.env.now:
+                yield self.env.timeout(alarm.prediction_time - self.env.now)
+            self.ft.false_alarms += 1
+            self._deliver_prediction(alarm)
+
+    # ------------------------------------------------------------------
+    # notification plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, source: str, kind: str, detail=None) -> None:
+        if self.trace is not None:
+            self.trace.emit(source, kind, detail)
+
+    def _notify_app(self, cause: tuple) -> None:
+        """Interrupt the application, or defer if it is un-interruptible."""
+        if self._app_proc is None or not self._app_proc.is_alive:
+            return
+        if self._interruptible:
+            self._app_proc.interrupt(cause)
+        else:
+            self._pending.append(cause)
+
+    def _replan(self) -> None:
+        """Nudge a computing application to re-plan (rate changed)."""
+        if self._computing and self._interruptible:
+            self._app_proc.interrupt(("replan",))
+
+    def _compute_rate(self) -> float:
+        """Current compute rate (1.0, reduced while LMs are in flight)."""
+        n = sum(1 for lm in self._active_lms.values() if lm.in_flight)
+        return (1.0 - self.platform.lm_slowdown) ** n
+
+    # ------------------------------------------------------------------
+    # Fig 5 node state machine
+    # ------------------------------------------------------------------
+    def node_health(self, node: int) -> NodeHealth:
+        """Current Fig 5 state of *node* (NORMAL when untracked)."""
+        state = self._node_states.get(node)
+        return state.health if state is not None else NodeHealth.NORMAL
+
+    def _mark(self, node: int, to: NodeHealth) -> None:
+        """Move *node* to state *to*, enforcing the Fig 5 transitions."""
+        current = self.node_health(node)
+        if current is to:
+            return
+        transition(current, to)  # raises IllegalTransition on a bad move
+        if to is NodeHealth.NORMAL:
+            self._node_states.pop(node, None)
+        else:
+            state = self._node_states.get(node)
+            if state is None:
+                state = self._node_states[node] = NodeState(index=node)
+            state.health = to
+
+    # ------------------------------------------------------------------
+    # prediction / failure delivery
+    # ------------------------------------------------------------------
+    def _deliver_prediction(
+        self, prediction: Union[FailureEvent, FalseAlarmEvent]
+    ) -> None:
+        is_real = isinstance(prediction, FailureEvent)
+        if not self.config.use_prediction:
+            return
+        deadline = (
+            prediction.time
+            if is_real
+            else prediction.prediction_time + prediction.claimed_lead
+        )
+        lead = max(deadline - self.env.now, 0.0)
+        action = self.coordinator.decide(lead)
+        self._emit("predictor", "prediction", (prediction, action.value))
+        rec = _MitigationRecord(action=action)
+        self._records[id(prediction)] = rec
+        self._watchers.setdefault(prediction.node, []).append(rec)
+
+        if action is ProactiveAction.IGNORE:
+            return
+        self._vulnerable[prediction.node] = prediction
+        if prediction.node in self._migrated_away:
+            # The process already vacated this node; any failure there is
+            # moot, so the prediction is covered for free.
+            rec.action = ProactiveAction.LIVE_MIGRATION
+            rec.committed = True
+            return
+        if action is ProactiveAction.LIVE_MIGRATION:
+            if prediction.node in self._active_lms:
+                # A migration for this node is already in flight; its
+                # completion covers this prediction too (watcher list).
+                rec.action = ProactiveAction.LIVE_MIGRATION
+                return
+            self._mark(prediction.node, NodeHealth.VULNERABLE)
+            self._start_migration(prediction, rec)
+            return
+        # Blocked protocols run inside the application process.
+        self._mark(prediction.node, NodeHealth.VULNERABLE)
+        self._notify_app(("proactive", prediction, action))
+
+    def _start_migration(
+        self,
+        prediction: Union[FailureEvent, FalseAlarmEvent],
+        rec: _MitigationRecord,
+    ) -> None:
+        node = prediction.node
+
+        def _done(lm: LiveMigration, outcome: MigrationOutcome) -> None:
+            self._active_lms.pop(node, None)
+            if outcome is MigrationOutcome.COMPLETED:
+                for watcher in self._watchers.get(node, ()):
+                    if watcher.action is ProactiveAction.LIVE_MIGRATION:
+                        watcher.committed = True
+                self._migrated_away.add(node)
+                self._mark(node, NodeHealth.NORMAL)
+                self._emit("lm", "completed", node)
+            else:
+                self.ft.lm_aborts += 1
+                if self.node_health(node) is NodeHealth.MIGRATING:
+                    self._mark(node, NodeHealth.VULNERABLE)
+                self._emit("lm", outcome.value, node)
+            self._replan()
+
+        lm = LiveMigration(
+            self.env,
+            self.platform,
+            node,
+            prediction,
+            self.app.checkpoint_bytes_per_node,
+            alpha=self.config.lm_alpha,
+            on_done=_done,
+        )
+        self._active_lms[node] = lm
+        self._mark(node, NodeHealth.MIGRATING)
+        self._emit("lm", "started", (node, lm.transfer_seconds))
+        self._replan()
+
+    def _deliver_failure(self, ev: FailureEvent) -> None:
+        self.ft.failures += 1
+        if ev.predicted:
+            # Counted at failure (not prediction) delivery so that a
+            # prediction whose failure lands after job completion does not
+            # break the predicted <= failures invariant.
+            self.ft.predicted += 1
+        self.oci.record_failure()
+        rec = self._records.get(id(ev))
+        if (
+            rec is not None
+            and rec.action is ProactiveAction.LIVE_MIGRATION
+            and rec.committed
+        ):
+            # The process vacated this node before it died: failure avoided.
+            self.ft.mitigated_lm += 1
+            self._migrated_away.discard(ev.node)
+            self._forget_prediction(ev)
+            # The empty node still physically fails and gets replaced.
+            self._mark(ev.node, NodeHealth.FAILED)
+            self._mark(ev.node, NodeHealth.NORMAL)
+            self._emit("failure", "avoided-by-lm", ev.node)
+            return
+        if ev.node in self._active_lms:
+            # Transfer still in flight when the node died.
+            self._active_lms[ev.node].overtake()
+        self._emit("failure", "struck", ev.node)
+        self._notify_app(("failure", ev))
+
+    # ------------------------------------------------------------------
+    # the application process
+    # ------------------------------------------------------------------
+    def _app(self):
+        """Main loop: compute for one OCI, checkpoint to BB, repeat."""
+        goal = self.app.compute_seconds
+        self._interruptible = True
+        while self.work_done < goal - _EPS:
+            self.oci.record_time(self.env.now)
+            interval = self.oci.interval()
+            self.oci_final = interval
+            target = min(self.work_done + interval, goal)
+            status = yield from self._advance_to(target)
+            if status == _Status.RESET:
+                continue
+            if self.work_done >= goal - _EPS:
+                break
+            yield from self._periodic_bb_checkpoint()
+        self._interruptible = False
+        self._emit("app", "completed", self.work_done)
+
+    def _advance_to(self, target: float):
+        """Compute until *target* work, servicing interruptions."""
+        while self.work_done < target - _EPS:
+            rate = self._compute_rate()
+            planned = (target - self.work_done) / rate
+            start = self.env.now
+            self._computing = True
+            try:
+                yield self.env.timeout(planned)
+                self._computing = False
+                self.work_done = target
+                self.overhead.migration += planned * (1.0 - rate)
+            except Interrupt as intr:
+                self._computing = False
+                elapsed = self.env.now - start
+                self.work_done += elapsed * rate
+                self.overhead.migration += elapsed * (1.0 - rate)
+                kind = intr.cause[0]
+                if kind == "replan":
+                    continue
+                if kind == "proactive":
+                    yield from self._run_proactive(intr.cause[1], intr.cause[2])
+                    yield from self._drain_pending()
+                    return _Status.RESET
+                if kind == "failure":
+                    yield from self._handle_failure(intr.cause[1])
+                    yield from self._drain_pending()
+                    return _Status.RESET
+                raise RuntimeError(f"unexpected interrupt {intr.cause!r}")
+        return _Status.REACHED
+
+    def _periodic_bb_checkpoint(self):
+        """Synchronous checkpoint to the burst buffers (+ async drain)."""
+        remaining = self.t_ckpt_bb
+        self._emit("app", "ckpt_bb_start", self.work_done)
+        while remaining > _EPS:
+            start = self.env.now
+            try:
+                yield self.env.timeout(remaining)
+                self.overhead.checkpoint += self.env.now - start
+                remaining = 0.0
+            except Interrupt as intr:
+                self.overhead.checkpoint += self.env.now - start
+                remaining -= self.env.now - start
+                kind = intr.cause[0]
+                if kind == "replan":
+                    continue  # I/O speed unaffected by LM slowdown
+                if kind == "proactive":
+                    # Abort the BB write; the proactive snapshot supersedes.
+                    self._emit("app", "ckpt_bb_aborted", None)
+                    yield from self._run_proactive(intr.cause[1], intr.cause[2])
+                    yield from self._drain_pending()
+                    return
+                if kind == "failure":
+                    # Fig 1(C): failure during a synchronous BB checkpoint.
+                    self._emit("app", "ckpt_bb_aborted", None)
+                    yield from self._handle_failure(intr.cause[1])
+                    yield from self._drain_pending()
+                    return
+                raise RuntimeError(f"unexpected interrupt {intr.cause!r}")
+        snap = self.ledger.record_periodic(self.work_done, self.env.now)
+        self.periodic_checkpoints += 1
+        self.drain.submit(snap)
+        self._emit("app", "ckpt_bb_done", self.work_done)
+
+    # ------------------------------------------------------------------
+    # proactive actions (blocked)
+    # ------------------------------------------------------------------
+    def _run_proactive(self, prediction, action: ProactiveAction):
+        """Run a safeguard or p-ckpt protocol inside the app process."""
+        # A stale notification: the predicted failure already passed
+        # (it was deferred behind a recovery).  Nothing to protect anymore.
+        deadline = (
+            prediction.time
+            if isinstance(prediction, FailureEvent)
+            else prediction.prediction_time + prediction.claimed_lead
+        )
+        if deadline <= self.env.now:
+            return
+        self.proactive_runs += 1
+        if action is ProactiveAction.SAFEGUARD:
+            yield from self._run_safeguard(prediction)
+        elif action is ProactiveAction.PCKPT:
+            yield from self._run_pckpt(prediction)
+        else:  # pragma: no cover - decide() never routes others here
+            raise RuntimeError(f"cannot run proactive action {action}")
+
+    def _run_safeguard(self, prediction):
+        per_node = self.app.checkpoint_bytes_per_node
+        write = self.platform.pfs.proactive_write_time(self.app.nodes, per_node)
+        run = SafeguardCheckpoint(
+            self.env,
+            self.work_done,
+            write,
+            prediction,
+            already_covered=set(self._migrated_away),
+        )
+        self._active_safeguard = run
+        self._emit("safeguard", "start", (prediction.node, write))
+        try:
+            outcome = yield from run.run()
+        except SafeguardAborted as exc:
+            self.overhead.checkpoint += run.spent
+            self._emit("safeguard", "aborted", exc.failure.node)
+            yield from self._handle_failure(exc.failure)
+            return
+        finally:
+            self._active_safeguard = None
+        self.overhead.checkpoint += outcome.duration
+        self.ledger.record_proactive(outcome.snapshot_work, self.env.now)
+        for served in outcome.served:
+            rec = self._records.get(id(served))
+            if rec is not None:
+                rec.action = ProactiveAction.SAFEGUARD
+                rec.committed = True
+        self._emit("safeguard", "done", len(outcome.served))
+        if outcome.pending_failures:
+            yield from self._recover_after_proactive(outcome.pending_failures)
+
+    def _run_pckpt(self, prediction):
+        per_node = self.app.checkpoint_bytes_per_node
+        initial = [entry_from_prediction(prediction)]
+        enqueued = {prediction.node}
+        # Fig 5: starting p-ckpt aborts in-flight LMs; their nodes join
+        # the priority queue (their snapshot share must now be committed).
+        for node, lm in list(self._active_lms.items()):
+            lm.abort("pckpt-preempts-lm")
+            for watcher in self._watchers.get(node, ()):
+                watcher.action = ProactiveAction.PCKPT
+            if node not in enqueued:
+                initial.append(entry_from_prediction(lm.prediction))
+                enqueued.add(node)
+            self._emit("pckpt", "absorbed-lm", node)
+        # Every other still-vulnerable node joins too: the new snapshot
+        # supersedes any older protection, so their shares must be
+        # re-committed under it before their failures strike.
+        for node, pred in list(self._live_vulnerable().items()):
+            if node in enqueued or node in self._migrated_away:
+                continue
+            initial.append(entry_from_prediction(pred))
+            enqueued.add(node)
+
+        def _on_commit(entry: VulnerableEntry, when: float) -> None:
+            # The commit covers every live prediction for this node.
+            for watcher in self._watchers.get(entry.node, ()):
+                watcher.action = ProactiveAction.PCKPT
+                watcher.committed = True
+            self._emit("pckpt", "vulnerable-committed", (entry.node, when))
+
+        protocol = PckptProtocol(
+            self.env,
+            snapshot_work=self.work_done,
+            total_nodes=self.app.nodes,
+            priority_write_seconds=lambda _n: self.platform.pfs.priority_write_time(
+                per_node
+            ),
+            phase2_write_seconds=lambda n: self.platform.pfs.proactive_write_time(
+                n, per_node
+            ),
+            initial=initial,
+            already_covered=set(self._migrated_away),
+            on_commit=_on_commit,
+            include_phase2=not self.config.pckpt_async_phase2,
+        )
+        self._active_protocol = protocol
+        self._emit("pckpt", "start", [e.node for e in initial])
+        try:
+            outcome = yield from protocol.run()
+        except ProtocolAborted as exc:
+            self.overhead.checkpoint += protocol.phase1_spent + protocol.phase2_spent
+            self._emit("pckpt", "aborted", exc.failure.node)
+            yield from self._handle_failure(exc.failure)
+            return
+        finally:
+            self._active_protocol = None
+        self.overhead.checkpoint += outcome.duration
+        if self.config.pckpt_async_phase2:
+            # Phase 2 flushes in the background; the snapshot becomes
+            # PFS-complete (and recovery-usable) when the job lands.
+            if self._phase2_job is not None:
+                self._phase2_job.cancel()  # superseded by the newer snapshot
+            self._phase2_job = _Phase2Job(self, outcome)
+        else:
+            self.ledger.record_proactive(outcome.snapshot_work, self.env.now)
+        self._emit(
+            "pckpt",
+            "done",
+            {"committed": sorted(outcome.committed), "duration": outcome.duration},
+        )
+        if outcome.pending_failures:
+            yield from self._recover_after_proactive(outcome.pending_failures)
+
+    def _recover_after_proactive(self, failures: List[FailureEvent]):
+        """One recovery pass covering failures that struck mid-protocol."""
+        # Classification happens per failure; the restore happens once.
+        yield from self._handle_failure(failures[0])
+        for extra in failures[1:]:
+            self._classify_mitigation(extra)
+            self._forget_prediction(extra)
+
+    # ------------------------------------------------------------------
+    # failure handling / recovery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prediction_deadline(
+        prediction: Union[FailureEvent, FalseAlarmEvent]
+    ) -> float:
+        """Predicted absolute failure time of either prediction kind."""
+        if isinstance(prediction, FailureEvent):
+            return prediction.time
+        return prediction.prediction_time + prediction.claimed_lead
+
+    def _live_vulnerable(self) -> Dict[int, Union[FailureEvent, FalseAlarmEvent]]:
+        """Nodes still awaiting their predicted failure (prunes expired)."""
+        now = self.env.now
+        stale = [
+            node
+            for node, pred in self._vulnerable.items()
+            if self._prediction_deadline(pred) <= now
+        ]
+        for node in stale:
+            del self._vulnerable[node]
+            # An expired alarm leaves the node healthy again (Fig 5);
+            # nodes with a transfer still in flight are left to the LM
+            # completion callback.
+            if (node not in self._active_lms
+                    and self.node_health(node) is NodeHealth.VULNERABLE):
+                self._mark(node, NodeHealth.NORMAL)
+        return self._vulnerable
+
+    def _forget_prediction(self, ev: FailureEvent) -> None:
+        """Drop the bookkeeping for a delivered failure's prediction."""
+        self._vulnerable.pop(ev.node, None)
+        rec = self._records.pop(id(ev), None)
+        if rec is not None:
+            watchers = self._watchers.get(ev.node)
+            if watchers is not None:
+                try:
+                    watchers.remove(rec)
+                except ValueError:
+                    pass
+                if not watchers:
+                    del self._watchers[ev.node]
+
+    def _classify_mitigation(self, ev: FailureEvent) -> None:
+        rec = self._records.get(id(ev))
+        if rec is None or not rec.committed:
+            return
+        if rec.action is ProactiveAction.PCKPT:
+            self.ft.mitigated_pckpt += 1
+        elif rec.action is ProactiveAction.SAFEGUARD:
+            self.ft.mitigated_safeguard += 1
+        elif rec.action is ProactiveAction.LIVE_MIGRATION:  # pragma: no cover
+            self.ft.mitigated_lm += 1
+
+    def _handle_failure(self, ev: FailureEvent):
+        """Roll back, restore, and account for one unavoided failure."""
+        self._classify_mitigation(ev)
+        self._forget_prediction(ev)
+        self._migrated_away.discard(ev.node)
+        # Fig 5: the node fails and is replaced by a healthy spare.  Its
+        # in-flight migration (if any) resolves via the abort below.
+        if self.node_health(ev.node) is not NodeHealth.MIGRATING:
+            self._mark(ev.node, NodeHealth.FAILED)
+            self._mark(ev.node, NodeHealth.NORMAL)
+        # In-flight LM images are stale once we roll back: abort them all.
+        for lm in list(self._active_lms.values()):
+            lm.abort("rollback-invalidates-image")
+
+        job = self._phase2_job
+        if job is not None and not job.cancelled and ev.node in job.covers:
+            # The in-flight p-ckpt snapshot survives this failure (the
+            # node's share is already on the PFS).  Recovery waits for the
+            # daemons to finish flushing, then restores everyone from PFS.
+            wait = max(job.eta - self.env.now, 0.0)
+            restore_work = job.snapshot_work
+            restore_seconds = (
+                wait
+                + self.platform.pfs.full_restore_read_time(
+                    self.app.nodes, self.app.checkpoint_bytes_per_node
+                )
+                + self.platform.restart_delay
+            )
+            from_bb = False
+        else:
+            if job is not None and not job.cancelled:
+                # A non-covered node died: its share of the in-flight
+                # snapshot is gone; the snapshot is unusable.
+                job.cancel()
+            plan = plan_recovery(
+                self.ledger,
+                self.platform.pfs,
+                self.platform.node.burst_buffer,
+                self.app.nodes,
+                self.app.checkpoint_bytes_per_node,
+                self.platform.restart_delay,
+                neighbor=(
+                    self.platform.interconnect
+                    if self.config.neighbor_level
+                    else None
+                ),
+            )
+            restore_work = plan.restore_work
+            restore_seconds = plan.total_seconds
+            from_bb = plan.from_bb
+
+        lost = self.work_done - restore_work
+        assert lost >= -_EPS, "recovery target ahead of current progress"
+        self.overhead.recomputation += max(lost, 0.0)
+        self.overhead.recovery += restore_seconds
+        self.work_done = restore_work
+        self.ledger.rollback(self.work_done)
+        self.drain.cancel_newer_than(self.work_done)
+        self._emit(
+            "recovery",
+            "restore",
+            {"work": restore_work, "seconds": restore_seconds, "from_bb": from_bb},
+        )
+        # The restore itself cannot be interrupted; notifications queue up.
+        # The flag defers *future* notifications; interrupts already
+        # scheduled this timestep still land here, so the wait itself must
+        # also catch and defer.
+        self._interruptible = False
+        remaining = restore_seconds
+        while remaining > _EPS:
+            start = self.env.now
+            try:
+                yield self.env.timeout(remaining)
+                remaining = 0.0
+            except Interrupt as intr:
+                remaining -= self.env.now - start
+                self._pending.append(intr.cause)
+        self._interruptible = True
+
+    def _drain_pending(self):
+        """Service notifications deferred during un-interruptible spans."""
+        while self._pending:
+            cause = self._pending.pop(0)
+            kind = cause[0]
+            if kind == "failure":
+                yield from self._handle_failure(cause[1])
+            elif kind == "proactive":
+                yield from self._run_proactive(cause[1], cause[2])
+            # replans are moot here: the main loop re-plans anyway

@@ -1,0 +1,104 @@
+"""The C/R model zoo (Secs. V & VII) and its lookup registry.
+
+* **B** — periodic BB checkpointing only (no prediction): the baseline
+  every overhead reduction is normalized against.
+* **M1** — + safeguard checkpointing on prediction (Bouguerra et al.).
+* **M2** — + live migration when lead time allows (Behera et al.'s
+  LM-C/R); σ-discounted OCI (Eq. 2).
+* **P1** — + p-ckpt on every prediction (this paper); Eq. (1) OCI.
+* **P2** — hybrid: LM preferred, p-ckpt fallback, LM abort on short-lead
+  re-prediction; σ-discounted OCI (Eq. 2).
+* **M2-α** — Fig 6c variants of M2 with LM transfer size α× the
+  checkpoint size (e.g. ``"M2-2.5"``).
+* **P2-fn** — the Observation 9 future-work variant of P2 whose σ
+  accounts for predictor recall (ablation).
+* **P1-sync / P2-sync** — conservative variants whose p-ckpt phase 2
+  blocks the application instead of flushing via daemons (ablation of the
+  async-phase-2 design choice).
+* **B-online / P1-online** — variants estimating the failure rate online
+  instead of from the configured distribution (ablation of the oracle-OCI
+  choice).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Dict
+
+from .base import ModelConfig
+
+__all__ = [
+    "MODEL_B",
+    "MODEL_M1",
+    "MODEL_M2",
+    "MODEL_P1",
+    "MODEL_P2",
+    "PAPER_MODELS",
+    "get_model",
+    "lm_variant",
+]
+
+MODEL_B = ModelConfig(name="B", use_prediction=False)
+
+MODEL_M1 = ModelConfig(name="M1", supports_safeguard=True)
+
+MODEL_M2 = ModelConfig(name="M2", supports_lm=True, use_sigma_oci=True)
+
+MODEL_P1 = ModelConfig(name="P1", supports_pckpt=True)
+
+MODEL_P2 = ModelConfig(
+    name="P2", supports_lm=True, supports_pckpt=True, use_sigma_oci=True
+)
+
+#: The five models of Figs 4, 6 and 7, in the paper's bar order.
+PAPER_MODELS: Dict[str, ModelConfig] = {
+    m.name: m for m in (MODEL_B, MODEL_M1, MODEL_M2, MODEL_P1, MODEL_P2)
+}
+
+_ALPHA_VARIANT = re.compile(r"^(M2|P2)-(\d+(?:\.\d+)?)$")
+
+
+def lm_variant(base: ModelConfig, alpha: float) -> ModelConfig:
+    """An LM-capable model with transfer factor α (Fig 6c's M2-*)."""
+    if not base.supports_lm:
+        raise ValueError(f"{base.name} does not use live migration")
+    return replace(base, name=f"{base.name}-{alpha:g}", lm_alpha=alpha)
+
+
+def get_model(name: str) -> ModelConfig:
+    """Resolve a model name, including ``M2-α`` variants and ``P2-fn``.
+
+    Examples
+    --------
+    >>> get_model("P1").supports_pckpt
+    True
+    >>> get_model("M2-2.5").lm_alpha
+    2.5
+    >>> get_model("P2-fn").sigma_includes_recall
+    True
+    """
+    if name in PAPER_MODELS:
+        return PAPER_MODELS[name]
+    if name == "P2-fn":
+        return replace(MODEL_P2, name="P2-fn", sigma_includes_recall=True)
+    if name.endswith("-sync"):
+        base = PAPER_MODELS.get(name[:-5])
+        if base is not None and base.supports_pckpt:
+            return replace(base, name=name, pckpt_async_phase2=False)
+    if name.endswith("-online"):
+        base = PAPER_MODELS.get(name[:-7])
+        if base is not None:
+            return replace(base, name=name, oci_online=True)
+    if name.endswith("-nbr"):
+        base = PAPER_MODELS.get(name[:-4])
+        if base is not None:
+            return replace(base, name=name, neighbor_level=True)
+    match = _ALPHA_VARIANT.match(name)
+    if match:
+        base = PAPER_MODELS[match.group(1)]
+        return lm_variant(base, float(match.group(2)))
+    raise KeyError(
+        f"unknown model {name!r}; expected one of {sorted(PAPER_MODELS)}, "
+        "'P2-fn', or an 'M2-<alpha>' / 'P2-<alpha>' variant"
+    )

@@ -1,0 +1,61 @@
+"""Node-local burst-buffer (BB) device model.
+
+On Summit every compute node carries a 1.6 TB NVMe burst buffer with
+roughly 2.1 GB/s write and 5.5 GB/s read bandwidth (paper Sec. II).  In
+the C/R model the BB absorbs periodic checkpoints synchronously and serves
+them back during recovery; draining BB→PFS is handled by
+:mod:`repro.cr.drain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..iomodel.bandwidth import GiB, TiB
+
+__all__ = ["BurstBufferSpec", "SUMMIT_BURST_BUFFER"]
+
+
+@dataclass(frozen=True)
+class BurstBufferSpec:
+    """Static description of one node's burst buffer.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Usable capacity (bytes).
+    write_bw:
+        Sequential write bandwidth (bytes/s).
+    read_bw:
+        Sequential read bandwidth (bytes/s).
+    """
+
+    capacity_bytes: float = 1.6 * TiB
+    write_bw: float = 2.1 * GiB
+    read_bw: float = 5.5 * GiB
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("BB capacity must be positive")
+        if self.write_bw <= 0 or self.read_bw <= 0:
+            raise ValueError("BB bandwidths must be positive")
+
+    def write_time(self, nbytes: float) -> float:
+        """Seconds to write *nbytes* to this node's BB."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.write_bw
+
+    def read_time(self, nbytes: float) -> float:
+        """Seconds to read *nbytes* back from this node's BB."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.read_bw
+
+    def fits(self, nbytes: float, copies: int = 1) -> bool:
+        """Whether *copies* checkpoint copies of *nbytes* each fit."""
+        return copies * nbytes <= self.capacity_bytes
+
+
+#: Summit's per-node burst buffer.
+SUMMIT_BURST_BUFFER = BurstBufferSpec()

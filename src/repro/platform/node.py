@@ -1,0 +1,111 @@
+"""Compute-node model: static spec and per-node dynamic simulation state.
+
+The C/R simulation keeps the *application* as a single process (as the
+paper's SimPy framework does) but tracks per-node state where the protocol
+depends on it: which nodes are vulnerable, their predicted failure times,
+and what checkpoint data their BB holds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..iomodel.bandwidth import GiB
+from .burstbuffer import SUMMIT_BURST_BUFFER, BurstBufferSpec
+
+__all__ = ["NodeSpec", "NodeHealth", "NodeState", "SUMMIT_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node.
+
+    Attributes
+    ----------
+    dram_bytes:
+        DRAM capacity (bytes); bounds live-migration transfer size.
+    cores:
+        Physical cores; one may be set aside for the failure predictor.
+    burst_buffer:
+        The node-local BB device.
+    """
+
+    dram_bytes: float = 512.0 * GiB
+    cores: int = 42
+    burst_buffer: BurstBufferSpec = SUMMIT_BURST_BUFFER
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes <= 0:
+            raise ValueError("DRAM size must be positive")
+        if self.cores < 1:
+            raise ValueError("node needs at least one core")
+
+
+class NodeHealth(enum.Enum):
+    """Health states of a node in the hybrid C/R state machine (Fig 5)."""
+
+    #: Normal periodic computation + checkpointing.
+    NORMAL = "normal"
+    #: A failure has been predicted for this node.
+    VULNERABLE = "vulnerable"
+    #: Process is being live-migrated off this node.
+    MIGRATING = "migrating"
+    #: Healthy node waiting for vulnerable nodes' pfs-commit (p-ckpt phase 1).
+    WAITING = "waiting"
+    #: The node has failed.
+    FAILED = "failed"
+
+
+@dataclass
+class NodeState:
+    """Dynamic per-node bookkeeping during a simulation run.
+
+    Attributes
+    ----------
+    index:
+        Node rank within the application (0..c-1).
+    health:
+        Current :class:`NodeHealth` state.
+    predicted_failure_time:
+        Absolute simulation time of the predicted failure, when vulnerable.
+    prediction_time:
+        When the prediction was received.
+    bb_checkpoint_work:
+        Application progress (useful seconds) captured by the newest
+        checkpoint resident in this node's BB, or ``None`` if none.
+    """
+
+    index: int
+    health: NodeHealth = NodeHealth.NORMAL
+    predicted_failure_time: Optional[float] = None
+    prediction_time: Optional[float] = None
+    bb_checkpoint_work: Optional[float] = None
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True while a failure is predicted and not yet resolved."""
+        return self.health in (NodeHealth.VULNERABLE, NodeHealth.MIGRATING)
+
+    def lead_time_remaining(self, now: float) -> float:
+        """Seconds until the predicted failure; requires a live prediction."""
+        if self.predicted_failure_time is None:
+            raise ValueError(f"node {self.index} has no pending prediction")
+        return self.predicted_failure_time - now
+
+    def mark_vulnerable(self, now: float, failure_time: float) -> None:
+        """Transition to VULNERABLE on a prediction notification."""
+        self.health = NodeHealth.VULNERABLE
+        self.prediction_time = now
+        self.predicted_failure_time = failure_time
+
+    def clear_prediction(self) -> None:
+        """Return to NORMAL after the prediction is resolved or expires."""
+        self.health = NodeHealth.NORMAL
+        self.prediction_time = None
+        self.predicted_failure_time = None
+
+
+#: A Summit compute node.
+SUMMIT_NODE = NodeSpec()

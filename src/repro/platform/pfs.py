@@ -1,0 +1,96 @@
+"""Parallel-file-system front end for the C/R simulation.
+
+Wraps a :class:`~repro.iomodel.matrix.PFSModel` backend with the
+checkpoint-specific queries the C/R models issue: proactive all-node
+writes, single-vulnerable-node prioritized writes, asynchronous drain
+bandwidth, and recovery reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..iomodel.matrix import AnalyticPFSModel, PFSModel
+
+__all__ = ["PFSSpec"]
+
+
+@dataclass
+class PFSSpec:
+    """PFS configuration plus its performance backend.
+
+    Attributes
+    ----------
+    model:
+        The performance model answering bandwidth/time queries.
+    drain_fraction:
+        Fraction of an application's nodes allowed to drain BB→PFS
+        concurrently ("the asynchronous bleed off is optimized by limiting
+        the number of nodes that transfer data to the PFS at any time").
+    drain_min_nodes:
+        Lower bound on concurrent drainers regardless of job size.
+    """
+
+    model: PFSModel = field(default_factory=AnalyticPFSModel)
+    drain_fraction: float = 0.10
+    drain_min_nodes: int = 8
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.drain_fraction <= 1.0):
+            raise ValueError("drain_fraction must be in (0, 1]")
+        if self.drain_min_nodes < 1:
+            raise ValueError("drain_min_nodes must be >= 1")
+
+    def drain_concurrency(self, nnodes: int) -> int:
+        """Number of nodes draining concurrently for a *nnodes*-node job."""
+        if nnodes < 1:
+            raise ValueError("nnodes must be >= 1")
+        return min(nnodes, max(self.drain_min_nodes, int(self.drain_fraction * nnodes)))
+
+    # -- write paths -------------------------------------------------------
+    def proactive_write_time(self, nnodes: int, bytes_per_node: float) -> float:
+        """Blocked time for *nnodes* nodes to synchronously commit to PFS.
+
+        Used by safeguard checkpoints (all nodes) and p-ckpt phase 2
+        (healthy nodes).
+        """
+        if nnodes == 0 or bytes_per_node == 0:
+            return 0.0
+        return self.model.write_time(nnodes, bytes_per_node)
+
+    def priority_write_time(self, bytes_per_node: float) -> float:
+        """Time for a single vulnerable node's prioritized PFS commit.
+
+        The p-ckpt protocol guarantees this node contention-free access,
+        so it sees the full single-node realized bandwidth.
+        """
+        if bytes_per_node == 0:
+            return 0.0
+        return self.model.write_time(1, bytes_per_node)
+
+    def drain_time(self, nnodes: int, bytes_per_node: float) -> float:
+        """Wall time to drain one full periodic checkpoint BB→PFS.
+
+        Drainers proceed in waves of :meth:`drain_concurrency` nodes; each
+        wave writes at the aggregate bandwidth for that many nodes.
+        """
+        if bytes_per_node == 0 or nnodes == 0:
+            return 0.0
+        k = self.drain_concurrency(nnodes)
+        waves, remainder = divmod(nnodes, k)
+        t = waves * self.model.write_time(k, bytes_per_node)
+        if remainder:
+            t += self.model.write_time(remainder, bytes_per_node)
+        return t
+
+    # -- read paths ----------------------------------------------------------
+    def replacement_read_time(self, bytes_per_node: float) -> float:
+        """Recovery read of one node's checkpoint by the replacement node."""
+        if bytes_per_node == 0:
+            return 0.0
+        return self.model.read_time(1, bytes_per_node)
+
+    def full_restore_read_time(self, nnodes: int, bytes_per_node: float) -> float:
+        """All-node PFS restore after a proactively mitigated failure."""
+        if nnodes == 0 or bytes_per_node == 0:
+            return 0.0
+        return self.model.read_time(nnodes, bytes_per_node)

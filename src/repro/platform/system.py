@@ -1,0 +1,84 @@
+"""Whole-platform specification binding nodes, network, BB and PFS.
+
+:data:`SUMMIT` is the reference platform every experiment in the paper runs
+on; alternative platforms (different BB speeds, PFS ceilings, node counts)
+can be constructed for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from .interconnect import SUMMIT_INTERCONNECT, InterconnectSpec
+from .node import SUMMIT_NODE, NodeSpec
+from .pfs import PFSSpec
+
+__all__ = ["PlatformSpec", "SUMMIT"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of the HPC platform.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    total_nodes:
+        Nodes in the whole machine (Summit: 4608); informational — failure
+        scaling uses the failure distribution's own reference node count.
+    node:
+        Per-node hardware spec.
+    interconnect:
+        Node-to-node network spec (live migration path).
+    pfs:
+        PFS spec; mutable backend wrapped in a frozen dataclass via field.
+    restart_delay:
+        Fixed job-restart latency after an unmitigated failure (allocation
+        of the replacement node, relaunch, MPI wire-up), seconds.
+    lm_slowdown:
+        Fractional application slowdown while a live migration is in
+        flight (paper cites 0.08–2.98%; we default to 1%).
+    """
+
+    name: str = "summit"
+    total_nodes: int = 4608
+    node: NodeSpec = SUMMIT_NODE
+    interconnect: InterconnectSpec = SUMMIT_INTERCONNECT
+    pfs: PFSSpec = field(default_factory=PFSSpec)
+    restart_delay: float = 60.0
+    lm_slowdown: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.total_nodes < 1:
+            raise ValueError("platform needs at least one node")
+        if self.restart_delay < 0:
+            raise ValueError("restart_delay must be non-negative")
+        if not (0.0 <= self.lm_slowdown < 1.0):
+            raise ValueError("lm_slowdown must be in [0, 1)")
+
+    def with_pfs(self, pfs: PFSSpec) -> "PlatformSpec":
+        """Copy of this platform with a different PFS configuration."""
+        return replace(self, pfs=pfs)
+
+    def lm_transfer_bytes(self, ckpt_bytes_per_node: float, alpha: float = 3.0) -> float:
+        """Data moved by one live migration (Sec. II).
+
+        ``alpha`` × the per-node checkpoint size (the paper argues 3× for a
+        three-time-level stencil), bounded above by DRAM — a process image
+        cannot exceed memory.
+        """
+        if ckpt_bytes_per_node < 0:
+            raise ValueError("checkpoint size must be non-negative")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        return min(alpha * ckpt_bytes_per_node, self.node.dram_bytes)
+
+    def lm_transfer_time(self, ckpt_bytes_per_node: float, alpha: float = 3.0) -> float:
+        """Seconds a live migration needs to move the process image."""
+        return self.interconnect.transfer_time(
+            self.lm_transfer_bytes(ckpt_bytes_per_node, alpha)
+        )
+
+
+#: The Summit-like reference platform used throughout the paper.
+SUMMIT = PlatformSpec()

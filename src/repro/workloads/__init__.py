@@ -1,0 +1,12 @@
+"""Workload catalogue (Table I) and cross-platform rescaling (Eq. 3)."""
+
+from .applications import APPLICATION_ORDER, APPLICATIONS, ApplicationSpec
+from .scaling import rescale_application, scale_checkpoint_size
+
+__all__ = [
+    "ApplicationSpec",
+    "APPLICATIONS",
+    "APPLICATION_ORDER",
+    "scale_checkpoint_size",
+    "rescale_application",
+]

@@ -1,0 +1,88 @@
+"""The six Table I application profiles.
+
+Checkpoint sizes are the *Summit-scaled* values from Table I (the authors
+applied Eq. 3 to the Titan-era characterizations of [15], [30]); the
+rescaling function itself lives in :mod:`repro.workloads.scaling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..iomodel.bandwidth import GiB
+
+__all__ = ["ApplicationSpec", "APPLICATIONS", "APPLICATION_ORDER"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Static characterization of one scientific application.
+
+    Attributes
+    ----------
+    name:
+        Application name (Table I).
+    nodes:
+        Number of compute nodes the job occupies.
+    checkpoint_bytes_total:
+        Aggregate checkpoint size across all nodes (bytes, Summit-scaled).
+    compute_hours:
+        Useful computation the job must complete (hours).
+    """
+
+    name: str
+    nodes: int
+    checkpoint_bytes_total: float
+    compute_hours: float
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("application needs at least one node")
+        if self.checkpoint_bytes_total < 0:
+            raise ValueError("checkpoint size must be non-negative")
+        if self.compute_hours <= 0:
+            raise ValueError("compute time must be positive")
+
+    @property
+    def checkpoint_bytes_per_node(self) -> float:
+        """Per-node checkpoint footprint (bytes)."""
+        return self.checkpoint_bytes_total / self.nodes
+
+    @property
+    def compute_seconds(self) -> float:
+        """Useful computation in seconds (simulation clock unit)."""
+        return self.compute_hours * SECONDS_PER_HOUR
+
+    def with_nodes(self, nodes: int) -> "ApplicationSpec":
+        """Copy at a different scale, keeping per-node checkpoint size."""
+        per_node = self.checkpoint_bytes_per_node
+        return replace(
+            self,
+            name=f"{self.name}@{nodes}",
+            nodes=nodes,
+            checkpoint_bytes_total=per_node * nodes,
+        )
+
+
+def _app(name: str, nodes: int, ckpt_gb_total: float, hours: float) -> ApplicationSpec:
+    return ApplicationSpec(name, nodes, ckpt_gb_total * GiB, hours)
+
+
+#: Table I, in the paper's (descending size) order.
+_APP_LIST: Tuple[ApplicationSpec, ...] = (
+    _app("CHIMERA", 2272, 646_382.0, 360.0),
+    _app("XGC", 1515, 149_625.0, 240.0),
+    _app("S3D", 505, 20_199.0, 240.0),
+    _app("GYRO", 126, 197.2, 120.0),
+    _app("POP", 126, 102.5, 480.0),
+    _app("VULCAN", 64, 3.27, 720.0),
+)
+
+#: Name → spec for the six Table I applications.
+APPLICATIONS: Dict[str, ApplicationSpec] = {a.name: a for a in _APP_LIST}
+
+#: Paper ordering (largest checkpoint first), used by reports.
+APPLICATION_ORDER: Tuple[str, ...] = tuple(a.name for a in _APP_LIST)

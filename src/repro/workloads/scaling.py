@@ -1,0 +1,72 @@
+"""Checkpoint-size rescaling between platforms (paper Eq. 3).
+
+The Table I applications were characterized on OLCF Titan; the paper
+rescales their checkpoint sizes to Summit proportionally to the change in
+node count and per-node DRAM:
+
+.. math::
+
+    Size_{new} = \\frac{Size_{old} \\cdot \\#Nodes_{new} \\cdot DRAM_{new}}
+                      {\\#Nodes_{old} \\cdot DRAM_{old}}
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .applications import ApplicationSpec
+
+__all__ = ["scale_checkpoint_size", "rescale_application"]
+
+
+def scale_checkpoint_size(
+    size_old: float,
+    nodes_old: int,
+    dram_old: float,
+    nodes_new: int,
+    dram_new: float,
+) -> float:
+    """Apply Eq. (3) to one aggregate checkpoint size.
+
+    Parameters
+    ----------
+    size_old:
+        Aggregate checkpoint size on the old platform (bytes).
+    nodes_old, nodes_new:
+        Job node counts on the old/new platforms.
+    dram_old, dram_new:
+        Per-node DRAM sizes on the old/new platforms (bytes).
+    """
+    if size_old < 0:
+        raise ValueError("size must be non-negative")
+    if nodes_old < 1 or nodes_new < 1:
+        raise ValueError("node counts must be >= 1")
+    if dram_old <= 0 or dram_new <= 0:
+        raise ValueError("DRAM sizes must be positive")
+    return size_old * (nodes_new * dram_new) / (nodes_old * dram_old)
+
+
+def rescale_application(
+    app: ApplicationSpec,
+    nodes_new: int,
+    dram_old: float,
+    dram_new: float,
+) -> ApplicationSpec:
+    """Rescale an application spec to a new platform via Eq. (3).
+
+    The per-node checkpoint size on the new platform must not exceed the
+    new DRAM (the paper's standing assumption); violations raise.
+    """
+    new_total = scale_checkpoint_size(
+        app.checkpoint_bytes_total, app.nodes, dram_old, nodes_new, dram_new
+    )
+    if new_total / nodes_new > dram_new:
+        raise ValueError(
+            f"{app.name}: rescaled per-node checkpoint "
+            f"({new_total / nodes_new:.3e} B) exceeds DRAM ({dram_new:.3e} B)"
+        )
+    return replace(
+        app,
+        nodes=nodes_new,
+        checkpoint_bytes_total=new_total,
+    )

@@ -1,0 +1,242 @@
+"""Unit tests for the analytical models (Eqs. 1–8) and metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.breakeven import (
+    SIGMA_UPPER_BOUND,
+    alpha_breakeven,
+    alpha_breakeven_curve,
+    alpha_breakeven_exact,
+    beta_fraction,
+    lm_checkpoint_reduction,
+    pckpt_beats_lm,
+    sigma_upper_bound,
+)
+from repro.analysis.metrics import FTStats, OverheadBreakdown, percent_reduction
+from repro.analysis.young import oci_elongation_percent, sigma_adjusted_oci, young_oci
+
+
+class TestYoungOCI:
+    def test_formula(self):
+        # sqrt(2 * 100 / (1e-6 * 50)) = sqrt(4e6) = 2000
+        assert young_oci(100.0, 1e-6, 50) == pytest.approx(2000.0)
+
+    def test_sigma_zero_equals_young(self):
+        assert sigma_adjusted_oci(10, 1e-7, 8, 0.0) == young_oci(10, 1e-7, 8)
+
+    def test_sigma_lengthens_interval(self):
+        base = young_oci(10, 1e-7, 8)
+        assert sigma_adjusted_oci(10, 1e-7, 8, 0.5) == pytest.approx(
+            base / math.sqrt(0.5)
+        )
+
+    def test_elongation_percent(self):
+        assert oci_elongation_percent(0.0) == pytest.approx(0.0)
+        assert oci_elongation_percent(0.75) == pytest.approx(100.0)
+        # Paper's Obs 6 range: sigma in ~[0.58, 0.95] gives 54–340%.
+        assert 50 < oci_elongation_percent(0.58) < 60
+        assert oci_elongation_percent(0.85) == pytest.approx(158.0, abs=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_oci(0, 1e-6, 1)
+        with pytest.raises(ValueError):
+            young_oci(1, 0, 1)
+        with pytest.raises(ValueError):
+            young_oci(1, 1e-6, 0)
+        with pytest.raises(ValueError):
+            sigma_adjusted_oci(1, 1e-6, 1, 1.0)
+        with pytest.raises(ValueError):
+            oci_elongation_percent(-0.1)
+
+
+class TestBreakeven:
+    def test_sigma_upper_bound_is_golden_ratio_conjugate(self):
+        assert sigma_upper_bound() == pytest.approx((math.sqrt(5) - 1) / 2)
+        assert SIGMA_UPPER_BOUND == pytest.approx(0.61, abs=0.01)
+
+    def test_alpha_breakeven_paper_range(self):
+        """Eq. (8): alpha spans ≈[1.0, 1.30) over sigma in [0, 0.61)."""
+        a0 = alpha_breakeven(0.0)
+        a_hi = alpha_breakeven(0.609)
+        assert a0 == pytest.approx(1.0)
+        assert 1.29 < a_hi < 1.31
+        # ~1.04 is reached around sigma ≈ 0.09 (the paper's lower quote).
+        assert alpha_breakeven(0.09) == pytest.approx(1.04, abs=0.01)
+
+    def test_alpha_breakeven_monotone(self):
+        sigmas = np.linspace(0.0, 0.60, 50)
+        curve = alpha_breakeven_curve(sigmas)
+        assert np.all(np.diff(curve) > 0)
+
+    def test_curve_matches_scalar(self):
+        sigmas = np.array([0.1, 0.3, 0.5])
+        np.testing.assert_allclose(
+            alpha_breakeven_curve(sigmas), [alpha_breakeven(s) for s in sigmas]
+        )
+
+    def test_beta_fraction(self):
+        # Eq. (6): beta = (alpha - 1 + sigma) / alpha.
+        assert beta_fraction(3.0, 0.5) == pytest.approx(2.5 / 3.0)
+        assert beta_fraction(1.0, 0.0) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            beta_fraction(0.5, 0.1)
+
+    def test_lm_checkpoint_reduction(self):
+        # Eq. (5): ckpt_B * (1 - sqrt(1 - sigma)).
+        assert lm_checkpoint_reduction(100.0, 0.75) == pytest.approx(50.0)
+        assert lm_checkpoint_reduction(100.0, 0.0) == 0.0
+
+    def test_pckpt_beats_lm_consistent_with_exact_breakeven(self):
+        """Eq. (7) agrees with the *exact* 50/50 break-even, not the
+        published Eq. (8) — the paper's final simplification has an
+        algebra slip (see module docstring / EXPERIMENTS.md E14)."""
+        for sigma in (0.1, 0.3, 0.5):
+            threshold = alpha_breakeven_exact(sigma)
+            assert pckpt_beats_lm(threshold * 1.05, sigma, 50.0, 50.0)
+            assert not pckpt_beats_lm(max(threshold * 0.95, 1.0), sigma, 50.0, 50.0)
+
+    def test_exact_breakeven_more_demanding_than_published(self):
+        for sigma in (0.1, 0.3, 0.5):
+            assert alpha_breakeven_exact(sigma) > alpha_breakeven(sigma)
+        # Both blow up / cap out at the same golden-ratio sigma bound.
+        assert alpha_breakeven_exact(0.62) == math.inf
+
+    def test_alpha3_pckpt_wins_at_moderate_sigma(self):
+        """The paper's default alpha=3 puts p-ckpt ahead up to sigma≈0.55."""
+        for sigma in (0.0, 0.3, 0.5):
+            assert pckpt_beats_lm(3.0, sigma, 50.0, 50.0)
+        assert not pckpt_beats_lm(3.0, 0.58, 50.0, 50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            alpha_breakeven(0.7)
+        with pytest.raises(ValueError):
+            alpha_breakeven_curve(np.array([0.7]))
+        with pytest.raises(ValueError):
+            lm_checkpoint_reduction(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            pckpt_beats_lm(3.0, 0.5, 50.0, 0.0)
+
+
+class TestOverheadBreakdown:
+    def test_total_and_hours(self):
+        o = OverheadBreakdown(checkpoint=3600, recomputation=1800, recovery=900,
+                              migration=300)
+        assert o.total == 6600
+        assert o.total_hours == pytest.approx(6600 / 3600)
+        assert o.checkpoint_reported == 3900
+
+    def test_add_and_scale(self):
+        a = OverheadBreakdown(checkpoint=1, recomputation=2, recovery=3, migration=4)
+        b = a + a
+        assert (b.checkpoint, b.recomputation, b.recovery, b.migration) == (2, 4, 6, 8)
+        c = b.scaled(0.5)
+        assert c.total == pytest.approx(a.total)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverheadBreakdown(checkpoint=-1).validate()
+        OverheadBreakdown().validate()  # all zero OK
+
+
+class TestFTStats:
+    def test_ratio(self):
+        ft = FTStats(failures=10, predicted=8, mitigated_lm=3, mitigated_pckpt=4)
+        assert ft.mitigated == 7
+        assert ft.ft_ratio == pytest.approx(0.7)
+        assert FTStats().ft_ratio == 0.0
+
+    def test_lm_pckpt_difference(self):
+        ft = FTStats(failures=10, mitigated_lm=6, mitigated_pckpt=2)
+        assert ft.lm_pckpt_ft_difference == pytest.approx(0.4)
+        assert FTStats().lm_pckpt_ft_difference == 0.0
+
+    def test_add(self):
+        a = FTStats(failures=3, predicted=2, mitigated_lm=1)
+        b = FTStats(failures=4, predicted=4, mitigated_pckpt=2, false_alarms=1)
+        c = a + b
+        assert c.failures == 7
+        assert c.predicted == 6
+        assert c.mitigated == 3
+        assert c.false_alarms == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FTStats(failures=1, predicted=2).validate()
+        with pytest.raises(ValueError):
+            FTStats(failures=1, mitigated_lm=2).validate()
+        with pytest.raises(ValueError):
+            FTStats(failures=-1).validate()
+        FTStats(failures=2, predicted=2, mitigated_lm=1).validate()
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(100.0, 40.0) == pytest.approx(60.0)
+        assert percent_reduction(100.0, 120.0) == pytest.approx(-20.0)
+        assert percent_reduction(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percent_reduction(-1.0, 0.0)
+
+
+@given(sigma=st.floats(min_value=0.0, max_value=0.6))
+@settings(max_examples=100, deadline=None)
+def test_breakeven_alpha_within_paper_bounds(sigma):
+    assert 1.0 <= alpha_breakeven(sigma) < 1.31
+
+
+class TestExpectedOverheads:
+    def test_fixed_point_converges(self):
+        from repro.analysis.expected import expected_base_overheads
+        from repro.failures.weibull import TITAN_WEIBULL
+        from repro.platform.system import SUMMIT
+        from repro.workloads.applications import APPLICATIONS
+
+        exp = expected_base_overheads(APPLICATIONS["CHIMERA"], SUMMIT,
+                                      TITAN_WEIBULL)
+        # Makespan must satisfy its own fixed point.
+        reconstructed = (
+            APPLICATIONS["CHIMERA"].compute_seconds
+            + exp.checkpoint + exp.recomputation + exp.recovery
+        )
+        assert exp.makespan == pytest.approx(reconstructed, rel=1e-6)
+        assert exp.total == pytest.approx(
+            exp.checkpoint + exp.recomputation + exp.recovery
+        )
+
+    def test_magnitudes_sane(self):
+        from repro.analysis.expected import expected_base_overheads
+        from repro.failures.weibull import TITAN_WEIBULL
+        from repro.platform.system import SUMMIT
+        from repro.workloads.applications import APPLICATIONS
+
+        exp = expected_base_overheads(APPLICATIONS["CHIMERA"], SUMMIT,
+                                      TITAN_WEIBULL)
+        # ~360 h at a ~58 h MTBF: a handful of failures; OCI ~2 h.
+        assert 4.0 < exp.expected_failures < 9.0
+        assert 3600.0 < exp.oci < 4 * 3600.0
+        # Overheads are a few percent of the runtime.
+        assert 0.01 < exp.total / APPLICATIONS["CHIMERA"].compute_seconds < 0.15
+
+    def test_hotter_system_more_failures(self):
+        from repro.analysis.expected import expected_base_overheads
+        from repro.failures.weibull import LANL_SYSTEM18_WEIBULL, TITAN_WEIBULL
+        from repro.platform.system import SUMMIT
+        from repro.workloads.applications import APPLICATIONS
+
+        cold = expected_base_overheads(APPLICATIONS["XGC"], SUMMIT,
+                                       TITAN_WEIBULL)
+        hot = expected_base_overheads(APPLICATIONS["XGC"], SUMMIT,
+                                      LANL_SYSTEM18_WEIBULL)
+        assert hot.expected_failures > 5 * cold.expected_failures
+        assert hot.oci < cold.oci

@@ -1,0 +1,70 @@
+"""Unit tests for the pckpt command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["simulate", "POP", "P2"],
+            ["experiment", "fig2a"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--replications", "7", "--seed", "3", "list"]
+        )
+        assert args.replications == 7
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "CHIMERA" in out
+        assert "P2" in out
+        assert "titan" in out
+
+    def test_simulate_small(self, capsys):
+        code = main(["--replications", "2", "simulate", "vulcan", "P1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VULCAN" in out
+        assert "FT ratio" in out
+
+    def test_simulate_unknown_app(self, capsys):
+        assert main(["simulate", "NOPE", "P1"]) == 2
+
+    def test_experiment_fig2b(self, capsys):
+        assert main(["experiment", "fig2b"]) == 0
+        assert "optimal writer tasks" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "figZZ"]) == 2
+
+    def test_experiment_eq_analysis_free(self, capsys):
+        # fig2a/2b/2c run without any simulation and stay fast.
+        assert main(["experiment", "fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "lead-time distribution" in out
+
+    def test_experiment_export_flags(self, capsys, tmp_path):
+        import json
+
+        jpath = tmp_path / "fig2b.json"
+        cpath = tmp_path / "fig2b.csv"
+        assert main(["experiment", "fig2b", "--json", str(jpath),
+                     "--csv", str(cpath)]) == 0
+        rows = json.loads(jpath.read_text())
+        assert len(rows) == 80  # 8 task counts x 10 sizes
+        assert "bandwidth_bps" in rows[0]
+        assert cpath.read_text().startswith("tasks,")

@@ -1,0 +1,72 @@
+"""Unit tests for the proactive-action coordinator (hybrid decision rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coordinator import ProactiveAction, ProactiveCoordinator
+
+
+class TestDecide:
+    def test_model_b_ignores(self):
+        c = ProactiveCoordinator()
+        assert c.decide(1e9) is ProactiveAction.IGNORE
+
+    def test_model_m1_always_safeguards(self):
+        c = ProactiveCoordinator(supports_safeguard=True)
+        assert c.decide(0.0) is ProactiveAction.SAFEGUARD
+        assert c.decide(1e6) is ProactiveAction.SAFEGUARD
+
+    def test_model_m2_lm_or_nothing(self):
+        c = ProactiveCoordinator(supports_lm=True, lm_transfer_seconds=40.0)
+        assert c.decide(41.0) is ProactiveAction.LIVE_MIGRATION
+        assert c.decide(40.0) is ProactiveAction.LIVE_MIGRATION  # >= threshold
+        assert c.decide(39.0) is ProactiveAction.IGNORE
+
+    def test_model_p1_always_pckpt(self):
+        c = ProactiveCoordinator(supports_pckpt=True)
+        assert c.decide(0.5) is ProactiveAction.PCKPT
+        assert c.decide(1e5) is ProactiveAction.PCKPT
+
+    def test_model_p2_hybrid(self):
+        c = ProactiveCoordinator(
+            supports_lm=True, supports_pckpt=True, lm_transfer_seconds=40.0
+        )
+        assert c.decide(100.0) is ProactiveAction.LIVE_MIGRATION
+        assert c.decide(10.0) is ProactiveAction.PCKPT
+
+    def test_lm_margin(self):
+        c = ProactiveCoordinator(
+            supports_lm=True, supports_pckpt=True,
+            lm_transfer_seconds=40.0, lm_margin=1.5,
+        )
+        assert c.decide(59.0) is ProactiveAction.PCKPT
+        assert c.decide(61.0) is ProactiveAction.LIVE_MIGRATION
+
+    def test_negative_lead_rejected(self):
+        with pytest.raises(ValueError):
+            ProactiveCoordinator().decide(-1.0)
+
+
+class TestAbortRule:
+    def test_short_new_lead_aborts_lm(self):
+        c = ProactiveCoordinator(
+            supports_lm=True, supports_pckpt=True, lm_transfer_seconds=40.0
+        )
+        assert c.should_abort_lm_for(new_lead=10.0, lm_remaining=30.0)
+        assert not c.should_abort_lm_for(new_lead=50.0, lm_remaining=30.0)
+
+    def test_no_pckpt_no_abort(self):
+        c = ProactiveCoordinator(supports_lm=True, lm_transfer_seconds=40.0)
+        assert not c.should_abort_lm_for(new_lead=1.0, lm_remaining=30.0)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ProactiveCoordinator(lm_transfer_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ProactiveCoordinator(lm_margin=0.5)
+        with pytest.raises(ValueError):
+            ProactiveCoordinator(supports_lm=True, lm_transfer_seconds=0.0,
+                                 lm_margin=2.0)

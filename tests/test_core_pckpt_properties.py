@@ -1,0 +1,143 @@
+"""Property-based tests of the p-ckpt protocol invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pckpt import PckptProtocol, ProtocolAborted, entry_from_prediction
+from repro.des import Environment
+from repro.failures.injector import FailureEvent
+
+
+def fe(time, node, lead=1e6):
+    return FailureEvent(time=time, node=node, sequence_id=1, predicted=True,
+                        lead=lead)
+
+
+@st.composite
+def cohorts(draw):
+    """A random set of vulnerable nodes with distinct ids and deadlines."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    nodes = draw(
+        st.lists(st.integers(0, 99), min_size=n, max_size=n, unique=True)
+    )
+    deadlines = draw(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e5), min_size=n, max_size=n
+        )
+    )
+    write_s = draw(st.floats(min_value=0.1, max_value=30.0))
+    phase2_s = draw(st.floats(min_value=0.0, max_value=100.0))
+    return nodes, deadlines, write_s, phase2_s
+
+
+@given(cohorts())
+@settings(max_examples=120, deadline=None)
+def test_protocol_commit_invariants(cohort):
+    """For any initial cohort (no failures during the run):
+
+    * every vulnerable node commits exactly once, in deadline order;
+    * phase-1 blocked time = |cohort| × write time;
+    * phase-2 blocked time = the configured collective time;
+    * the protocol ends at start + phase1 + phase2.
+    """
+    nodes, deadlines, write_s, phase2_s = cohort
+    env = Environment()
+    commits = []
+    protocol = PckptProtocol(
+        env,
+        snapshot_work=0.0,
+        total_nodes=200,
+        priority_write_seconds=lambda n: write_s,
+        phase2_write_seconds=lambda n: phase2_s,
+        initial=[
+            entry_from_prediction(fe(t, node))
+            for node, t in zip(nodes, deadlines)
+        ],
+        on_commit=lambda e, t: commits.append((e.node, t)),
+    )
+
+    outcome = {}
+
+    def driver():
+        outcome["result"] = yield from protocol.run()
+
+    env.process(driver())
+    env.run()
+
+    result = outcome["result"]
+    # Exactly one commit per node.
+    assert sorted(result.committed) == sorted(nodes)
+    assert len(commits) == len(nodes)
+
+    # Commit order follows predicted-failure-time order.
+    deadline_of = dict(zip(nodes, deadlines))
+    committed_deadlines = [deadline_of[n] for n, _ in commits]
+    assert committed_deadlines == sorted(committed_deadlines)
+
+    # Blocked-time accounting.
+    assert result.phase1_seconds == pytest.approx(len(nodes) * write_s)
+    assert result.phase2_seconds == pytest.approx(phase2_s)
+    assert env.now == pytest.approx(result.duration)
+
+    # Commit timestamps are the serialized write completions.
+    times = [t for _, t in commits]
+    assert times == pytest.approx(
+        [write_s * (i + 1) for i in range(len(nodes))]
+    )
+
+
+@given(cohorts(), st.integers(min_value=0, max_value=11))
+@settings(max_examples=60, deadline=None)
+def test_protocol_abort_preserves_spent_time(cohort, victim_idx):
+    """A failure of a not-yet-committed node aborts the protocol, and the
+    blocked time burned up to that point is still accounted."""
+    nodes, deadlines, write_s, phase2_s = cohort
+    victim_idx = victim_idx % len(nodes)
+    # Choose the victim as the LAST node in deadline order so earlier
+    # nodes commit first; fail it just before its own write completes.
+    order = sorted(range(len(nodes)), key=lambda i: deadlines[i])
+    victim = nodes[order[-1]]
+    fail_at = write_s * len(nodes) - write_s * 0.5
+
+    env = Environment()
+    protocol = PckptProtocol(
+        env,
+        snapshot_work=0.0,
+        total_nodes=200,
+        priority_write_seconds=lambda n: write_s,
+        phase2_write_seconds=lambda n: phase2_s,
+        initial=[
+            entry_from_prediction(fe(t, node))
+            for node, t in zip(nodes, deadlines)
+        ],
+    )
+
+    state = {}
+
+    def driver():
+        try:
+            state["outcome"] = yield from protocol.run()
+        except ProtocolAborted as exc:
+            state["aborted"] = exc
+
+    proc = env.process(driver())
+
+    def failer():
+        yield env.timeout(fail_at)
+        if proc.is_alive:
+            proc.interrupt(("failure", fe(fail_at, victim, lead=0.0)))
+
+    env.process(failer())
+    env.run()
+
+    assert "aborted" in state
+    assert state["aborted"].failure.node == victim
+    # All earlier nodes committed before the abort.
+    assert len(protocol.committed) == len(nodes) - 1
+    # Spent time equals the simulation time at the abort.
+    assert protocol.phase1_spent + protocol.phase2_spent == pytest.approx(
+        fail_at
+    )

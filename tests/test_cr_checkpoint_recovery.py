@@ -1,0 +1,102 @@
+"""Unit tests for the snapshot ledger and recovery planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.checkpoint import Snapshot, SnapshotKind, SnapshotLedger
+from repro.cr.recovery import plan_recovery
+from repro.iomodel.bandwidth import GiB
+from repro.platform.burstbuffer import BurstBufferSpec
+from repro.platform.pfs import PFSSpec
+
+
+class TestSnapshotLedger:
+    def test_empty_ledger(self):
+        ledger = SnapshotLedger()
+        assert ledger.recovery_snapshot() is None
+        assert not ledger.survivors_can_use_bb()
+
+    def test_periodic_then_drain(self):
+        ledger = SnapshotLedger()
+        snap = ledger.record_periodic(100.0, time=10.0)
+        assert ledger.recovery_snapshot() is None  # not drained yet
+        ledger.record_drained(snap)
+        assert ledger.recovery_snapshot() is snap
+        assert ledger.survivors_can_use_bb()
+
+    def test_proactive_beats_older_drain(self):
+        ledger = SnapshotLedger()
+        snap = ledger.record_periodic(100.0, time=10.0)
+        ledger.record_drained(snap)
+        pro = ledger.record_proactive(150.0, time=20.0)
+        assert ledger.recovery_snapshot() is pro
+        assert not ledger.survivors_can_use_bb()  # PFS-only snapshot
+
+    def test_stale_drain_does_not_regress(self):
+        ledger = SnapshotLedger()
+        old = ledger.record_periodic(100.0, time=10.0)
+        ledger.record_proactive(150.0, time=20.0)
+        ledger.record_drained(old)  # lands late
+        assert ledger.recovery_snapshot().work == 150.0
+
+    def test_newer_bb_than_pfs_blocks_bb_recovery(self):
+        """Fig 1(B): newest periodic is undrained — recovery can't use it."""
+        ledger = SnapshotLedger()
+        first = ledger.record_periodic(100.0, time=10.0)
+        ledger.record_drained(first)
+        ledger.record_periodic(200.0, time=20.0)  # drain pending
+        assert ledger.recovery_snapshot().work == 100.0
+        assert not ledger.survivors_can_use_bb()
+
+    def test_rollback_invalidates_newer_bb(self):
+        ledger = SnapshotLedger()
+        first = ledger.record_periodic(100.0, time=10.0)
+        ledger.record_drained(first)
+        ledger.record_periodic(200.0, time=20.0)
+        ledger.rollback(100.0)
+        assert ledger.bb is None
+        assert ledger.recovery_snapshot().work == 100.0
+
+
+class TestRecoveryPlan:
+    bb = BurstBufferSpec()
+    pfs = PFSSpec()
+
+    def test_no_snapshot_restarts_from_scratch(self):
+        plan = plan_recovery(SnapshotLedger(), self.pfs, self.bb, 16, 8 * GiB, 60.0)
+        assert plan.restore_work == 0.0
+        assert plan.read_seconds == 0.0
+        assert plan.total_seconds == 60.0
+
+    def test_bb_fast_path(self):
+        ledger = SnapshotLedger()
+        snap = ledger.record_periodic(500.0, time=1.0)
+        ledger.record_drained(snap)
+        plan = plan_recovery(ledger, self.pfs, self.bb, 16, 8 * GiB, 60.0)
+        assert plan.from_bb
+        assert plan.restore_work == 500.0
+        expected = max(
+            self.bb.read_time(8 * GiB), self.pfs.replacement_read_time(8 * GiB)
+        )
+        assert plan.read_seconds == pytest.approx(expected)
+
+    def test_proactive_full_pfs_path(self):
+        ledger = SnapshotLedger()
+        ledger.record_proactive(700.0, time=2.0)
+        plan = plan_recovery(ledger, self.pfs, self.bb, 1024, 8 * GiB, 60.0)
+        assert not plan.from_bb
+        assert plan.read_seconds == pytest.approx(
+            self.pfs.full_restore_read_time(1024, 8 * GiB)
+        )
+
+    def test_proactive_recovery_costlier_at_scale(self):
+        """The P1 signature: all-PFS restore >> BB restore for big jobs."""
+        fast = SnapshotLedger()
+        s = fast.record_periodic(1.0, 0.0)
+        fast.record_drained(s)
+        slow = SnapshotLedger()
+        slow.record_proactive(1.0, 0.0)
+        p_fast = plan_recovery(fast, self.pfs, self.bb, 2048, 280 * GiB, 60.0)
+        p_slow = plan_recovery(slow, self.pfs, self.bb, 2048, 280 * GiB, 60.0)
+        assert p_slow.read_seconds > 2 * p_fast.read_seconds

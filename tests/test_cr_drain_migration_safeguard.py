@@ -1,0 +1,217 @@
+"""Unit tests for DrainManager, LiveMigration, and SafeguardCheckpoint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cr.checkpoint import SnapshotLedger
+from repro.cr.drain import DrainManager
+from repro.cr.migration import LiveMigration, MigrationOutcome
+from repro.cr.safeguard import SafeguardAborted, SafeguardCheckpoint
+from repro.failures.injector import FailureEvent, FalseAlarmEvent
+from repro.iomodel.bandwidth import GiB
+from repro.platform.pfs import PFSSpec
+from repro.platform.system import SUMMIT
+
+
+def _failure(time, node, lead=10.0):
+    return FailureEvent(time=time, node=node, sequence_id=6, predicted=True, lead=lead)
+
+
+class TestDrainManager:
+    def _make(self, env, nodes=16, per_node=8 * GiB):
+        ledger = SnapshotLedger()
+        pfs = PFSSpec()
+        dm = DrainManager(env, pfs, ledger, nodes, per_node)
+        return dm, ledger, pfs
+
+    def test_drain_completes_and_updates_ledger(self, env):
+        dm, ledger, pfs = self._make(env)
+        snap = ledger.record_periodic(100.0, 0.0)
+        dm.submit(snap)
+        env.run()
+        assert dm.completed == 1
+        assert ledger.recovery_snapshot() is snap
+        assert env.now == pytest.approx(pfs.drain_time(16, 8 * GiB))
+
+    def test_serialized_drains(self, env):
+        dm, ledger, pfs = self._make(env)
+        s1 = ledger.record_periodic(100.0, 0.0)
+        s2 = ledger.record_periodic(200.0, 0.0)
+        dm.submit(s1)
+        dm.submit(s2)
+        env.run()
+        assert dm.completed == 2
+        assert env.now == pytest.approx(2 * pfs.drain_time(16, 8 * GiB))
+        assert ledger.recovery_snapshot().work == 200.0
+
+    def test_cancel_in_flight(self, env):
+        dm, ledger, pfs = self._make(env)
+        snap = ledger.record_periodic(100.0, 0.0)
+        dm.submit(snap)
+
+        def canceller(env):
+            yield env.timeout(pfs.drain_time(16, 8 * GiB) / 2)
+            dm.cancel_newer_than(50.0)
+
+        env.process(canceller(env))
+        env.run()
+        assert dm.completed == 0
+        assert dm.cancelled == 1
+        assert ledger.recovery_snapshot() is None
+
+    def test_cancel_spares_older_snapshots(self, env):
+        dm, ledger, pfs = self._make(env)
+        snap = ledger.record_periodic(100.0, 0.0)
+        dm.submit(snap)
+
+        def canceller(env):
+            yield env.timeout(1.0)
+            dm.cancel_newer_than(150.0)  # snapshot at 100 survives
+
+        env.process(canceller(env))
+        env.run()
+        assert dm.completed == 1
+
+    def test_on_drained_callback(self, env):
+        landed = []
+        ledger = SnapshotLedger()
+        dm = DrainManager(env, PFSSpec(), ledger, 4, 1 * GiB,
+                          on_drained=landed.append)
+        snap = ledger.record_periodic(10.0, 0.0)
+        dm.submit(snap)
+        env.run()
+        assert landed == [snap]
+
+    def test_busy_flag(self, env):
+        dm, ledger, _ = self._make(env)
+        assert not dm.busy
+        dm.submit(ledger.record_periodic(1.0, 0.0))
+        assert dm.busy
+        env.run()
+        assert not dm.busy
+
+
+class TestLiveMigration:
+    def test_completes(self, env):
+        outcomes = []
+        lm = LiveMigration(
+            env, SUMMIT, node=3, prediction=_failure(100.0, 3),
+            ckpt_bytes_per_node=10 * GiB,
+            on_done=lambda m, o: outcomes.append(o),
+        )
+        expected = SUMMIT.lm_transfer_time(10 * GiB, 3.0)
+        assert lm.transfer_seconds == pytest.approx(expected)
+        assert lm.completes_before(expected + 1.0)
+        assert not lm.completes_before(expected - 1.0)
+        env.run()
+        assert outcomes == [MigrationOutcome.COMPLETED]
+        assert not lm.in_flight
+
+    def test_abort(self, env):
+        outcomes = []
+        lm = LiveMigration(
+            env, SUMMIT, 3, _failure(100.0, 3), 10 * GiB,
+            on_done=lambda m, o: outcomes.append(o),
+        )
+
+        def aborter(env):
+            yield env.timeout(lm.transfer_seconds / 2)
+            lm.abort("test")
+
+        env.process(aborter(env))
+        env.run()
+        assert outcomes == [MigrationOutcome.ABORTED]
+
+    def test_overtake(self, env):
+        outcomes = []
+        lm = LiveMigration(
+            env, SUMMIT, 3, _failure(100.0, 3), 10 * GiB,
+            on_done=lambda m, o: outcomes.append(o),
+        )
+
+        def failer(env):
+            yield env.timeout(lm.transfer_seconds / 3)
+            lm.overtake()
+
+        env.process(failer(env))
+        env.run()
+        assert outcomes == [MigrationOutcome.OVERTAKEN]
+
+    def test_alpha_and_dram_bound(self, env):
+        lm = LiveMigration(env, SUMMIT, 0, _failure(10.0, 0), 284.5 * GiB, alpha=3.0)
+        assert 40.0 < lm.transfer_seconds < 42.0  # 512 GiB DRAM cap
+        env.run()
+
+
+class _Host:
+    """Minimal driver for SafeguardCheckpoint inside a process."""
+
+    def __init__(self, env, run_obj):
+        self.env = env
+        self.outcome = None
+        self.error = None
+        self.proc = env.process(self._drive(run_obj))
+
+    def _drive(self, run_obj):
+        try:
+            self.outcome = yield from run_obj.run()
+        except SafeguardAborted as exc:
+            self.error = exc
+
+
+class TestSafeguard:
+    def test_completes(self, env):
+        sg = SafeguardCheckpoint(env, snapshot_work=500.0, write_seconds=30.0,
+                                 trigger=_failure(100.0, 1))
+        host = _Host(env, sg)
+        env.run()
+        assert host.outcome is not None
+        assert host.outcome.duration == pytest.approx(30.0)
+        assert host.outcome.snapshot_work == 500.0
+        assert len(host.outcome.served) == 1
+
+    def test_aborted_by_failure(self, env):
+        sg = SafeguardCheckpoint(env, 500.0, 30.0, _failure(10.0, 1))
+        host = _Host(env, sg)
+
+        def failer(env):
+            yield env.timeout(10.0)
+            host.proc.interrupt(("failure", _failure(10.0, 1)))
+
+        env.process(failer(env))
+        env.run()
+        assert host.error is not None
+        assert host.error.failure.node == 1
+        assert sg.spent == pytest.approx(10.0)
+
+    def test_prediction_joins_served(self, env):
+        sg = SafeguardCheckpoint(env, 500.0, 30.0, _failure(100.0, 1))
+        host = _Host(env, sg)
+
+        def predictor(env):
+            yield env.timeout(5.0)
+            host.proc.interrupt(("prediction", _failure(200.0, 2)))
+
+        env.process(predictor(env))
+        env.run()
+        assert len(host.outcome.served) == 2
+        assert host.outcome.duration == pytest.approx(30.0)
+
+    def test_covered_node_failure_goes_pending(self, env):
+        sg = SafeguardCheckpoint(env, 500.0, 30.0, _failure(100.0, 1),
+                                 already_covered={7})
+        host = _Host(env, sg)
+
+        def failer(env):
+            yield env.timeout(5.0)
+            host.proc.interrupt(("failure", _failure(5.0, 7)))
+
+        env.process(failer(env))
+        env.run()
+        assert host.error is None
+        assert len(host.outcome.pending_failures) == 1
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            SafeguardCheckpoint(env, 0.0, -1.0, _failure(1.0, 0))

@@ -1,0 +1,71 @@
+"""Property-based tests of the snapshot ledger invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cr.checkpoint import SnapshotKind, SnapshotLedger
+
+
+@st.composite
+def ledger_ops(draw):
+    """A random interleaving of ledger operations at increasing work."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    work = 0.0
+    for _ in range(n):
+        work += draw(st.floats(min_value=0.1, max_value=100.0))
+        kind = draw(st.sampled_from(["periodic", "drain", "proactive", "rollback"]))
+        ops.append((kind, work))
+    return ops
+
+
+@given(ledger_ops())
+@settings(max_examples=150, deadline=None)
+def test_ledger_invariants(ops):
+    """Invariants that must hold across any operation interleaving:
+
+    * the recovery snapshot's work never decreases except via rollback;
+    * survivors_can_use_bb implies the BB and PFS generations coincide
+      and the snapshot is periodic;
+    * a rollback leaves no snapshot newer than the rollback point.
+    """
+    ledger = SnapshotLedger()
+    pending = []  # undrained periodic snapshots
+    last_pfs_work = -1.0
+
+    for kind, work in ops:
+        if kind == "periodic":
+            pending.append(ledger.record_periodic(work, time=work))
+        elif kind == "drain" and pending:
+            snap = pending.pop(0)
+            # Only drain snapshots that are still valid (not rolled back).
+            if ledger.bb is None or snap.work <= ledger.bb.work:
+                ledger.record_drained(snap)
+        elif kind == "proactive":
+            ledger.record_proactive(work, time=work)
+        elif kind == "rollback":
+            point = ledger.recovery_snapshot()
+            target = point.work if point is not None else 0.0
+            ledger.rollback(target)
+            pending = [s for s in pending if s.work <= target]
+
+        snap = ledger.recovery_snapshot()
+        if snap is not None:
+            # Monotone except explicit rollback (which restores to the
+            # recovery snapshot itself, so it never decreases it).
+            assert snap.work >= last_pfs_work or kind == "rollback"
+            last_pfs_work = snap.work
+
+        if ledger.survivors_can_use_bb():
+            assert ledger.bb is not None and ledger.pfs is not None
+            assert ledger.bb.work == ledger.pfs.work
+            assert ledger.pfs.kind is SnapshotKind.PERIODIC
+
+        if ledger.bb is not None and ledger.pfs is not None:
+            # The BB generation is never older than the drained one
+            # (drains only publish what the BBs already held).
+            assert ledger.bb.work >= ledger.pfs.work or (
+                ledger.pfs.kind is SnapshotKind.PROACTIVE
+            )

@@ -1,0 +1,141 @@
+"""Unit tests for the adaptive OCI controller."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.young import young_oci
+from repro.cr.oci import OCIController
+from repro.failures.injector import FailureInjector
+from repro.failures.leadtime import PAPER_LEAD_TIME_MODEL
+from repro.failures.predictor import DEFAULT_PREDICTOR
+from repro.failures.weibull import TITAN_WEIBULL
+
+
+def make_injector(nodes=1515, predictor=DEFAULT_PREDICTOR, seed=0):
+    return FailureInjector(
+        TITAN_WEIBULL, nodes, PAPER_LEAD_TIME_MODEL, predictor,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestOracleRate:
+    def test_matches_weibull(self):
+        inj = make_injector(nodes=1000)
+        ctl = OCIController(t_ckpt_bb=60.0, injector=inj, nodes=1000)
+        expected = 1.0 / (inj.weibull_app.mtbf_hours * 3600.0 * 1000)
+        assert ctl.per_node_rate() == pytest.approx(expected)
+
+    def test_interval_equals_young(self):
+        inj = make_injector(nodes=1000)
+        ctl = OCIController(t_ckpt_bb=60.0, injector=inj, nodes=1000)
+        assert ctl.interval() == pytest.approx(
+            young_oci(60.0, ctl.per_node_rate(), 1000)
+        )
+
+
+class TestSigma:
+    def test_no_sigma_without_flag(self):
+        ctl = OCIController(t_ckpt_bb=60.0, injector=make_injector(), nodes=10)
+        assert ctl.sigma() == 0.0
+
+    def test_sigma_uses_assumed_recall(self):
+        inj = make_injector()
+        ctl = OCIController(
+            t_ckpt_bb=60.0, injector=inj, nodes=10, use_sigma=True,
+            lm_threshold=41.0,
+        )
+        survival = float(PAPER_LEAD_TIME_MODEL.survival(41.0))
+        assert ctl.sigma() == pytest.approx(0.85 * survival)
+
+    def test_sigma_ignores_actual_recall_by_default(self):
+        """The Observation 9 overestimation: sweeping FN does not move σ."""
+        bad_pred = DEFAULT_PREDICTOR.with_false_negative_rate(0.40)
+        ctl = OCIController(
+            t_ckpt_bb=60.0, injector=make_injector(predictor=bad_pred),
+            nodes=10, use_sigma=True, lm_threshold=41.0,
+        )
+        good = OCIController(
+            t_ckpt_bb=60.0, injector=make_injector(), nodes=10,
+            use_sigma=True, lm_threshold=41.0,
+        )
+        assert ctl.sigma() == pytest.approx(good.sigma())
+
+    def test_future_work_fix_uses_actual_recall(self):
+        bad_pred = DEFAULT_PREDICTOR.with_false_negative_rate(0.40)
+        ctl = OCIController(
+            t_ckpt_bb=60.0, injector=make_injector(predictor=bad_pred),
+            nodes=10, use_sigma=True, lm_threshold=41.0,
+            sigma_includes_recall=True,
+        )
+        survival = float(PAPER_LEAD_TIME_MODEL.survival(41.0))
+        assert ctl.sigma() == pytest.approx(0.60 * survival)
+
+    def test_sigma_respects_lead_scale(self):
+        up = DEFAULT_PREDICTOR.with_lead_change(100)
+        ctl_up = OCIController(
+            t_ckpt_bb=60.0, injector=make_injector(predictor=up), nodes=10,
+            use_sigma=True, lm_threshold=41.0,
+        )
+        ctl = OCIController(
+            t_ckpt_bb=60.0, injector=make_injector(), nodes=10,
+            use_sigma=True, lm_threshold=41.0,
+        )
+        assert ctl_up.sigma() > ctl.sigma()
+
+    def test_sigma_lengthens_interval(self):
+        inj = make_injector()
+        plain = OCIController(t_ckpt_bb=60.0, injector=inj, nodes=10)
+        sig = OCIController(
+            t_ckpt_bb=60.0, injector=inj, nodes=10, use_sigma=True,
+            lm_threshold=0.2,
+        )
+        # Tiny threshold -> sigma near recall -> interval x ~2.5.
+        assert sig.interval() == pytest.approx(
+            plain.interval() / math.sqrt(1 - sig.sigma()), rel=1e-6
+        )
+        assert sig.interval() > 1.5 * plain.interval()
+
+
+class TestOnlineEstimation:
+    def test_blends_toward_empirical(self):
+        inj = make_injector(nodes=100)
+        ctl = OCIController(
+            t_ckpt_bb=60.0, injector=inj, nodes=100, online_estimation=True
+        )
+        oracle = ctl.per_node_rate()
+        # Observe a much hotter reality: 50 failures in 10 hours.
+        for _ in range(50):
+            ctl.record_failure()
+        ctl.record_time(10 * 3600.0)
+        assert ctl.per_node_rate() > oracle * 5
+
+    def test_no_observations_returns_oracle(self):
+        inj = make_injector(nodes=100)
+        ctl = OCIController(
+            t_ckpt_bb=60.0, injector=inj, nodes=100, online_estimation=True
+        )
+        assert ctl.per_node_rate() == OCIController(
+            t_ckpt_bb=60.0, injector=inj, nodes=100
+        ).per_node_rate()
+
+
+class TestValidation:
+    def test_bad_params(self):
+        inj = make_injector()
+        with pytest.raises(ValueError):
+            OCIController(t_ckpt_bb=0.0, injector=inj, nodes=10)
+        with pytest.raises(ValueError):
+            OCIController(t_ckpt_bb=1.0, injector=inj, nodes=0)
+        with pytest.raises(ValueError):
+            OCIController(t_ckpt_bb=1.0, injector=inj, nodes=1, use_sigma=True)
+
+    def test_min_interval_floor(self):
+        inj = make_injector()
+        ctl = OCIController(
+            t_ckpt_bb=1e-9, injector=inj, nodes=10, min_interval=5.0
+        )
+        assert ctl.interval() >= 5.0

@@ -1,0 +1,135 @@
+"""Unit tests for the Environment event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import EmptySchedule, Environment, Infinity, SimulationError
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_peek_empty(self, env):
+        assert env.peek() == Infinity
+
+    def test_peek_next_event(self, env):
+        env.timeout(4.0)
+        env.timeout(2.0)
+        assert env.peek() == 2.0
+
+    def test_queue_size(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        assert env.queue_size == 2
+
+
+class TestRun:
+    def test_run_to_exhaustion(self, env):
+        env.timeout(3)
+        env.timeout(8)
+        env.run()
+        assert env.now == 8.0
+
+    def test_run_until_time_stops_clock(self, env):
+        def ticker(env):
+            while True:
+                yield env.timeout(1)
+
+        env.process(ticker(env))
+        env.run(until=5.5)
+        assert env.now == 5.5
+
+    def test_run_until_time_in_past_raises(self, env):
+        env.timeout(1)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return 99
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 99
+
+    def test_run_until_already_processed_event(self, env):
+        t = env.timeout(1, value="v")
+        env.run()
+        assert env.run(until=t) == "v"
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        ev = env.event()  # nothing will ever trigger it
+        env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+    def test_run_until_failed_event_raises(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        p = env.process(proc(env))
+        with pytest.raises(ValueError, match="inner"):
+            env.run(until=p)
+
+    def test_step_on_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_run_until_empty_helper(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        env.run_until_empty()
+        assert env.now == 2.0
+
+    def test_unhandled_process_failure_propagates(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise RuntimeError("unhandled")
+
+        env.process(bad(env))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_waited_on_failure_is_defused(self, env):
+        caught = []
+
+        def bad(env):
+            yield env.timeout(1)
+            raise RuntimeError("x")
+
+        def waiter(env, p):
+            try:
+                yield p
+            except RuntimeError:
+                caught.append(env.now)
+
+        p = env.process(bad(env))
+        env.process(waiter(env, p))
+        env.run()
+        assert caught == [1.0]
+
+
+class TestDeterminism:
+    def test_same_time_events_fifo(self, env):
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(5)
+            order.append(tag)
+
+        for tag in range(10):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == list(range(10))
+
+    def test_negative_schedule_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-1.0)
+
+    def test_repr(self, env):
+        assert "Environment" in repr(env)

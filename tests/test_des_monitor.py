@@ -1,0 +1,57 @@
+"""Unit tests for the Trace instrumentation."""
+
+from __future__ import annotations
+
+from repro.des import Trace
+
+
+class TestTrace:
+    def test_emit_records_time(self, env):
+        tr = Trace(env)
+
+        def proc(env):
+            yield env.timeout(5)
+            tr.emit("app", "tick", 1)
+
+        env.process(proc(env))
+        env.run()
+        assert len(tr) == 1
+        rec = tr.records[0]
+        assert (rec.time, rec.source, rec.kind, rec.detail) == (5.0, "app", "tick", 1)
+
+    def test_disabled_trace_records_nothing(self, env):
+        tr = Trace(env, enabled=False)
+        tr.emit("x", "y")
+        assert len(tr) == 0
+        assert tr.count("y") == 0
+
+    def test_filter_by_kind_and_source(self, env):
+        tr = Trace(env)
+        tr.emit("a", "k1")
+        tr.emit("b", "k1")
+        tr.emit("a", "k2")
+        assert len(list(tr.filter(kind="k1"))) == 2
+        assert len(list(tr.filter(source="a"))) == 2
+        assert len(list(tr.filter(kind="k2", source="a"))) == 1
+
+    def test_count_survives_max_records(self, env):
+        tr = Trace(env, max_records=2)
+        for _ in range(5):
+            tr.emit("s", "k")
+        assert len(tr) == 2
+        assert tr.count("k") == 5
+
+    def test_kinds_first_seen_order(self, env):
+        tr = Trace(env)
+        tr.emit("s", "b")
+        tr.emit("s", "a")
+        tr.emit("s", "b")
+        assert tr.kinds() == ("b", "a")
+
+    def test_format_limits(self, env):
+        tr = Trace(env)
+        for i in range(4):
+            tr.emit("s", "k", i)
+        text = tr.format(limit=2)
+        assert "2 more records" in text
+        assert text.count("\n") == 2

@@ -1,0 +1,149 @@
+"""Unit tests for Resource and PriorityResource."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Environment, Interrupt, PriorityResource, Resource
+
+
+def hold(env, res, log, name, duration, priority=None, delay=0.0):
+    """Helper process: acquire, hold, release."""
+    if delay:
+        yield env.timeout(delay)
+    req = res.request() if priority is None else res.request(priority=priority)
+    with req:
+        yield req
+        log.append((name, env.now))
+        yield env.timeout(duration)
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_fifo_service(self, env):
+        log = []
+        res = Resource(env, capacity=1)
+        for i in range(3):
+            env.process(hold(env, res, log, f"p{i}", 2.0))
+        env.run()
+        assert log == [("p0", 0.0), ("p1", 2.0), ("p2", 4.0)]
+
+    def test_capacity_two_parallel(self, env):
+        log = []
+        res = Resource(env, capacity=2)
+        for i in range(4):
+            env.process(hold(env, res, log, f"p{i}", 3.0))
+        env.run()
+        assert log == [("p0", 0.0), ("p1", 0.0), ("p2", 3.0), ("p3", 3.0)]
+
+    def test_count_and_queue(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, res, log, "a", 5.0))
+        env.process(hold(env, res, log, "b", 5.0))
+
+        def check(env):
+            yield env.timeout(1)
+            assert res.count == 1
+            assert len(res.queue) == 1
+
+        env.process(check(env))
+        env.run()
+
+    def test_release_unheld_raises(self, env):
+        res = Resource(env)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            res.release(req)
+            with pytest.raises(RuntimeError):
+                res.release(req)
+
+        env.process(proc(env))
+        env.run()
+
+    def test_context_manager_cancels_waiting_request(self, env):
+        res = Resource(env, capacity=1)
+        log = []
+        env.process(hold(env, res, log, "holder", 10.0))
+
+        def impatient(env):
+            try:
+                with res.request() as req:
+                    yield req
+                    log.append(("impatient", env.now))  # pragma: no cover
+            except Interrupt:
+                log.append(("gave-up", env.now))
+
+        def canceller(env, p):
+            yield env.timeout(2)
+            p.interrupt()
+
+        p = env.process(impatient(env))
+        env.process(canceller(env, p))
+        env.process(hold(env, res, log, "later", 1.0, delay=3.0))
+        env.run()
+        assert ("gave-up", 2.0) in log
+        assert ("later", 10.0) in log  # the cancelled request did not block
+
+    def test_repr(self, env):
+        assert "capacity=1" in repr(Resource(env))
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        log = []
+        res = PriorityResource(env, capacity=1)
+        env.process(hold(env, res, log, "holder", 5.0, priority=0))
+        env.process(hold(env, res, log, "low", 5.0, priority=10, delay=1.0))
+        env.process(hold(env, res, log, "high", 5.0, priority=1, delay=2.0))
+        env.run()
+        assert log == [("holder", 0.0), ("high", 5.0), ("low", 10.0)]
+
+    def test_priority_ties_fifo(self, env):
+        log = []
+        res = PriorityResource(env, capacity=1)
+        env.process(hold(env, res, log, "holder", 3.0, priority=0))
+        env.process(hold(env, res, log, "first", 1.0, priority=5, delay=1.0))
+        env.process(hold(env, res, log, "second", 1.0, priority=5, delay=1.0))
+        env.run()
+        assert log == [("holder", 0.0), ("first", 3.0), ("second", 4.0)]
+
+    def test_cancelled_waiter_skipped(self, env):
+        log = []
+        res = PriorityResource(env, capacity=1)
+        env.process(hold(env, res, log, "holder", 6.0, priority=0))
+
+        def quitter(env):
+            try:
+                with res.request(priority=1) as req:
+                    yield req
+                    log.append(("quitter", env.now))  # pragma: no cover
+            except Interrupt:
+                pass
+
+        def canceller(env, p):
+            yield env.timeout(2)
+            p.interrupt()
+
+        p = env.process(quitter(env))
+        env.process(canceller(env, p))
+        env.process(hold(env, res, log, "waiter", 1.0, priority=9, delay=1.0))
+        env.run()
+        assert log == [("holder", 0.0), ("waiter", 6.0)]
+
+    def test_vulnerable_node_semantics(self, env):
+        """The p-ckpt use case: smaller lead time drains first."""
+        log = []
+        res = PriorityResource(env, capacity=1)
+        # Three 'vulnerable nodes' with different lead times arrive while
+        # the lane is busy.
+        env.process(hold(env, res, log, "busy", 4.0, priority=0))
+        for name, lead in [("n-60s", 60.0), ("n-10s", 10.0), ("n-30s", 30.0)]:
+            env.process(hold(env, res, log, name, 1.0, priority=lead, delay=1.0))
+        env.run()
+        assert [name for name, _ in log] == ["busy", "n-10s", "n-30s", "n-60s"]

@@ -1,0 +1,176 @@
+"""Unit tests for Store, PriorityStore and Container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import Container, PriorityItem, PriorityStore, Store
+
+
+class TestStore:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+    def test_fifo_order(self, env):
+        st = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(4):
+                yield st.put(i)
+
+        def consumer(env):
+            for _ in range(4):
+                item = yield st.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_get_blocks_until_put(self, env):
+        got = []
+
+        st = Store(env)
+
+        def consumer(env):
+            item = yield st.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(5)
+            yield st.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(5.0, "late")]
+
+    def test_put_blocks_at_capacity(self, env):
+        st = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield st.put("a")
+            times.append(("a-in", env.now))
+            yield st.put("b")
+            times.append(("b-in", env.now))
+
+        def consumer(env):
+            yield env.timeout(4)
+            yield st.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [("a-in", 0.0), ("b-in", 4.0)]
+
+    def test_len(self, env):
+        st = Store(env)
+        st.put("x")
+        env.run()
+        assert len(st) == 1
+
+
+class TestPriorityStore:
+    def test_priority_order(self, env):
+        st = PriorityStore(env)
+        for prio, name in [(30.0, "later"), (5.0, "urgent"), (10.0, "soon")]:
+            st.put(PriorityItem(prio, name))
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield st.get()
+                got.append(item.item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == ["urgent", "soon", "later"]
+
+    def test_equal_priority_insertion_order(self, env):
+        st = PriorityStore(env)
+        st.put(PriorityItem(1.0, "first"))
+        st.put(PriorityItem(1.0, "second"))
+        got = []
+
+        def consumer(env):
+            for _ in range(2):
+                item = yield st.get()
+                got.append(item.item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == ["first", "second"]
+
+    def test_non_orderable_payload(self, env):
+        st = PriorityStore(env)
+        st.put(PriorityItem(2.0, {"b": 1}))
+        st.put(PriorityItem(1.0, {"a": 1}))
+        got = []
+
+        def consumer(env):
+            item = yield st.get()
+            got.append(item.item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [{"a": 1}]
+
+
+class TestContainer:
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=5, init=6)
+
+    def test_level_tracking(self, env):
+        c = Container(env, capacity=100, init=20)
+        c.put(30)
+        c.get(10)
+        env.run()
+        assert c.level == 40
+
+    def test_get_blocks_until_available(self, env):
+        c = Container(env, capacity=10)
+        times = []
+
+        def taker(env):
+            yield c.get(5)
+            times.append(env.now)
+
+        def giver(env):
+            yield env.timeout(3)
+            yield c.put(7)
+
+        env.process(taker(env))
+        env.process(giver(env))
+        env.run()
+        assert times == [3.0]
+
+    def test_put_blocks_at_capacity(self, env):
+        c = Container(env, capacity=10, init=8)
+        times = []
+
+        def giver(env):
+            yield c.put(5)
+            times.append(env.now)
+
+        def taker(env):
+            yield env.timeout(2)
+            yield c.get(4)
+
+        env.process(giver(env))
+        env.process(taker(env))
+        env.run()
+        assert times == [2.0]
+
+    def test_nonpositive_amounts_rejected(self, env):
+        c = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)

@@ -1,0 +1,94 @@
+"""Smoke/shape tests for the per-figure experiment drivers.
+
+These run at a deliberately tiny scale; the benchmarks run the full-size
+versions and assert the paper's quantitative shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig2a, fig2b, fig2c, fig6, fig6c, fig8, ftratio, leadvar, obs9
+from repro.experiments.config import ExperimentScale
+from repro.failures.weibull import TITAN_WEIBULL
+
+#: Very small scale so the whole module stays fast.
+TINY = ExperimentScale(replications=2, seed=42, workers=1)
+
+
+class TestCalibrationDrivers:
+    def test_fig2a(self):
+        result = fig2a.run(n_failures=300, seed=1)
+        assert set(result.analytic) == set(range(1, 11))
+        assert result.n_chains_mined >= 290
+        text = fig2a.render(result)
+        assert "Fig 2a" in text
+        assert "seq" in text
+
+    def test_fig2b(self):
+        result = fig2b.run(seed=1)
+        assert result.optimal_tasks == 8
+        assert "optimal writer tasks per node: 8" in fig2b.render(result)
+
+    def test_fig2c(self):
+        result = fig2c.run(seed=1)
+        assert result.max_interp_rel_error < 0.25
+        assert "Fig 2c" in fig2c.render(result)
+
+
+class TestSimulationDrivers:
+    def test_leadvar_structure(self):
+        result = leadvar.run("VULCAN", ("M1", "M2"), changes=(0, -50), scale=TINY)
+        assert result.models == ("M1", "M2")
+        assert result.changes == (0, -50)
+        assert ("M1", 0) in result.reductions
+        assert set(result.reductions[("M2", -50)]) == {
+            "checkpoint", "recomputation", "recovery", "total",
+        }
+        series = result.series("M2", "total")
+        assert len(series) == 2
+        assert "VULCAN" in leadvar.render(result)
+
+    def test_ftratio_structure(self):
+        result = ftratio.run(("P1",), apps=("VULCAN",), changes=(0,), scale=TINY)
+        ratio = result.ratios[("VULCAN", "P1", 0)]
+        assert 0.0 <= ratio <= 1.0
+        assert "VULCAN:P1" in ftratio.render(result)
+
+    def test_fig6_structure(self):
+        result = fig6.run(TITAN_WEIBULL, models=("B", "P1"), apps=("VULCAN",),
+                          scale=TINY)
+        assert ("P1", "VULCAN") in result.cells
+        lo, hi = result.reduction_range("P1")
+        assert lo <= hi
+        text = fig6.render(result)
+        assert "titan" in text
+        assert "VULCAN" in text
+
+    def test_fig6c_structure(self):
+        result = fig6c.run(alphas=(1.0, 3.0), apps=("VULCAN",), scale=TINY)
+        assert ("M2-1", "VULCAN") in result.reductions
+        assert ("P1", "VULCAN") in result.reductions
+        xo = result.crossover_alpha("VULCAN")
+        assert xo is None or xo in (1.0, 3.0)
+        assert "M2-3" in fig6c.render(result)
+
+    def test_fig8_structure(self):
+        result = fig8.run(apps=("VULCAN",), changes=(0,), scale=TINY)
+        diff = result.difference[("VULCAN", 0)]
+        assert -100.0 <= diff <= 100.0
+        assert "VULCAN" in fig8.render(result)
+
+    def test_obs9_structure(self):
+        result = obs9.run("VULCAN", models=("M1", "P1"), fn_rates=(0.15, 0.40),
+                          scale=TINY)
+        assert ("M1", 0.15) in result.reductions
+        decline = result.decline("P1")
+        assert isinstance(decline, float)
+        assert "Observation 9" in obs9.render(result)
+
+
+class TestScaleConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(replications=0)

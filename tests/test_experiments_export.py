@@ -1,0 +1,84 @@
+"""Unit tests for the JSON/CSV export layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import export, fig2a, fig2b, fig2c, fig6, ftratio, leadvar
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale(replications=2, seed=9, workers=1)
+
+
+class TestSimulationRecord:
+    def test_fields(self, tiny_app, hot_weibull):
+        from repro.experiments.runner import run_replications
+
+        r = run_replications(tiny_app, "P1", replications=2,
+                             weibull=hot_weibull, seed=0, workers=1)
+        rec = export.simulation_record(r)
+        assert rec["app"] == "TINY"
+        assert rec["model"] == "P1"
+        assert rec["total_overhead_s"] >= 0
+        assert json.dumps(rec)  # JSON-able
+
+
+class TestDriverRecords:
+    def test_fig6_records(self):
+        result = fig6.run(models=("B", "P1"), apps=("VULCAN",), scale=TINY)
+        recs = export.records(result)
+        assert len(recs) == 2
+        assert {r["model"] for r in recs} == {"B", "P1"}
+        assert all(r["weibull"] == "titan" for r in recs)
+
+    def test_leadvar_records(self):
+        result = leadvar.run("VULCAN", ("P1",), changes=(0,), scale=TINY)
+        recs = export.records(result)
+        assert {r["model"] for r in recs} == {"B", "P1"}
+        assert all(r["lead_change_percent"] == 0 for r in recs)
+
+    def test_ftratio_records(self):
+        result = ftratio.run(("P1",), apps=("VULCAN",), changes=(0,),
+                             scale=TINY, replication_boost={})
+        recs = export.records(result)
+        assert len(recs) == 1
+        assert "ft_ratio" in recs[0]
+
+    def test_fig2a_records(self):
+        recs = export.records(fig2a.run(n_failures=100, seed=1))
+        sources = {r["source"] for r in recs}
+        assert sources == {"analytic", "mined"}
+
+    def test_fig2b_records(self):
+        recs = export.records(fig2b.run(seed=1))
+        assert len(recs) == 8 * 10  # tasks x sizes
+        assert all(r["bandwidth_bps"] > 0 for r in recs)
+
+    def test_fig2c_records(self):
+        recs = export.records(fig2c.run(seed=1))
+        assert any(r["nodes"] == 4096 for r in recs)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            export.records(object())
+
+
+class TestSerialization:
+    def test_csv_roundtrip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y", "c": 3.5}]
+        text = export.to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1].startswith("1,x")
+        assert export.to_csv([]) == ""
+
+    def test_write_json_and_csv(self, tmp_path):
+        rows = [{"k": 1}]
+        jpath = tmp_path / "out.json"
+        cpath = tmp_path / "out.csv"
+        export.write_json(str(jpath), rows)
+        export.write_csv(str(cpath), rows)
+        assert json.loads(jpath.read_text()) == rows
+        assert "k" in cpath.read_text()

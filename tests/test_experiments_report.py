@@ -1,0 +1,53 @@
+"""Unit tests for the plain-text report helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.125]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.500" in text and "22.125" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[3.14159]], floatfmt="{:.1f}")
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_non_float_cells_passthrough(self):
+        text = format_table(["x"], [["literal"], [7]])
+        assert "literal" in text and "7" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "t", [0, 1], {"a": [1.0, 2.0], "b": [3.0, 4.0]}, title="S"
+        )
+        assert text.splitlines()[0] == "S"
+        assert "a" in text and "b" in text
+        assert "4.00" in text
+
+
+class TestFormatKV:
+    def test_pairs(self):
+        text = format_kv({"alpha": 1.23456, "name": "x"}, title="facts")
+        assert text.splitlines()[0] == "facts"
+        assert "1.235" in text
+        assert "name" in text
+
+    def test_empty(self):
+        assert format_kv({}) == ""

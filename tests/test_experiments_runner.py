@@ -1,0 +1,84 @@
+"""Unit tests for the Monte-Carlo runner and result aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    SimulationResult,
+    run_replications,
+    simulate_application,
+)
+
+
+class TestSimulate:
+    def test_single_run(self, tiny_app, hot_weibull):
+        r = simulate_application(tiny_app, "P1", weibull=hot_weibull, seed=1)
+        assert r.replications == 1
+        assert r.app_name == "TINY"
+        assert r.model_name == "P1"
+        assert r.makespan_seconds >= tiny_app.compute_seconds
+        assert r.total_overhead_hours >= 0.0
+
+    def test_model_config_accepted(self, tiny_app, hot_weibull):
+        from repro.models.registry import MODEL_P2
+
+        r = simulate_application(tiny_app, MODEL_P2, weibull=hot_weibull, seed=1)
+        assert r.model_name == "P2"
+
+
+class TestReplications:
+    def test_reproducible(self, tiny_app, hot_weibull):
+        a = run_replications(tiny_app, "B", replications=4, weibull=hot_weibull,
+                             seed=9, workers=1)
+        b = run_replications(tiny_app, "B", replications=4, weibull=hot_weibull,
+                             seed=9, workers=1)
+        assert a.overhead.total == b.overhead.total
+        assert a.ft.failures == b.ft.failures
+
+    def test_different_seeds_differ(self, tiny_app, hot_weibull):
+        a = run_replications(tiny_app, "B", replications=4, weibull=hot_weibull,
+                             seed=1, workers=1)
+        b = run_replications(tiny_app, "B", replications=4, weibull=hot_weibull,
+                             seed=2, workers=1)
+        assert a.overhead.total != b.overhead.total
+
+    def test_replications_vary_within_run(self, tiny_app, hot_weibull):
+        """The per-replication child seeds must actually differ."""
+        r = run_replications(tiny_app, "B", replications=8, weibull=hot_weibull,
+                             seed=3, workers=1)
+        # With iid replications the std of total overhead is positive
+        # (failures occur in some replications and not others).
+        assert r.overhead_std > 0.0
+
+    def test_parallel_equals_serial(self, tiny_app, hot_weibull):
+        serial = run_replications(tiny_app, "P1", replications=8,
+                                  weibull=hot_weibull, seed=5, workers=1)
+        parallel = run_replications(tiny_app, "P1", replications=8,
+                                    weibull=hot_weibull, seed=5, workers=4)
+        assert serial.overhead.total == pytest.approx(parallel.overhead.total)
+        assert serial.ft.failures == parallel.ft.failures
+
+    def test_ft_pooled_across_replications(self, tiny_app, hot_weibull):
+        r = run_replications(tiny_app, "P1", replications=6,
+                             weibull=hot_weibull, seed=0, workers=1)
+        assert r.ft.failures > 0
+        assert 0.0 <= r.ft_ratio <= 1.0
+
+    def test_validation(self, tiny_app):
+        with pytest.raises(ValueError):
+            run_replications(tiny_app, "B", replications=0)
+
+
+class TestReductions:
+    def test_reduction_vs_base(self, tiny_app, hot_weibull):
+        base = run_replications(tiny_app, "B", replications=6,
+                                weibull=hot_weibull, seed=0, workers=1)
+        p2 = run_replications(tiny_app, "P2", replications=6,
+                              weibull=hot_weibull, seed=0, workers=1)
+        red = p2.reduction_vs(base)
+        assert set(red) == {"checkpoint", "recomputation", "recovery", "total"}
+        assert red["total"] == pytest.approx(
+            (base.overhead.total - p2.overhead.total) / base.overhead.total * 100
+        )

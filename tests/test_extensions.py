@@ -1,0 +1,97 @@
+"""Unit tests for the paper-suggested extensions: PFS congestion and the
+uniform lead-time model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.leadtime import UniformLeadTimeModel
+from repro.iomodel.bandwidth import GiB
+from repro.iomodel.congestion import CongestedPFSModel
+from repro.iomodel.matrix import AnalyticPFSModel, PFSModel
+
+
+class TestCongestedPFS:
+    def test_is_pfs_model(self):
+        m = CongestedPFSModel(AnalyticPFSModel(), background_load=0.5)
+        assert isinstance(m, PFSModel)
+
+    def test_zero_load_is_identity(self):
+        base = AnalyticPFSModel()
+        m = CongestedPFSModel(base, background_load=0.0)
+        assert m.write_time(16, 8 * GiB) == base.write_time(16, 8 * GiB)
+        assert m.read_time(16, 8 * GiB) == base.read_time(16, 8 * GiB)
+
+    def test_load_scales_time(self):
+        base = AnalyticPFSModel()
+        m = CongestedPFSModel(base, background_load=0.5)
+        assert m.write_time(16, 8 * GiB) == pytest.approx(
+            2.0 * base.write_time(16, 8 * GiB)
+        )
+        assert m.write_bandwidth(16, 8 * GiB) == pytest.approx(
+            0.5 * base.write_bandwidth(16, 8 * GiB)
+        )
+
+    def test_zero_bytes_free(self):
+        m = CongestedPFSModel(AnalyticPFSModel(), background_load=0.9)
+        assert m.write_time(16, 0.0) == 0.0
+
+    def test_jitter_varies(self):
+        rng = np.random.default_rng(0)
+        m = CongestedPFSModel(AnalyticPFSModel(), background_load=0.2,
+                              jitter_sigma=0.2, rng=rng)
+        times = {m.write_time(16, 8 * GiB) for _ in range(5)}
+        assert len(times) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestedPFSModel(AnalyticPFSModel(), background_load=1.0)
+        with pytest.raises(ValueError):
+            CongestedPFSModel(AnalyticPFSModel(), jitter_sigma=-1.0)
+        with pytest.raises(ValueError):
+            CongestedPFSModel(AnalyticPFSModel(), jitter_sigma=0.5)
+
+
+class TestUniformLeadTime:
+    def test_survival(self):
+        m = UniformLeadTimeModel(low=0.0, high=100.0)
+        assert m.survival(0.0) == 1.0
+        assert m.survival(50.0) == pytest.approx(0.5)
+        assert m.survival(100.0) == 0.0
+        assert m.survival(150.0) == 0.0
+
+    def test_survival_with_low(self):
+        m = UniformLeadTimeModel(low=10.0, high=20.0)
+        assert m.survival(5.0) == 1.0
+        assert m.survival(15.0) == pytest.approx(0.5)
+
+    def test_samples_in_range(self, rng):
+        m = UniformLeadTimeModel(low=2.0, high=8.0)
+        ids, leads = m.sample_many(rng, 5000)
+        assert np.all((leads >= 2.0) & (leads <= 8.0))
+        assert leads.mean() == pytest.approx(m.mean_lead(), rel=0.05)
+        assert np.all(ids == 0)
+
+    def test_single_sample(self, rng):
+        m = UniformLeadTimeModel(high=30.0)
+        sid, lead = m.sample(rng)
+        assert sid == 0
+        assert 0.0 <= lead <= 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLeadTimeModel(low=5.0, high=5.0)
+        with pytest.raises(ValueError):
+            UniformLeadTimeModel(low=-1.0, high=5.0)
+
+    def test_plugs_into_injector(self, rng):
+        from repro.failures.injector import FailureInjector
+        from repro.failures.weibull import TITAN_WEIBULL
+
+        inj = FailureInjector(TITAN_WEIBULL, 100,
+                              lead_model=UniformLeadTimeModel(high=50.0),
+                              rng=rng)
+        ev = inj.next_failure()
+        assert ev.time > 0
+        assert inj.predictable_fraction(25.0) == pytest.approx(0.85 * 0.5)

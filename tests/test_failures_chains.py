@@ -1,0 +1,103 @@
+"""Unit tests for the Desh-style log synthesis / chain-mining pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.chains import (
+    CHAIN_LENGTH,
+    chain_phrases,
+    fit_lead_time_model,
+    mine_chains,
+    synthesize_log,
+)
+from repro.failures.leadtime import PAPER_LEAD_TIME_MODEL
+
+
+class TestChainPhrases:
+    def test_deterministic_and_distinct(self):
+        p6 = chain_phrases(6)
+        assert p6 == chain_phrases(6)
+        assert len(p6) == CHAIN_LENGTH
+        assert chain_phrases(3) != p6
+        assert p6[-1].endswith("_fatal")
+
+
+class TestSynthesize:
+    def test_records_sorted_by_time(self, rng):
+        records = synthesize_log(rng, 50)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_contains_noise_and_chains(self, rng):
+        records = synthesize_log(rng, 20)
+        phrases = {r.phrase for r in records}
+        assert any(not p.startswith("seq") for p in phrases)  # noise
+        assert any(p.endswith("_fatal") for p in phrases)      # chains
+
+    def test_zero_failures_ok(self, rng):
+        records = synthesize_log(rng, 0)
+        assert all(not r.phrase.startswith("seq") for r in records)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_log(rng, -1)
+        with pytest.raises(ValueError):
+            synthesize_log(rng, 1, nodes=0)
+
+
+class TestMine:
+    def test_roundtrip_count(self, rng):
+        n = 300
+        records = synthesize_log(rng, n, nodes=512)
+        chains = mine_chains(records)
+        # Nearly all chains recovered (same-node same-sequence overlap is
+        # the only loss mechanism and is rare at this density).
+        assert len(chains) >= 0.97 * n
+        assert len(chains) <= n
+
+    def test_lead_times_positive(self, rng):
+        chains = mine_chains(synthesize_log(rng, 100, nodes=256))
+        assert all(c.lead_time > 0 for c in chains)
+
+    def test_mined_leads_match_model(self, rng):
+        records = synthesize_log(rng, 2000, nodes=1024)
+        chains = mine_chains(records)
+        leads = np.array([c.lead_time for c in chains])
+        # P(lead >= 41) should track the generating model's survival.
+        expected = float(PAPER_LEAD_TIME_MODEL.survival(41.0))
+        assert (leads >= 41.0).mean() == pytest.approx(expected, abs=0.05)
+
+    def test_noise_only_log_mines_nothing(self, rng):
+        records = synthesize_log(rng, 0, noise_per_failure=100.0)
+        assert mine_chains(records) == []
+
+    def test_out_of_order_phrase_resets(self):
+        from repro.failures.chains import LogRecord
+
+        phrases = chain_phrases(1)
+        # fatal phrase with no preceding chain start: must not match.
+        records = [LogRecord(1.0, 0, phrases[-1])]
+        assert mine_chains(records) == []
+        # start, then a skip straight to fatal: also no match.
+        records = [LogRecord(1.0, 0, phrases[0]), LogRecord(2.0, 0, phrases[-1])]
+        assert mine_chains(records) == []
+
+
+class TestFit:
+    def test_refit_recovers_means(self, rng):
+        records = synthesize_log(rng, 3000, nodes=1024)
+        chains = mine_chains(records)
+        fitted = fit_lead_time_model(chains)
+        original = {s.sequence_id: s for s in PAPER_LEAD_TIME_MODEL.sequences}
+        for seq in fitted.sequences:
+            if seq.occurrences < 30:
+                continue  # too few samples for a tight check
+            assert seq.mean_lead == pytest.approx(
+                original[seq.sequence_id].mean_lead, rel=0.15
+            )
+
+    def test_fit_requires_occurrences(self):
+        with pytest.raises(ValueError):
+            fit_lead_time_model([])

@@ -1,0 +1,120 @@
+"""Unit tests for the lead-time mixture model (Fig 2a calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures.leadtime import (
+    PAPER_LEAD_TIME_MODEL,
+    PAPER_SEQUENCES,
+    FailureSequenceSpec,
+    LeadTimeModel,
+)
+
+
+class TestSequenceSpec:
+    def test_ten_paper_sequences(self):
+        assert len(PAPER_SEQUENCES) == 10
+        assert [s.sequence_id for s in PAPER_SEQUENCES] == list(range(1, 11))
+
+    def test_sample_statistics(self, rng):
+        seq = PAPER_SEQUENCES[5]  # the dominant ~43 s sequence
+        samples = seq.sample(rng, 20_000)
+        assert samples.mean() == pytest.approx(seq.mean_lead, rel=0.02)
+        assert samples.std() == pytest.approx(seq.sd_lead, rel=0.10)
+
+    def test_survival_at_mean_near_half(self):
+        seq = PAPER_SEQUENCES[5]
+        assert 0.3 < seq.survival(seq.mean_lead) < 0.7
+
+    def test_quantiles_ordered(self):
+        for seq in PAPER_SEQUENCES:
+            q1, med, q3 = (seq.quantile(q) for q in (0.25, 0.5, 0.75))
+            assert q1 < med < q3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureSequenceSpec(1, 0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            FailureSequenceSpec(1, 5, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            FailureSequenceSpec(1, 5, 10.0, 0.0)
+
+
+class TestMixture:
+    def test_weights_normalized(self):
+        assert PAPER_LEAD_TIME_MODEL.weights.sum() == pytest.approx(1.0)
+
+    def test_dominant_sequence_holds_half_the_mass(self):
+        model = PAPER_LEAD_TIME_MODEL
+        w6 = model.weights[[s.sequence_id for s in model.sequences].index(6)]
+        assert 0.45 <= w6 <= 0.55
+
+    def test_survival_monotone_decreasing(self):
+        xs = np.linspace(0.1, 2000, 200)
+        s = PAPER_LEAD_TIME_MODEL.survival(xs)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_survival_calibration_constraints(self):
+        """The CDF anchors reverse-engineered from Tables II/IV."""
+        model = PAPER_LEAD_TIME_MODEL
+        assert model.survival(16.0) == pytest.approx(0.98, abs=0.02)
+        assert model.survival(23.7) == pytest.approx(0.78, abs=0.03)
+        assert model.survival(41.0) == pytest.approx(0.55, abs=0.03)
+        assert model.survival(45.5) == pytest.approx(0.05, abs=0.02)
+        assert model.survival(150.0) == pytest.approx(0.05, abs=0.02)
+        assert model.survival(538.0) == pytest.approx(0.008, abs=0.006)
+
+    def test_plateau_between_28_and_37_seconds(self):
+        """The mass gap that makes M2's CHIMERA FT ratio plateau."""
+        model = PAPER_LEAD_TIME_MODEL
+        drop = model.survival(28.0) - model.survival(37.0)
+        assert drop < 0.01
+
+    def test_sampling_matches_survival(self, rng):
+        model = PAPER_LEAD_TIME_MODEL
+        _, leads = model.sample_many(rng, 50_000)
+        for x in (20.0, 41.0, 100.0):
+            empirical = float((leads >= x).mean())
+            assert empirical == pytest.approx(float(model.survival(x)), abs=0.01)
+
+    def test_sample_ids_weighted(self, rng):
+        model = PAPER_LEAD_TIME_MODEL
+        ids, _ = model.sample_many(rng, 30_000)
+        frac6 = float((ids == 6).mean())
+        assert frac6 == pytest.approx(0.5, abs=0.02)
+
+    def test_single_sample(self, rng):
+        sid, lead = PAPER_LEAD_TIME_MODEL.sample(rng)
+        assert sid in range(1, 11)
+        assert lead > 0
+
+    def test_mean_lead(self):
+        # Dominated by the 43 s sequence plus long-lead tails.
+        assert 30 < PAPER_LEAD_TIME_MODEL.mean_lead() < 80
+
+    def test_boxplot_stats_structure(self):
+        stats = PAPER_LEAD_TIME_MODEL.boxplot_stats()
+        assert set(stats) == set(range(1, 11))
+        for s in stats.values():
+            assert s["lo_whisker"] <= s["q1"] <= s["median"] <= s["q3"] <= s["hi_whisker"]
+
+    def test_sequence_lookup(self):
+        assert PAPER_LEAD_TIME_MODEL.sequence(6).mean_lead == pytest.approx(43.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeadTimeModel([])
+        dup = [PAPER_SEQUENCES[0], PAPER_SEQUENCES[0]]
+        with pytest.raises(ValueError):
+            LeadTimeModel(dup)
+
+
+@given(x=st.floats(min_value=0.001, max_value=5000.0))
+@settings(max_examples=200, deadline=None)
+def test_survival_is_probability(x):
+    s = float(PAPER_LEAD_TIME_MODEL.survival(x))
+    assert 0.0 <= s <= 1.0

@@ -1,0 +1,154 @@
+"""Unit tests for the predictor statistics and the failure injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures.injector import FailureEvent, FailureInjector, FalseAlarmEvent
+from repro.failures.leadtime import PAPER_LEAD_TIME_MODEL
+from repro.failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
+from repro.failures.weibull import TITAN_WEIBULL, WeibullParams
+
+
+class TestPredictorSpec:
+    def test_defaults_match_paper(self):
+        assert DEFAULT_PREDICTOR.recall == pytest.approx(0.85)
+        assert DEFAULT_PREDICTOR.false_positive_rate == pytest.approx(0.18)
+        assert DEFAULT_PREDICTOR.lead_scale == 1.0
+
+    def test_with_lead_change(self):
+        up = DEFAULT_PREDICTOR.with_lead_change(50)
+        down = DEFAULT_PREDICTOR.with_lead_change(-50)
+        assert up.lead_scale == pytest.approx(1.5)
+        assert down.lead_scale == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            DEFAULT_PREDICTOR.with_lead_change(-100)
+
+    def test_with_false_negative_rate(self):
+        p = DEFAULT_PREDICTOR.with_false_negative_rate(0.40)
+        assert p.recall == pytest.approx(0.60)
+        assert p.false_positive_rate == DEFAULT_PREDICTOR.false_positive_rate
+        assert p.false_negative_rate == pytest.approx(0.40)
+
+    def test_effective_lead(self):
+        p = PredictorSpec(lead_scale=1.5, detection_latency=0.5)
+        assert p.effective_lead(10.0) == pytest.approx(14.5)
+        assert p.effective_lead(0.1) == pytest.approx(0.0, abs=1e-9)  # clamped
+
+    def test_false_alarm_rate_algebra(self):
+        p = PredictorSpec(false_positive_rate=0.18)
+        tp = 1.0 / 3600.0
+        fa = p.false_alarm_rate(tp)
+        assert fa / (fa + tp) == pytest.approx(0.18)
+        assert PredictorSpec(false_positive_rate=0.0).false_alarm_rate(tp) == 0.0
+
+    def test_predicts_rate(self, rng):
+        hits = sum(DEFAULT_PREDICTOR.predicts(rng) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.85, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictorSpec(recall=1.2)
+        with pytest.raises(ValueError):
+            PredictorSpec(false_positive_rate=1.0)
+        with pytest.raises(ValueError):
+            PredictorSpec(lead_scale=0.0)
+        with pytest.raises(ValueError):
+            PredictorSpec(detection_latency=-1)
+        with pytest.raises(ValueError):
+            DEFAULT_PREDICTOR.false_alarm_rate(-1.0)
+
+
+class TestFailureInjector:
+    def _injector(self, seed=0, nodes=1515, predictor=DEFAULT_PREDICTOR):
+        return FailureInjector(
+            TITAN_WEIBULL,
+            nodes,
+            PAPER_LEAD_TIME_MODEL,
+            predictor,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_failures_strictly_increasing(self):
+        inj = self._injector()
+        times = [inj.next_failure().time for _ in range(200)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_nodes_in_range(self):
+        inj = self._injector(nodes=100)
+        for _ in range(200):
+            ev = inj.next_failure()
+            assert 0 <= ev.node < 100
+
+    def test_lead_clamped_to_gap(self):
+        inj = self._injector()
+        prev = 0.0
+        for _ in range(500):
+            ev = inj.next_failure()
+            if ev.predicted:
+                assert ev.prediction_time >= prev - 1e-9
+            prev = ev.time
+
+    def test_prediction_rate(self):
+        inj = self._injector(seed=3)
+        events = [inj.next_failure() for _ in range(5000)]
+        frac = sum(e.predicted for e in events) / len(events)
+        assert frac == pytest.approx(0.85, abs=0.02)
+
+    def test_unpredicted_have_no_lead(self):
+        inj = self._injector()
+        for _ in range(300):
+            ev = inj.next_failure()
+            if not ev.predicted:
+                assert ev.lead == 0.0
+                assert ev.sequence_id is None
+
+    def test_common_random_failures_across_consumption(self):
+        """Failure times must not depend on false-alarm consumption."""
+        a = self._injector(seed=9)
+        b = self._injector(seed=9)
+        for _ in range(10):
+            b.next_false_alarm()  # extra stream consumption
+        ta = [a.next_failure().time for _ in range(50)]
+        tb = [b.next_failure().time for _ in range(50)]
+        assert ta == tb
+
+    def test_false_alarm_rate(self):
+        inj = self._injector(seed=5)
+        expected = inj.false_alarm_rate
+        alarms = [inj.next_false_alarm() for _ in range(2000)]
+        gaps = np.diff([0.0] + [a.prediction_time for a in alarms])
+        assert 1.0 / gaps.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_no_false_alarms_when_fp_zero(self):
+        inj = self._injector(predictor=PredictorSpec(false_positive_rate=0.0))
+        assert inj.next_false_alarm() is None
+
+    def test_mean_rate_matches_mtbf(self):
+        inj = self._injector(seed=11, nodes=2272)
+        n = 3000
+        last = 0.0
+        for _ in range(n):
+            last = inj.next_failure().time
+        mtbf_emp_hours = last / n / 3600.0
+        assert mtbf_emp_hours == pytest.approx(
+            inj.weibull_app.mtbf_hours, rel=0.08
+        )
+
+    def test_predictable_fraction(self):
+        inj = self._injector()
+        assert inj.predictable_fraction(0.0) == pytest.approx(0.85)
+        sigma_41 = inj.predictable_fraction(41.0)
+        assert sigma_41 == pytest.approx(0.85 * 0.55, abs=0.03)
+        with pytest.raises(ValueError):
+            inj.predictable_fraction(-1.0)
+
+    def test_predictable_fraction_respects_lead_scale(self):
+        up = self._injector(predictor=DEFAULT_PREDICTOR.with_lead_change(100))
+        base = self._injector()
+        assert up.predictable_fraction(41.0) > base.predictable_fraction(41.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector(TITAN_WEIBULL, 0)

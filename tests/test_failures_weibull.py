@@ -1,0 +1,94 @@
+"""Unit tests for the Weibull failure-arrival models (Table III)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.failures.weibull import (
+    FAILURE_DISTRIBUTIONS,
+    LANL_SYSTEM8_WEIBULL,
+    LANL_SYSTEM18_WEIBULL,
+    TITAN_WEIBULL,
+    WeibullParams,
+)
+
+
+class TestTableIII:
+    def test_constants(self):
+        assert TITAN_WEIBULL.shape == pytest.approx(0.6885)
+        assert TITAN_WEIBULL.scale_hours == pytest.approx(5.4527)
+        assert TITAN_WEIBULL.system_nodes == 18868
+        assert LANL_SYSTEM8_WEIBULL.system_nodes == 164
+        assert LANL_SYSTEM18_WEIBULL.system_nodes == 1024
+        assert set(FAILURE_DISTRIBUTIONS) == {"titan", "lanl-system8", "lanl-system18"}
+
+    def test_titan_mtbf_about_seven_hours(self):
+        """Titan's historical system MTBF was ≈7 h — sanity anchor."""
+        assert 6.5 < TITAN_WEIBULL.mtbf_hours < 7.5
+
+    def test_mtbf_formula(self):
+        w = WeibullParams("w", shape=1.0, scale_hours=10.0, system_nodes=5)
+        # shape=1 is exponential: MTBF == scale.
+        assert w.mtbf_hours == pytest.approx(10.0)
+
+
+class TestScaling:
+    def test_scaling_preserves_shape(self):
+        app = TITAN_WEIBULL.scaled_to(2272)
+        assert app.shape == TITAN_WEIBULL.shape
+
+    def test_scaling_rate_linear_in_nodes(self):
+        half = TITAN_WEIBULL.scaled_to(TITAN_WEIBULL.system_nodes // 2)
+        assert half.mtbf_hours == pytest.approx(2 * TITAN_WEIBULL.mtbf_hours, rel=1e-3)
+
+    def test_chimera_mtbf(self):
+        """CHIMERA (2272 of 18868 nodes) sees an MTBF near 58 hours."""
+        assert 55 < TITAN_WEIBULL.app_mtbf_hours(2272) < 62
+
+    def test_per_node_rate_consistency(self):
+        rate = TITAN_WEIBULL.per_node_rate()
+        app = TITAN_WEIBULL.scaled_to(1000)
+        app_rate = 1.0 / (app.mtbf_hours * 3600.0)
+        assert app_rate == pytest.approx(rate * 1000, rel=1e-6)
+
+    def test_invalid_scaling(self):
+        with pytest.raises(ValueError):
+            TITAN_WEIBULL.scaled_to(0)
+
+
+class TestSampling:
+    def test_sample_mean_matches_mtbf(self, rng):
+        n = 40_000
+        samples = TITAN_WEIBULL.sample_interarrivals_hours(rng, n)
+        assert samples.mean() == pytest.approx(TITAN_WEIBULL.mtbf_hours, rel=0.05)
+
+    def test_samples_positive(self, rng):
+        assert np.all(TITAN_WEIBULL.sample_interarrivals_hours(rng, 1000) >= 0)
+
+    def test_seconds_sampler_units(self, rng):
+        vals = [TITAN_WEIBULL.sample_interarrival_seconds(rng) for _ in range(5000)]
+        assert np.mean(vals) == pytest.approx(
+            TITAN_WEIBULL.mtbf_hours * 3600.0, rel=0.15
+        )
+
+    def test_survival_function(self):
+        w = WeibullParams("w", shape=1.0, scale_hours=10.0, system_nodes=1)
+        assert w.survival_hours(0.0) == pytest.approx(1.0)
+        assert w.survival_hours(10.0) == pytest.approx(math.exp(-1.0))
+
+    def test_negative_sample_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TITAN_WEIBULL.sample_interarrivals_hours(rng, -1)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            WeibullParams("x", shape=0, scale_hours=1, system_nodes=1)
+        with pytest.raises(ValueError):
+            WeibullParams("x", shape=1, scale_hours=0, system_nodes=1)
+        with pytest.raises(ValueError):
+            WeibullParams("x", shape=1, scale_hours=1, system_nodes=0)

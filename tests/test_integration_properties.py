@@ -1,0 +1,97 @@
+"""Property-based integration tests over the whole simulation stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.failures.predictor import PredictorSpec
+from repro.failures.weibull import WeibullParams
+from repro.iomodel.bandwidth import GiB
+from repro.models.base import CRSimulation
+from repro.models.registry import get_model
+from repro.workloads.applications import ApplicationSpec
+
+
+@st.composite
+def scenario(draw):
+    """A random small scenario: app, failure distribution, predictor."""
+    nodes = draw(st.integers(min_value=2, max_value=64))
+    per_node_gib = draw(st.floats(min_value=0.5, max_value=64.0))
+    hours = draw(st.floats(min_value=0.5, max_value=3.0))
+    app = ApplicationSpec("FUZZ", nodes, nodes * per_node_gib * GiB, hours)
+    # Keep the system survivable: MTBF comfortably above recovery times.
+    scale = draw(st.floats(min_value=0.5, max_value=40.0))
+    weibull = WeibullParams("fuzz", shape=draw(st.floats(0.5, 1.2)),
+                            scale_hours=scale, system_nodes=nodes)
+    predictor = PredictorSpec(
+        recall=draw(st.floats(min_value=0.0, max_value=1.0)),
+        false_positive_rate=draw(st.floats(min_value=0.0, max_value=0.5)),
+        lead_scale=draw(st.floats(min_value=0.2, max_value=3.0)),
+    )
+    model = draw(st.sampled_from(["B", "M1", "M2", "P1", "P2"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return app, weibull, predictor, model, seed
+
+
+@given(scenario())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_simulation_invariants(case):
+    """Invariants that must hold for every configuration:
+
+    * the job completes and the accounting identity holds exactly;
+    * overheads are non-negative per category;
+    * FT counts are consistent (predicted ≤ failures, mitigated ≤ failures);
+    * the run is reproducible from its seed.
+    """
+    app, weibull, predictor, model, seed = case
+    sim = CRSimulation(
+        app, get_model(model), weibull=weibull, predictor=predictor,
+        rng=np.random.default_rng(seed),
+    )
+    out = sim.run()
+
+    assert out.makespan >= app.compute_seconds
+    assert out.makespan == pytest.approx(
+        out.useful_seconds + out.overhead.total, rel=1e-9, abs=1e-4
+    )
+    out.overhead.validate()
+    out.ft.validate()
+
+    # Reproducibility: identical seed => identical outcome.
+    sim2 = CRSimulation(
+        app, get_model(model), weibull=weibull, predictor=predictor,
+        rng=np.random.default_rng(seed),
+    )
+    out2 = sim2.run()
+    assert out2.makespan == out.makespan
+    assert out2.overhead.total == out.overhead.total
+    assert out2.ft.failures == out.ft.failures
+    assert out2.ft.mitigated == out.ft.mitigated
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    recall=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_base_model_blind_to_predictor(seed, recall):
+    """Model B's outcome must be identical whatever the predictor does."""
+    app = ApplicationSpec("T", 8, 8 * 4.0 * GiB, 1.0)
+    weibull = WeibullParams("w", shape=0.7, scale_hours=2.0, system_nodes=8)
+    outs = []
+    for r in (recall, 0.0):
+        sim = CRSimulation(
+            app, get_model("B"), weibull=weibull,
+            predictor=PredictorSpec(recall=r, false_positive_rate=0.0),
+            rng=np.random.default_rng(seed),
+        )
+        outs.append(sim.run())
+    assert outs[0].makespan == outs[1].makespan
+    assert outs[0].ft.failures == outs[1].ft.failures

@@ -1,0 +1,103 @@
+"""Unit tests for the analytic I/O bandwidth laws."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iomodel.bandwidth import (
+    AGGREGATE_SATURATION_BW,
+    GiB,
+    MiB,
+    OPTIMAL_TASKS_PER_NODE,
+    SINGLE_NODE_PEAK_BW,
+    TiB,
+    aggregate_bandwidth,
+    single_node_bandwidth,
+    size_efficiency,
+    task_efficiency,
+)
+
+
+class TestTaskEfficiency:
+    def test_peak_at_optimum(self):
+        assert task_efficiency(OPTIMAL_TASKS_PER_NODE) == pytest.approx(1.0)
+
+    def test_monotone_rise_below_optimum(self):
+        effs = [task_efficiency(n) for n in range(1, 9)]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+
+    def test_degrades_above_optimum(self):
+        assert task_efficiency(42) < task_efficiency(16) < task_efficiency(8)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            task_efficiency(0)
+        with pytest.raises(ValueError):
+            task_efficiency(43)
+
+    def test_array_form(self):
+        effs = task_efficiency(np.array([1, 8, 42]))
+        assert effs.shape == (3,)
+        assert effs[1] == pytest.approx(1.0)
+
+
+class TestSizeEfficiency:
+    def test_half_at_latency_equivalent(self):
+        from repro.iomodel.bandwidth import LATENCY_EQUIV_BYTES
+
+        assert size_efficiency(LATENCY_EQUIV_BYTES) == pytest.approx(0.5)
+
+    def test_monotone_in_size(self):
+        sizes = [1 * MiB, 64 * MiB, 1 * GiB, 64 * GiB]
+        effs = [size_efficiency(s) for s in sizes]
+        assert all(a < b for a, b in zip(effs, effs[1:]))
+
+    def test_asymptote_below_one(self):
+        assert 0.99 < size_efficiency(1 * TiB) < 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            size_efficiency(-1.0)
+
+    def test_zero_size_zero_eff(self):
+        assert size_efficiency(0.0) == 0.0
+
+
+class TestSingleNodeBandwidth:
+    def test_paper_headline_value(self):
+        """Large transfers at 8 tasks realize 13–13.5 GB/s (Sec. VII)."""
+        bw = single_node_bandwidth(256 * GiB, 8)
+        assert 13.0 * GiB <= bw <= 13.5 * GiB
+
+    def test_peak_constant_is_ceiling(self):
+        assert single_node_bandwidth(1 * TiB, 8) < SINGLE_NODE_PEAK_BW
+
+    def test_small_transfers_latency_dominated(self):
+        assert single_node_bandwidth(1 * MiB, 8) < 0.05 * SINGLE_NODE_PEAK_BW
+
+
+class TestAggregateBandwidth:
+    def test_single_node_matches(self):
+        agg = aggregate_bandwidth(1, 16 * GiB)
+        single = single_node_bandwidth(16 * GiB)
+        # The saturation law shaves a little off even for one node.
+        assert 0.98 * single <= agg / (1.0 - agg / AGGREGATE_SATURATION_BW) <= single * 1.02
+
+    def test_monotone_in_nodes(self):
+        sizes = 64 * GiB
+        bws = [aggregate_bandwidth(n, sizes) for n in (1, 8, 64, 512, 4096)]
+        assert all(a < b for a, b in zip(bws, bws[1:]))
+
+    def test_saturates_below_ceiling(self):
+        assert aggregate_bandwidth(100_000, 256 * GiB) < AGGREGATE_SATURATION_BW
+
+    def test_realized_saturation_near_calibration(self):
+        """A leadership-scale job realizes ≈1.2–1.35 TB/s — far below the
+        2.5 TB/s server-side peak (the paper's Sec. IV point)."""
+        bw = aggregate_bandwidth(2272, 284 * GiB)
+        assert 1.0 * TiB < bw < 1.4 * TiB
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_bandwidth(0, 1 * GiB)

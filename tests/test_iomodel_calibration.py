@@ -1,0 +1,81 @@
+"""Unit tests for the synthetic I/O measurement campaigns (Fig 2b/2c)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iomodel.bandwidth import GiB, aggregate_bandwidth, single_node_bandwidth
+from repro.iomodel.calibration import (
+    DEFAULT_NODE_COUNTS,
+    DEFAULT_TASK_COUNTS,
+    DEFAULT_TRANSFER_SIZES,
+    run_single_node_sweep,
+    run_weak_scaling_sweep,
+)
+
+
+class TestSingleNodeSweep:
+    def test_shapes(self):
+        sweep = run_single_node_sweep(np.random.default_rng(0))
+        assert sweep.bandwidth.shape == (
+            len(DEFAULT_TASK_COUNTS),
+            len(DEFAULT_TRANSFER_SIZES),
+        )
+        assert sweep.bandwidth_std.shape == sweep.bandwidth.shape
+        assert sweep.nruns == 10
+
+    def test_noiseless_matches_analytic(self):
+        sweep = run_single_node_sweep(rng=None)
+        expected = single_node_bandwidth(
+            np.asarray(DEFAULT_TRANSFER_SIZES)[None, :],
+            np.asarray(DEFAULT_TASK_COUNTS)[:, None],
+        )
+        np.testing.assert_allclose(sweep.bandwidth, expected)
+        assert np.all(sweep.bandwidth_std == 0.0)
+
+    def test_noise_is_modest(self):
+        sweep = run_single_node_sweep(np.random.default_rng(1))
+        truth = run_single_node_sweep(rng=None).bandwidth
+        rel = np.abs(sweep.bandwidth - truth) / truth
+        assert rel.max() < 0.25  # 10-run means stay close to truth
+
+    def test_optimal_task_count_is_eight(self):
+        for seed in range(5):
+            sweep = run_single_node_sweep(np.random.default_rng(seed))
+            assert sweep.optimal_task_count() == 8
+
+    def test_reproducible_by_seed(self):
+        a = run_single_node_sweep(np.random.default_rng(7))
+        b = run_single_node_sweep(np.random.default_rng(7))
+        np.testing.assert_array_equal(a.bandwidth, b.bandwidth)
+
+    def test_invalid_task_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_single_node_sweep(task_counts=[0, 8])
+
+
+class TestWeakScalingSweep:
+    def test_shapes(self):
+        sweep = run_weak_scaling_sweep(np.random.default_rng(0))
+        assert sweep.bandwidth.shape == (
+            len(DEFAULT_NODE_COUNTS),
+            len(DEFAULT_TRANSFER_SIZES),
+        )
+
+    def test_noiseless_matches_analytic(self):
+        sweep = run_weak_scaling_sweep(rng=None)
+        expected = aggregate_bandwidth(
+            np.asarray(DEFAULT_NODE_COUNTS)[:, None],
+            np.asarray(DEFAULT_TRANSFER_SIZES)[None, :],
+        )
+        np.testing.assert_allclose(sweep.bandwidth, expected)
+
+    def test_bandwidth_rows_monotone_in_nodes_at_large_size(self):
+        sweep = run_weak_scaling_sweep(rng=None)
+        col = sweep.bandwidth[:, -1]
+        assert np.all(np.diff(col) > 0)
+
+    def test_invalid_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            run_weak_scaling_sweep(node_counts=[0, 4])

@@ -1,0 +1,116 @@
+"""Unit tests for the PFS performance-model backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iomodel.bandwidth import GiB, MiB
+from repro.iomodel.calibration import run_weak_scaling_sweep
+from repro.iomodel.matrix import AnalyticPFSModel, MatrixPFSModel, PFSModel
+
+
+class TestAnalyticPFSModel:
+    def test_is_pfs_model(self):
+        assert isinstance(AnalyticPFSModel(), PFSModel)
+
+    def test_zero_bytes_zero_time(self):
+        assert AnalyticPFSModel().write_time(100, 0.0) == 0.0
+
+    def test_write_time_scaling(self):
+        m = AnalyticPFSModel()
+        t1 = m.write_time(1, 64 * GiB)
+        t2 = m.write_time(1, 128 * GiB)
+        # Large transfers: time roughly doubles with size (same bandwidth).
+        assert 1.8 < t2 / t1 < 2.2
+
+    def test_read_equals_write(self):
+        m = AnalyticPFSModel()
+        assert m.read_time(16, 4 * GiB) == m.write_time(16, 4 * GiB)
+
+    def test_invalid_inputs(self):
+        m = AnalyticPFSModel()
+        with pytest.raises(ValueError):
+            m.write_bandwidth(0, 1 * GiB)
+        with pytest.raises(ValueError):
+            m.write_bandwidth(1, -1.0)
+
+    def test_aggregate_slower_per_node_at_scale(self):
+        """Per-node effective bandwidth drops at scale (saturation)."""
+        m = AnalyticPFSModel()
+        t_one = m.write_time(1, 64 * GiB)
+        t_many = m.write_time(2048, 64 * GiB)
+        assert t_many > t_one * 10
+
+
+class TestMatrixPFSModel:
+    def test_matches_analytic_on_grid(self):
+        m_an = AnalyticPFSModel()
+        m_mx = MatrixPFSModel()  # noiseless default grid
+        for nodes in (1, 8, 128, 1024):
+            for size in (1 * GiB, 16 * GiB, 256 * GiB):
+                t_a = m_an.write_time(nodes, size)
+                t_m = m_mx.write_time(nodes, size)
+                assert t_m == pytest.approx(t_a, rel=0.02)
+
+    def test_interpolates_off_grid(self):
+        m_an = AnalyticPFSModel()
+        m_mx = MatrixPFSModel()
+        t_a = m_an.write_time(100, 10 * GiB)
+        t_m = m_mx.write_time(100, 10 * GiB)
+        assert t_m == pytest.approx(t_a, rel=0.15)
+
+    def test_clamps_beyond_grid(self):
+        m = MatrixPFSModel()
+        big = m.write_bandwidth(100_000, 300 * GiB)
+        edge = m.write_bandwidth(4096, 256 * GiB)
+        assert big == pytest.approx(edge, rel=0.05)
+
+    def test_noisy_matrix_still_reasonable(self):
+        sweep = run_weak_scaling_sweep(np.random.default_rng(3))
+        m_mx = MatrixPFSModel(sweep)
+        m_an = AnalyticPFSModel()
+        t_m = m_mx.write_time(512, 64 * GiB)
+        t_a = m_an.write_time(512, 64 * GiB)
+        assert t_m == pytest.approx(t_a, rel=0.3)
+
+    def test_zero_bytes_zero_time(self):
+        assert MatrixPFSModel().write_time(4, 0.0) == 0.0
+
+    def test_invalid_queries(self):
+        m = MatrixPFSModel()
+        with pytest.raises(ValueError):
+            m.write_bandwidth(0, 1 * GiB)
+        with pytest.raises(ValueError):
+            m.write_bandwidth(4, 0.0)
+
+
+@given(
+    nodes=st.integers(min_value=1, max_value=8192),
+    size=st.floats(min_value=1 * MiB, max_value=512 * GiB),
+)
+@settings(max_examples=200, deadline=None)
+def test_write_time_positive_and_finite(nodes, size):
+    """Both backends must return positive finite times everywhere."""
+    for model in (AnalyticPFSModel(), _SHARED_MATRIX):
+        t = model.write_time(nodes, size)
+        assert np.isfinite(t)
+        assert t > 0.0
+
+
+@given(
+    nodes=st.integers(min_value=1, max_value=4096),
+    size=st.floats(min_value=64 * MiB, max_value=128 * GiB),
+    factor=st.floats(min_value=1.1, max_value=8.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_write_time_monotone_in_bytes(nodes, size, factor):
+    """More data never takes less time."""
+    m = AnalyticPFSModel()
+    assert m.write_time(nodes, size * factor) > m.write_time(nodes, size)
+
+
+#: Module-level to avoid rebuilding the interpolator per hypothesis example.
+_SHARED_MATRIX = MatrixPFSModel()

@@ -1,0 +1,198 @@
+"""Behavioural tests for the C/R models on small, fast workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Trace
+from repro.iomodel.bandwidth import GiB, TiB
+from repro.models.base import CRSimulation, ModelConfig
+from repro.models.registry import get_model
+from repro.workloads.applications import ApplicationSpec
+
+
+def run_model(app, weibull, model, seed=0, predictor=None, trace=None):
+    from repro.failures.predictor import DEFAULT_PREDICTOR
+
+    sim = CRSimulation(
+        app,
+        get_model(model) if isinstance(model, str) else model,
+        weibull=weibull,
+        predictor=predictor or DEFAULT_PREDICTOR,
+        rng=np.random.default_rng(seed),
+        trace=trace,
+    )
+    return sim.run()
+
+
+class TestQuietWorld:
+    """With a cold failure distribution nothing ever fails."""
+
+    def test_base_model_overhead_is_checkpoints_only(self, tiny_app, warm_weibull):
+        out = run_model(tiny_app, warm_weibull, "B", seed=0)  # seed 0: no failures
+        assert out.ft.failures == 0
+        assert out.overhead.recomputation == 0.0
+        assert out.overhead.recovery == 0.0
+        assert out.overhead.migration == 0.0
+        # Overhead = completed periodic checkpoints × t_bb.
+        t_bb = tiny_app.checkpoint_bytes_per_node / (2.1 * GiB)
+        assert out.overhead.checkpoint == pytest.approx(
+            out.periodic_checkpoints * t_bb, rel=1e-6
+        )
+        assert out.periodic_checkpoints >= 5
+
+    def test_all_models_identical_without_failures(self, tiny_app, cold_weibull):
+        outs = {m: run_model(tiny_app, cold_weibull, m, seed=5)
+                for m in ("B", "M1", "P1")}
+        assert outs["B"].makespan == pytest.approx(outs["M1"].makespan)
+        assert outs["B"].makespan == pytest.approx(outs["P1"].makespan)
+
+    def test_sigma_models_checkpoint_less(self, tiny_app, warm_weibull):
+        b = run_model(tiny_app, warm_weibull, "B", seed=0)
+        p2 = run_model(tiny_app, warm_weibull, "P2", seed=0)
+        assert p2.periodic_checkpoints < b.periodic_checkpoints
+        assert p2.oci_initial > 1.5 * b.oci_initial
+
+
+class TestAccountingIdentity:
+    """makespan == useful compute + total overhead, always."""
+
+    @pytest.mark.parametrize("model", ["B", "M1", "M2", "P1", "P2"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identity(self, tiny_app, hot_weibull, model, seed):
+        out = run_model(tiny_app, hot_weibull, model, seed=seed)
+        assert out.makespan == pytest.approx(
+            out.useful_seconds + out.overhead.total, abs=1e-5
+        )
+        out.overhead.validate()
+        out.ft.validate()
+
+    @pytest.mark.parametrize("model", ["M2", "P1", "P2"])
+    def test_identity_large_footprint(self, big_app, mild_weibull, model):
+        out = run_model(big_app, mild_weibull, model, seed=7)
+        assert out.makespan == pytest.approx(
+            out.useful_seconds + out.overhead.total, abs=1e-4
+        )
+
+
+class TestFailureHandling:
+    def test_base_model_never_mitigates(self, tiny_app, hot_weibull):
+        out = run_model(tiny_app, hot_weibull, "B", seed=1)
+        assert out.ft.failures > 0
+        assert out.ft.mitigated == 0
+        assert out.overhead.recomputation > 0.0
+        assert out.overhead.recovery > 0.0
+
+    def test_prediction_models_mitigate_small_app(self, tiny_app, hot_weibull):
+        """Tiny footprints: every proactive mechanism has time to act, so
+        the FT ratio approaches the predictor recall."""
+        pooled = {}
+        for model in ("M1", "M2", "P1", "P2"):
+            ft_fail = ft_mit = 0
+            for seed in range(6):
+                out = run_model(tiny_app, hot_weibull, model, seed=seed)
+                ft_fail += out.ft.failures
+                ft_mit += out.ft.mitigated
+            pooled[model] = ft_mit / max(ft_fail, 1)
+        # The hot fixture (MTBF ≈ 26 min) produces clustered failures whose
+        # follow-ons land inside recovery windows and defeat proactivity,
+        # so the ratio sits below the ~0.84 seen at paper-scale rates.
+        for model, ratio in pooled.items():
+            assert 0.5 < ratio <= 0.95, (model, ratio)
+
+    def test_p1_beats_m2_on_large_footprint(self, big_app, mild_weibull):
+        """Large per-node checkpoints: p-ckpt's single-node commit (≈21 s)
+        beats LM's DRAM-capped transfer (≈41 s) against ~43 s leads."""
+        fails = {"M2": 0, "P1": 0}
+        mits = {"M2": 0, "P1": 0}
+        for seed in range(5):
+            for model in ("M2", "P1"):
+                out = run_model(big_app, mild_weibull, model, seed=seed)
+                fails[model] += out.ft.failures
+                mits[model] += out.ft.mitigated
+        r_m2 = mits["M2"] / max(fails["M2"], 1)
+        r_p1 = mits["P1"] / max(fails["P1"], 1)
+        assert r_p1 > r_m2 + 0.1
+
+    def test_p2_uses_both_mechanisms(self, big_app, mild_weibull):
+        lm = pk = 0
+        for seed in range(6):
+            out = run_model(big_app, mild_weibull, "P2", seed=seed)
+            lm += out.ft.mitigated_lm
+            pk += out.ft.mitigated_pckpt
+        assert lm > 0
+        assert pk > 0
+
+    def test_m2_ignores_short_leads(self, big_app, mild_weibull):
+        """With leads crushed to ~4% of reference, LM (41 s) never fits."""
+        from repro.failures.predictor import DEFAULT_PREDICTOR
+
+        short = DEFAULT_PREDICTOR.with_lead_change(-96)
+        out = run_model(big_app, mild_weibull, "M2", seed=3, predictor=short)
+        assert out.ft.mitigated_lm == 0
+
+    def test_proactive_recovery_costlier_for_p1(self, big_app, mild_weibull):
+        """P1's mitigated failures restore everyone from the PFS."""
+        rec_b = rec_p1 = 0.0
+        for seed in range(5):
+            rec_b += run_model(big_app, mild_weibull, "B", seed=seed).overhead.recovery
+            rec_p1 += run_model(big_app, mild_weibull, "P1", seed=seed).overhead.recovery
+        assert rec_p1 > rec_b
+
+    def test_false_alarms_counted(self, tiny_app, hot_weibull):
+        total = 0
+        for seed in range(8):
+            total += run_model(tiny_app, hot_weibull, "P1", seed=seed).ft.false_alarms
+        assert total > 0
+
+
+class TestOCIBehaviour:
+    def test_sigma_oci_elongates(self, tiny_app, hot_weibull):
+        p1 = run_model(tiny_app, hot_weibull, "P1", seed=0)
+        p2 = run_model(tiny_app, hot_weibull, "P2", seed=0)
+        assert p2.oci_initial > 1.3 * p1.oci_initial
+
+    def test_b_and_p1_share_oci(self, tiny_app, hot_weibull):
+        b = run_model(tiny_app, hot_weibull, "B", seed=0)
+        p1 = run_model(tiny_app, hot_weibull, "P1", seed=0)
+        assert b.oci_initial == pytest.approx(p1.oci_initial)
+
+
+class TestTraceIntegration:
+    def test_protocol_events_traced(self, tiny_app, hot_weibull):
+        from repro.des import Environment
+
+        trace = Trace(Environment())
+        out = run_model(tiny_app, hot_weibull, "P1", seed=1, trace=trace)
+        if out.proactive_runs:
+            assert trace.count("pckpt:start") or trace.count("pckpt") or any(
+                k.startswith("pckpt") or k == "start" for k in trace.kinds()
+            )
+            kinds = set(trace.kinds())
+            assert "prediction" in kinds or "start" in kinds
+
+
+class TestValidation:
+    def test_bb_capacity_guard(self, hot_weibull):
+        fat = ApplicationSpec("FAT", nodes=4,
+                              checkpoint_bytes_total=4 * 0.9 * TiB,
+                              compute_hours=1.0)
+        with pytest.raises(ValueError, match="BB capacity"):
+            CRSimulation(fat, get_model("B"), weibull=hot_weibull)
+
+    def test_dram_guard(self, hot_weibull):
+        import dataclasses
+
+        from repro.platform.system import SUMMIT
+        from repro.platform.node import NodeSpec
+        from repro.platform.burstbuffer import BurstBufferSpec
+
+        # Shrink DRAM below the per-node checkpoint while keeping BB huge.
+        node = NodeSpec(dram_bytes=1 * GiB, burst_buffer=BurstBufferSpec())
+        platform = dataclasses.replace(SUMMIT, node=node)
+        app = ApplicationSpec("X", nodes=4, checkpoint_bytes_total=4 * 2 * GiB,
+                              compute_hours=1.0)
+        with pytest.raises(ValueError, match="DRAM"):
+            CRSimulation(app, get_model("B"), platform=platform,
+                         weibull=hot_weibull)

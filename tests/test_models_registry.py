@@ -1,0 +1,91 @@
+"""Unit tests for the model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.base import ModelConfig
+from repro.models.registry import (
+    MODEL_B,
+    MODEL_M1,
+    MODEL_M2,
+    MODEL_P1,
+    MODEL_P2,
+    PAPER_MODELS,
+    get_model,
+    lm_variant,
+)
+
+
+class TestPaperModels:
+    def test_five_models(self):
+        assert list(PAPER_MODELS) == ["B", "M1", "M2", "P1", "P2"]
+
+    def test_capabilities_match_paper(self):
+        assert not MODEL_B.use_prediction
+        assert MODEL_M1.supports_safeguard and not MODEL_M1.supports_lm
+        assert MODEL_M2.supports_lm and MODEL_M2.use_sigma_oci
+        assert not MODEL_M2.supports_pckpt
+        assert MODEL_P1.supports_pckpt and not MODEL_P1.use_sigma_oci
+        assert MODEL_P2.supports_lm and MODEL_P2.supports_pckpt
+        assert MODEL_P2.use_sigma_oci
+
+    def test_default_alpha_is_three(self):
+        assert MODEL_M2.lm_alpha == 3.0
+        assert MODEL_P2.lm_alpha == 3.0
+
+
+class TestVariants:
+    def test_get_model_by_name(self):
+        assert get_model("P1") is MODEL_P1
+
+    def test_alpha_variant(self):
+        m = get_model("M2-2.5")
+        assert m.lm_alpha == 2.5
+        assert m.supports_lm
+        assert m.name == "M2-2.5"
+        p = get_model("P2-1")
+        assert p.lm_alpha == 1.0
+        assert p.supports_pckpt
+
+    def test_fn_variant(self):
+        m = get_model("P2-fn")
+        assert m.sigma_includes_recall
+        assert m.supports_pckpt and m.supports_lm
+
+    def test_sync_variants(self):
+        for name in ("P1-sync", "P2-sync"):
+            m = get_model(name)
+            assert not m.pckpt_async_phase2
+            assert m.supports_pckpt
+        with pytest.raises(KeyError):
+            get_model("M1-sync")  # M1 has no p-ckpt phase 2 to block
+
+    def test_online_variants(self):
+        for name in ("B-online", "P1-online", "P2-online"):
+            m = get_model(name)
+            assert m.oci_online
+        with pytest.raises(KeyError):
+            get_model("Z9-online")
+
+    def test_lm_variant_helper(self):
+        v = lm_variant(MODEL_M2, 4.0)
+        assert v.lm_alpha == 4.0
+        with pytest.raises(ValueError):
+            lm_variant(MODEL_P1, 2.0)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("Z9")
+        with pytest.raises(KeyError):
+            get_model("M1-2.0")  # M1 has no LM to vary
+
+
+class TestModelConfigValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="x", lm_alpha=0.0)
+
+    def test_sigma_requires_lm(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="x", use_sigma_oci=True)

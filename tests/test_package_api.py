@@ -1,0 +1,38 @@
+"""Tests of the top-level package surface (lazy exports, metadata)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_entry_points(self):
+        assert callable(repro.simulate_application)
+        assert callable(repro.run_replications)
+        assert repro.SUMMIT.name == "summit"
+        assert repro.TITAN_WEIBULL.name == "titan"
+        assert set(repro.PAPER_MODELS) == {"B", "M1", "M2", "P1", "P2"}
+        assert len(repro.APPLICATIONS) == 6
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_name
+
+    def test_dir_includes_lazy_names(self):
+        names = dir(repro)
+        assert "CRSimulation" in names
+        assert "APPLICATIONS" in names
+
+    def test_cached_after_first_access(self):
+        first = repro.get_model
+        second = repro.get_model
+        assert first is second

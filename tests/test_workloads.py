@@ -1,0 +1,89 @@
+"""Unit tests for the workload catalogue and Eq. (3) rescaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iomodel.bandwidth import GiB
+from repro.workloads.applications import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    ApplicationSpec,
+)
+from repro.workloads.scaling import rescale_application, scale_checkpoint_size
+
+
+class TestTableI:
+    def test_all_six_present(self):
+        assert set(APPLICATIONS) == {"CHIMERA", "XGC", "S3D", "GYRO", "POP", "VULCAN"}
+        assert APPLICATION_ORDER[0] == "CHIMERA"
+
+    def test_table_values(self):
+        chim = APPLICATIONS["CHIMERA"]
+        assert chim.nodes == 2272
+        assert chim.checkpoint_bytes_total == pytest.approx(646_382 * GiB)
+        assert chim.compute_hours == 360
+        assert APPLICATIONS["VULCAN"].nodes == 64
+        assert APPLICATIONS["POP"].compute_hours == 480
+
+    def test_per_node_sizes_fit_dram(self):
+        for app in APPLICATIONS.values():
+            assert app.checkpoint_bytes_per_node <= 512 * GiB
+
+    def test_per_node_chimera(self):
+        assert APPLICATIONS["CHIMERA"].checkpoint_bytes_per_node == pytest.approx(
+            646_382 / 2272 * GiB
+        )
+
+    def test_compute_seconds(self):
+        assert APPLICATIONS["POP"].compute_seconds == 480 * 3600
+
+    def test_with_nodes_keeps_per_node_size(self):
+        pop = APPLICATIONS["POP"]
+        scaled = pop.with_nodes(252)
+        assert scaled.nodes == 252
+        assert scaled.checkpoint_bytes_per_node == pytest.approx(
+            pop.checkpoint_bytes_per_node
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationSpec("x", 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ApplicationSpec("x", 1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            ApplicationSpec("x", 1, 1.0, 0.0)
+
+
+class TestEq3Scaling:
+    def test_formula(self):
+        # Doubling nodes and DRAM quadruples the aggregate size.
+        assert scale_checkpoint_size(100.0, 10, 32.0, 20, 64.0) == pytest.approx(400.0)
+
+    def test_identity(self):
+        assert scale_checkpoint_size(123.0, 7, 1.0, 7, 1.0) == 123.0
+
+    def test_rescale_application(self):
+        app = ApplicationSpec("t", nodes=100, checkpoint_bytes_total=100 * GiB,
+                              compute_hours=10)
+        out = rescale_application(app, nodes_new=200, dram_old=256 * GiB,
+                                  dram_new=512 * GiB)
+        assert out.checkpoint_bytes_total == pytest.approx(400 * GiB)
+        assert out.nodes == 200
+
+    def test_rescale_rejects_dram_overflow(self):
+        # Eq. (3) preserves the per-node DRAM fraction, so overflow only
+        # occurs when the source characterization was already over-full.
+        app = ApplicationSpec("t", nodes=10, checkpoint_bytes_total=10 * 300 * GiB,
+                              compute_hours=10)
+        with pytest.raises(ValueError):
+            rescale_application(app, nodes_new=10, dram_old=256 * GiB,
+                                dram_new=512 * GiB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_checkpoint_size(-1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            scale_checkpoint_size(1, 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            scale_checkpoint_size(1, 1, 0, 1, 1)
