@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Observation 8: when does p-ckpt beat live migration?
 
+Reproduces: Observation 8 and Eqs. 4–8 (the LM-vs-p-ckpt break-even
+curve), cross-checked against the Fig 6c transfer-size sweep.
+
 Prints the analytical break-even curve α(σ) from the paper's Eqs. 4–8
 (both the published Eq. 8 and the exact solution of Eq. 7), then
 cross-checks it against simulation: the Fig 6c transfer-size sweep on one

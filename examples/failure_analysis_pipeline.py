@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """The Desh-style failure-analysis pipeline, end to end.
 
+Reproduces: Fig 2a (the ten-sequence lead-time distribution) and the σ
+inputs of Eq. 2, from synthetic logs.
+
 1. Synthesize six months' worth of cluster logs with embedded failure
    chains (plus benign noise);
 2. mine the chains back out and measure their lead times (Fig 2a);

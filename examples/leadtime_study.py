@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Fig 4/7-style study: how lead-time variability affects each model.
 
+Reproduces: Fig 4 (M1/M2) and Fig 7 (P1/P2) — overhead reduction under
+−50%…+50% lead-time change.
+
 Sweeps the prediction lead-time change from −50% to +50% for one
 application and prints the overhead reductions of M1/M2 (prior work) and
 P1/P2 (this paper) side by side — the core story of the paper: prediction

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Fig 6-style shoot-out: all five C/R models on three applications.
 
+Reproduces: Fig 6a (per-model overhead breakdown under Titan's failure
+distribution), at laptop scale.
+
 Compares B, M1 (safeguard), M2 (live migration), P1 (p-ckpt), and
 P2 (hybrid p-ckpt) on CHIMERA, XGC and POP under Titan's failure
 distribution — a laptop-scale rendition of the paper's headline figure.

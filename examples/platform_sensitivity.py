@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Platform sensitivity: what hardware makes p-ckpt win or lose?
 
+Reproduces: the hardware reading of Observations 4 and 8 — how the
+interconnect and single-node PFS bandwidths steer the hybrid's choice.
+
 The paper's Observations 4 and 8 say the LM-vs-p-ckpt balance hinges on
 two bandwidths: the interconnect (carries migrations) and the single-node
 PFS path (carries prioritized commits). This example sweeps both around

@@ -1,6 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: simulate one application under the hybrid p-ckpt model.
 
+Reproduces: the POP column of Fig 6a (overhead bars, B vs P2) and its
+Table IV FT-ratio entry, at laptop scale.
+
 Runs the POP climate code (Table I) on the Summit-like platform under
 Titan's failure distribution, first with plain periodic checkpointing
 (model B) and then with hybrid p-ckpt (model P2), and prints the overhead

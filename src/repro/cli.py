@@ -4,6 +4,9 @@ Subcommands
 -----------
 ``pckpt simulate APP MODEL``
     One Monte-Carlo cell (application × model) with overhead breakdown.
+    ``--metrics`` prints the merged metrics registry; ``--trace PATH``
+    exports a Chrome/Perfetto trace of replication 0 (see
+    ``docs/OBSERVABILITY.md``).
 ``pckpt experiment ID``
     Regenerate one paper artifact (fig2a, fig2b, fig2c, fig4, fig6a,
     fig6b, fig6-sys8, fig6c, fig7, fig8, table2, table4, obs9).
@@ -22,6 +25,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import (
@@ -58,10 +62,61 @@ def _scale(args: argparse.Namespace) -> ExperimentScale:
     )
 
 
+def _write_trace(args: argparse.Namespace, app, weibull) -> None:
+    """Re-run replication 0 with tracing on and export the trace.
+
+    Uses the same ``SeedSequence.spawn`` child the Monte-Carlo run used
+    for its first replication, so the traced run is one of the runs the
+    printed aggregate already contains.
+    """
+    import numpy as np
+
+    from .analysis.metrics import trace_summary
+    from .des import Trace
+    from .models.base import CRSimulation
+
+    child = np.random.SeedSequence(args.seed).spawn(1)[0]
+    trace = Trace(env=None)  # adopted by the simulation's environment
+    sim = CRSimulation(
+        app,
+        get_model(args.model),
+        weibull=weibull,
+        rng=np.random.default_rng(child),
+        trace=trace,
+    )
+    sim.run()
+    if args.trace.endswith(".jsonl"):
+        n = trace.to_jsonl(args.trace)
+        kind = "JSONL"
+    else:
+        n = trace.to_chrome_trace(args.trace)
+        kind = "Chrome trace (open in https://ui.perfetto.dev)"
+    print(f"[wrote {n} {kind} events to {args.trace}]")
+    summary = trace_summary(trace)
+    print("trace span totals (replication 0):")
+    for name, stats in summary["spans"].items():
+        print(f"  {name:<24s} x{stats['count']:<6d} {stats['seconds']:14.3f} s")
+    ov = summary["overhead"]
+    print(
+        f"  span-derived overhead: checkpoint={ov['checkpoint']:.3f}s "
+        f"recovery={ov['recovery']:.3f}s "
+        f"recomputation={ov['recomputation']:.3f}s"
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     app = APPLICATIONS[args.app.upper()]
     scale = _scale(args)
     weibull = FAILURE_DISTRIBUTIONS[args.distribution]
+    if args.trace:
+        # Fail before the (potentially long) run, not after it.
+        trace_dir = os.path.dirname(os.path.abspath(args.trace))
+        if not os.path.isdir(trace_dir):
+            print(
+                f"error: --trace directory does not exist: {trace_dir}",
+                file=sys.stderr,
+            )
+            return 2
     result = run_replications(
         app,
         args.model,
@@ -69,6 +124,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         weibull=weibull,
         seed=scale.seed,
         workers=scale.workers,
+        collect_metrics=args.metrics,
     )
     print(
         format_kv(
@@ -92,6 +148,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             title=f"{app.name} under model {result.model_name}",
         )
     )
+    if args.metrics and result.metrics is not None:
+        print()
+        print(f"metrics (merged over {result.replications} replications):")
+        print(result.metrics.format())
+    if args.trace:
+        print()
+        _write_trace(args, app, weibull)
     return 0
 
 
@@ -241,6 +304,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--distribution",
         choices=sorted(FAILURE_DISTRIBUTIONS),
         default=TITAN_WEIBULL.name,
+    )
+    p_sim.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-layer metrics and print the merged registry",
+    )
+    p_sim.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "re-run replication 0 traced and export it: Chrome trace-event "
+            "JSON (Perfetto-viewable), or JSONL when PATH ends in .jsonl"
+        ),
     )
     p_sim.set_defaults(func=_cmd_simulate)
 

@@ -205,15 +205,23 @@ class PckptProtocol:
         # the application is blocked in the protocol.
 
     def _wait(self, duration: float, bail_on_new_vulnerable: bool):
-        """Interruptible wait; returns the unserved remainder (0 if done)."""
+        """Interruptible wait; returns the unserved remainder (0 if done).
+
+        The epsilon applies to the residue left by an interrupt (it
+        absorbs float accumulation error), not to the requested duration
+        — even a sub-epsilon write is actually waited out, so blocked
+        time is charged exactly.
+        """
         remaining = duration
-        while remaining > _EPS:
+        while remaining > 0.0:
             start = self.env.now
             try:
                 yield self.env.timeout(remaining)
                 remaining = 0.0
             except Interrupt as intr:
                 remaining -= self.env.now - start
+                if remaining <= _EPS:
+                    remaining = 0.0
                 self._dispatch(intr.cause)
                 if bail_on_new_vulnerable and self.queue:
                     return remaining

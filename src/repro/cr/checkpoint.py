@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.metrics import MetricsRegistry
 
 __all__ = ["SnapshotKind", "Snapshot", "SnapshotLedger"]
 
@@ -61,31 +64,39 @@ class SnapshotLedger:
     platform checks at simulation start).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None) -> None:
         #: Newest snapshot resident in every node's BB (None before the
         #: first periodic checkpoint).
         self.bb: Optional[Snapshot] = None
         #: Newest snapshot fully committed to the PFS (drained periodic or
         #: proactive).
         self.pfs: Optional[Snapshot] = None
+        self.metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     # -- updates -------------------------------------------------------------
     def record_periodic(self, work: float, time: float) -> Snapshot:
         """A periodic checkpoint just reached the BBs (drain still pending)."""
         snap = Snapshot(work, SnapshotKind.PERIODIC, time)
         self.bb = snap
+        self._count("ledger.periodic_recorded")
         return snap
 
     def record_drained(self, snap: Snapshot) -> None:
         """An asynchronous drain finished: *snap* is now PFS-complete."""
         if self.pfs is None or snap.work >= self.pfs.work:
             self.pfs = snap
+        self._count("ledger.drained")
 
     def record_proactive(self, work: float, time: float) -> Snapshot:
         """A proactive (safeguard / p-ckpt) PFS commit completed."""
         snap = Snapshot(work, SnapshotKind.PROACTIVE, time)
         if self.pfs is None or snap.work >= self.pfs.work:
             self.pfs = snap
+        self._count("ledger.proactive_recorded")
         return snap
 
     # -- queries -----------------------------------------------------------
@@ -119,9 +130,11 @@ class SnapshotLedger:
         """
         if self.bb is not None and self.bb.work > work:
             self.bb = None
+            self._count("ledger.bb_forfeited")
         if self.pfs is not None and self.pfs.work > work:  # pragma: no cover
             # Recovery never restores below the PFS snapshot; guard anyway.
             self.pfs = None
+        self._count("ledger.rollbacks")
 
     def __repr__(self) -> str:
         return f"<SnapshotLedger bb={self.bb} pfs={self.pfs}>"

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..des import Environment, Interrupt, Process
+from ..des import Environment, Interrupt, Process, Trace
+from ..des.metrics import MetricsRegistry
 from ..platform.pfs import PFSSpec
 from .checkpoint import Snapshot, SnapshotLedger
 
@@ -42,6 +43,12 @@ class DrainManager:
         Per-node checkpoint size.
     on_drained:
         Optional callback invoked with the snapshot when a drain lands.
+    trace:
+        Optional trace; each drain becomes a ``drain_flush`` span on the
+        ``drain`` source (cancellations close the span early).
+    metrics:
+        Optional registry fed ``drain.completed`` / ``drain.cancelled``
+        counters and a ``drain.seconds`` histogram.
     """
 
     def __init__(
@@ -52,6 +59,8 @@ class DrainManager:
         nodes: int,
         bytes_per_node: float,
         on_drained: Optional[Callable[[Snapshot], None]] = None,
+        trace: Optional[Trace] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.env = env
         self.pfs = pfs
@@ -59,6 +68,8 @@ class DrainManager:
         self.nodes = nodes
         self.bytes_per_node = bytes_per_node
         self.on_drained = on_drained
+        self.trace = trace
+        self.metrics = metrics
         self._pending: list[Snapshot] = []
         self._worker: Optional[Process] = None
         #: Completed drain count (diagnostics / tests).
@@ -95,6 +106,10 @@ class DrainManager:
             while self._pending:
                 snap = self._pending.pop(0)
                 duration = self.pfs.drain_time(self.nodes, self.bytes_per_node)
+                sid = (
+                    self.trace.span_begin("drain", "drain_flush", snap.work)
+                    if self.trace is not None else 0
+                )
                 remaining = duration
                 start = self.env.now
                 while remaining > 0:
@@ -111,10 +126,19 @@ class DrainManager:
                             break
                         remaining -= self.env.now - start
                         start = self.env.now
+                if self.trace is not None:
+                    self.trace.span_end(
+                        sid, "cancelled" if snap is None else "landed"
+                    )
                 if snap is None:
+                    if self.metrics is not None:
+                        self.metrics.counter("drain.cancelled").inc()
                     continue
                 self.ledger.record_drained(snap)
                 self.completed += 1
+                if self.metrics is not None:
+                    self.metrics.counter("drain.completed").inc()
+                    self.metrics.histogram("drain.seconds").observe(duration)
                 if self.on_drained is not None:
                     self.on_drained(snap)
         finally:

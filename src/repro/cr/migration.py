@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
-from ..des import Environment, Interrupt, Process
+from ..des import Environment, Interrupt, Process, Trace
 from ..failures.injector import FailureEvent, FalseAlarmEvent
 from ..platform.system import PlatformSpec
 
@@ -50,6 +50,9 @@ class LiveMigration:
         LM transfer-size factor (paper default 3×; swept in Fig 6c).
     on_done:
         Callback ``(migration, outcome)`` invoked at termination.
+    trace:
+        Optional trace; the transfer becomes an ``lm_transfer`` span on
+        the ``lm`` source, closed with the outcome as detail.
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class LiveMigration:
         ckpt_bytes_per_node: float,
         alpha: float = 3.0,
         on_done: Optional[Callable[["LiveMigration", MigrationOutcome], None]] = None,
+        trace: Optional[Trace] = None,
     ) -> None:
         self.env = env
         self.platform = platform
@@ -71,6 +75,11 @@ class LiveMigration:
         self.started_at = env.now
         self.outcome: Optional[MigrationOutcome] = None
         self._on_done = on_done
+        self._trace = trace
+        self._sid = (
+            trace.span_begin("lm", "lm_transfer", {"node": self.node})
+            if trace is not None else 0
+        )
         self._proc: Process = env.process(self._run(), name=f"lm/node{node}")
 
     # -- queries -----------------------------------------------------------
@@ -110,5 +119,7 @@ class LiveMigration:
                 MigrationOutcome.ABORTED if kind == "lm-abort"
                 else MigrationOutcome.OVERTAKEN
             )
+        if self._trace is not None:
+            self._trace.span_end(self._sid, self.outcome.value)
         if self._on_done is not None:
             self._on_done(self, self.outcome)

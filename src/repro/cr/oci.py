@@ -19,8 +19,13 @@ failure rate".  :class:`OCIController` encapsulates that logic:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
 from ..analysis.young import sigma_adjusted_oci, young_oci
 from ..failures.injector import FailureInjector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.metrics import MetricsRegistry
 
 __all__ = ["OCIController"]
 
@@ -58,6 +63,9 @@ class OCIController:
     min_interval:
         Floor on the returned interval (seconds) — guards against
         degenerate parameters driving the interval to zero.
+    metrics:
+        Optional registry fed an ``oci.interval_seconds`` gauge and
+        ``oci.recomputes`` / ``oci.observed_failures`` counters.
     """
 
     t_ckpt_bb: float
@@ -69,6 +77,7 @@ class OCIController:
     sigma_includes_recall: bool = False
     online_estimation: bool = False
     min_interval: float = 1.0
+    metrics: Optional["MetricsRegistry"] = None
 
     #: Observed failures (fed by the simulation when online_estimation).
     observed_failures: int = 0
@@ -100,6 +109,8 @@ class OCIController:
     def record_failure(self) -> None:
         """Feed one observed failure into the online estimator."""
         self.observed_failures += 1
+        if self.metrics is not None:
+            self.metrics.counter("oci.observed_failures").inc()
 
     def record_time(self, now: float) -> None:
         """Feed the current simulation time into the online estimator."""
@@ -131,4 +142,8 @@ class OCIController:
             oci = sigma_adjusted_oci(self.t_ckpt_bb, rate, self.nodes, self.sigma())
         else:
             oci = young_oci(self.t_ckpt_bb, rate, self.nodes)
-        return max(oci, self.min_interval)
+        oci = max(oci, self.min_interval)
+        if self.metrics is not None:
+            self.metrics.counter("oci.recomputes").inc()
+            self.metrics.gauge("oci.interval_seconds").set(oci)
+        return oci

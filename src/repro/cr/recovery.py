@@ -22,7 +22,10 @@ survives, so the neighbor copy is always usable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des.metrics import MetricsRegistry
 
 from ..platform.burstbuffer import BurstBufferSpec
 from ..platform.interconnect import InterconnectSpec
@@ -68,6 +71,7 @@ def plan_recovery(
     bytes_per_node: float,
     restart_delay: float,
     neighbor: Optional[InterconnectSpec] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> RecoveryPlan:
     """Determine the best recovery action after a node failure.
 
@@ -89,7 +93,22 @@ def plan_recovery(
         their BBs.  The neighbor copy covers the *newest BB generation*
         (it is written alongside the BB stage), so recovery no longer
         waits for the PFS drain.
+    metrics:
+        Optional registry fed ``recovery.plans`` / ``recovery.from_bb`` /
+        ``recovery.full_restarts`` counters and a ``recovery.read_seconds``
+        histogram.
     """
+
+    def _record(plan: RecoveryPlan) -> RecoveryPlan:
+        if metrics is not None:
+            metrics.counter("recovery.plans").inc()
+            if plan.from_bb:
+                metrics.counter("recovery.from_bb").inc()
+            if plan.restore_work == 0.0:
+                metrics.counter("recovery.full_restarts").inc()
+            metrics.histogram("recovery.read_seconds").observe(plan.read_seconds)
+        return plan
+
     snap = ledger.recovery_snapshot()
     if neighbor is not None and ledger.bb is not None and (
         snap is None or ledger.bb.work >= snap.work
@@ -101,11 +120,13 @@ def plan_recovery(
             bb.read_time(bytes_per_node),
             neighbor.transfer_time(bytes_per_node) + bb.read_time(bytes_per_node),
         )
-        return RecoveryPlan(ledger.bb.work, read, restart_delay, from_bb=True)
+        return _record(
+            RecoveryPlan(ledger.bb.work, read, restart_delay, from_bb=True)
+        )
 
     if snap is None:
         # Nothing committed anywhere: full restart, nothing to read.
-        return RecoveryPlan(0.0, 0.0, restart_delay, from_bb=False)
+        return _record(RecoveryPlan(0.0, 0.0, restart_delay, from_bb=False))
 
     if snap.kind is SnapshotKind.PERIODIC and ledger.survivors_can_use_bb():
         # Survivors hit their BBs in parallel; the replacement node is the
@@ -114,8 +135,10 @@ def plan_recovery(
             bb.read_time(bytes_per_node),
             pfs.replacement_read_time(bytes_per_node),
         )
-        return RecoveryPlan(snap.work, read, restart_delay, from_bb=True)
+        return _record(
+            RecoveryPlan(snap.work, read, restart_delay, from_bb=True)
+        )
 
     # Proactive snapshot (or BBs out of sync): everyone reads the PFS.
     read = pfs.full_restore_read_time(nodes, bytes_per_node)
-    return RecoveryPlan(snap.work, read, restart_delay, from_bb=False)
+    return _record(RecoveryPlan(snap.work, read, restart_delay, from_bb=False))

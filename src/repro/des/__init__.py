@@ -31,7 +31,14 @@ Example
 from .core import Environment, Infinity
 from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from .exceptions import EmptySchedule, Interrupt, SimulationError, StopProcess
-from .monitor import Trace, TraceRecord
+from .metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .monitor import BEGIN, END, INSTANT, Trace, TraceRecord, load_jsonl
 from .process import Process, ProcessGenerator
 from .resources import PriorityRequest, PriorityResource, Release, Request, Resource
 from .stores import (
@@ -75,4 +82,13 @@ __all__ = [
     "ContainerGet",
     "Trace",
     "TraceRecord",
+    "load_jsonl",
+    "INSTANT",
+    "BEGIN",
+    "END",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_SECONDS_BUCKETS",
 ]

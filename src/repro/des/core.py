@@ -9,12 +9,16 @@ package because every experiment must be exactly reproducible from a seed.
 
 from __future__ import annotations
 
+import time as _time
 from heapq import heappop, heappush
-from typing import Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .events import NORMAL, AllOf, AnyOf, Event, Timeout
 from .exceptions import EmptySchedule, SimulationError
 from .process import Process, ProcessGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .metrics import MetricsRegistry
 
 __all__ = ["Environment", "Infinity"]
 
@@ -46,9 +50,21 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
+        self._initial_time: float = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid: int = 0
         self._active_proc: Optional[Process] = None
+        #: Optional :class:`~repro.des.metrics.MetricsRegistry` shared by
+        #: components holding this environment (attach via
+        #: :meth:`attach_metrics`); ``None`` keeps recording disabled.
+        self.metrics: Optional["MetricsRegistry"] = None
+        # -- kernel self-profiling (cheap enough to leave always on) -----
+        #: Events popped and dispatched by :meth:`step` so far.
+        self.events_processed: int = 0
+        #: Deepest the event heap has ever been.
+        self.queue_high_water: int = 0
+        #: Wall-clock seconds spent inside :meth:`run` loops.
+        self.wall_seconds: float = 0.0
 
     # -- clock & introspection -------------------------------------------
     @property
@@ -101,6 +117,8 @@ class Environment:
             raise ValueError(f"negative delay {delay}")
         heappush(self._queue, (self._now + delay, priority, self._eid, event))
         self._eid += 1
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
 
     def step(self) -> None:
         """Process the single next event.
@@ -114,6 +132,7 @@ class Environment:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events left") from None
+        self.events_processed += 1
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
@@ -158,6 +177,7 @@ class Environment:
                 raise ValueError(f"until ({at}) must be greater than now ({self._now})")
             stop_event = None
 
+        wall_start = _time.perf_counter()
         try:
             while self._queue:
                 next_time = self._queue[0][0]
@@ -171,6 +191,8 @@ class Environment:
                     raise stop_event._value
         except _StopSimulation:  # pragma: no cover - internal control flow
             pass
+        finally:
+            self.wall_seconds += _time.perf_counter() - wall_start
 
         if stop_event is not None and stop_event.callbacks is not None:
             raise SimulationError(
@@ -184,8 +206,37 @@ class Environment:
 
     def run_until_empty(self) -> None:
         """Drain every remaining event (convenience for tests)."""
-        while self._queue:
-            self.step()
+        wall_start = _time.perf_counter()
+        try:
+            while self._queue:
+                self.step()
+        finally:
+            self.wall_seconds += _time.perf_counter() - wall_start
+
+    # -- observability ----------------------------------------------------
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Share a metrics registry with components using this environment."""
+        self.metrics = registry
+
+    def kernel_stats(self) -> Dict[str, float]:
+        """Kernel self-profile of this environment.
+
+        Returns events processed, the heap-depth high-water mark, wall
+        seconds spent in the event loop, simulated seconds elapsed, and the
+        wall-per-sim-second ratio (the DES hot-loop figure of merit; wall
+        values are measurement, not simulation, and are therefore excluded
+        from the deterministic metrics registry).
+        """
+        sim_seconds = self._now - self._initial_time
+        return {
+            "events_processed": float(self.events_processed),
+            "queue_high_water": float(self.queue_high_water),
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": sim_seconds,
+            "wall_per_sim_second": (
+                self.wall_seconds / sim_seconds if sim_seconds > 0 else 0.0
+            ),
+        }
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now} queued={len(self._queue)}>"

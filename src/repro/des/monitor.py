@@ -1,19 +1,47 @@
-"""Lightweight instrumentation for simulations.
+"""Structured tracing for simulations.
 
 :class:`Trace` collects timestamped records emitted by simulation
-components; the C/R models use it both for debugging (the protocol-trace
-example) and for metric accounting cross-checks in tests.
+components.  Two record shapes exist:
+
+* **instant events** (:meth:`Trace.emit`) — a point-in-time fact
+  ("failure struck node 12");
+* **spans** (:meth:`Trace.span_begin` / :meth:`Trace.span_end`, or the
+  :meth:`Trace.span` context manager) — a named interval bracketing a
+  protocol phase (a BB checkpoint, a p-ckpt phase 1, a recovery restore).
+  Span durations are accumulated per name in :attr:`Trace.span_totals`
+  even when the backing record buffer is bounded, so accounting
+  cross-checks survive truncation.
+
+Recording can be bounded two ways: ``max_records`` with ``ring=False``
+(the default) keeps the *first* N records and drops the rest;
+``ring=True`` keeps the *most recent* N (a flight recorder).  Emit-time
+filters (``only_kinds`` / ``only_sources``) cut storage cost before a
+record is built.
+
+Traces export to JSONL (one record per line, :meth:`Trace.to_jsonl` /
+:func:`load_jsonl`) and to the Chrome trace-event format
+(:meth:`Trace.to_chrome_trace`) viewable in Perfetto or
+``chrome://tracing``, with one displayed "thread" per record source.
+See ``docs/OBSERVABILITY.md`` for the vocabulary and a walkthrough.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Collection, Dict, IO, Iterator, List,
+                    Optional, Tuple, Union)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Environment
 
-__all__ = ["TraceRecord", "Trace"]
+__all__ = ["TraceRecord", "Trace", "load_jsonl", "INSTANT", "BEGIN", "END"]
+
+#: Record phase markers (mirroring the Chrome trace-event vocabulary).
+INSTANT = "I"
+BEGIN = "B"
+END = "E"
 
 
 @dataclass(frozen=True)
@@ -26,16 +54,59 @@ class TraceRecord:
         Simulation time of the record.
     source:
         Component that emitted it (e.g. ``"node/17"`` or ``"pckpt"``).
+        Sources map to "threads" in the Chrome trace export.
     kind:
-        Short machine-readable tag (e.g. ``"ckpt_bb_start"``).
+        Short machine-readable tag (e.g. ``"ckpt_bb_start"``).  For span
+        records this is the span name.
     detail:
         Arbitrary payload for humans / assertions.
+    ph:
+        Record phase: :data:`INSTANT` (default), :data:`BEGIN`, or
+        :data:`END` for span boundaries.
+    sid:
+        Span id linking a BEGIN to its END (0 for instants).
     """
 
     time: float
     source: str
     kind: str
     detail: Any = None
+    ph: str = INSTANT
+    sid: int = 0
+
+
+class _OpenSpan:
+    """Bookkeeping for a span whose END has not been emitted yet."""
+
+    __slots__ = ("sid", "source", "kind", "begin")
+
+    def __init__(self, sid: int, source: str, kind: str, begin: float) -> None:
+        self.sid = sid
+        self.source = source
+        self.kind = kind
+        self.begin = begin
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Trace.span`."""
+
+    __slots__ = ("_trace", "_source", "_kind", "_detail", "sid")
+
+    def __init__(self, trace: "Trace", source: str, kind: str,
+                 detail: Any) -> None:
+        self._trace = trace
+        self._source = source
+        self._kind = kind
+        self._detail = detail
+        self.sid = 0
+
+    def __enter__(self) -> "_SpanContext":
+        self.sid = self._trace.span_begin(self._source, self._kind,
+                                          self._detail)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._trace.span_end(self.sid)
 
 
 class Trace:
@@ -43,36 +114,135 @@ class Trace:
 
     Tracing is off by default in production runs; models accept an optional
     trace and emit only when one is supplied, so the hot path stays clean.
+
+    Parameters
+    ----------
+    env:
+        The environment whose clock timestamps records.
+    enabled:
+        Master switch; a disabled trace records nothing.
+    max_records:
+        Bound on stored records (``None`` = unbounded).
+    ring:
+        With ``max_records`` set: ``False`` keeps the first N records
+        (historic behaviour), ``True`` keeps the most recent N.
+    only_kinds / only_sources:
+        When given, only matching records are stored *or counted* — the
+        cheapest way to trace one protocol phase in a long run.
     """
 
     def __init__(self, env: "Environment", enabled: bool = True,
-                 max_records: Optional[int] = None) -> None:
+                 max_records: Optional[int] = None, ring: bool = False,
+                 only_kinds: Optional[Collection[str]] = None,
+                 only_sources: Optional[Collection[str]] = None) -> None:
         self.env = env
         self.enabled = enabled
         self.max_records = max_records
-        self.records: List[TraceRecord] = []
+        self.ring = ring
+        self.only_kinds = frozenset(only_kinds) if only_kinds else None
+        self.only_sources = frozenset(only_sources) if only_sources else None
+        self._records: Union[List[TraceRecord], deque] = (
+            deque(maxlen=max_records) if (ring and max_records) else []
+        )
         self._counts: Dict[str, int] = {}
+        self._next_sid = 1
+        self._open_spans: Dict[int, _OpenSpan] = {}
+        #: Completed-span accounting: kind -> [count, total seconds].
+        #: Maintained even past max_records truncation (like counts).
+        self.span_totals: Dict[str, List[float]] = {}
+
+    # -- properties kept for backwards compatibility ---------------------
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Stored records as a list (oldest first)."""
+        recs = self._records
+        return recs if isinstance(recs, list) else list(recs)
+
+    # -- recording ----------------------------------------------------------
+    def _accepts(self, source: str, kind: str) -> bool:
+        if not self.enabled:
+            return False
+        if self.only_kinds is not None and kind not in self.only_kinds:
+            return False
+        if self.only_sources is not None and source not in self.only_sources:
+            return False
+        return True
+
+    def _store(self, rec: TraceRecord) -> None:
+        recs = self._records
+        if isinstance(recs, deque):
+            recs.append(rec)  # maxlen evicts the oldest automatically
+            return
+        if self.max_records is not None and len(recs) >= self.max_records:
+            return
+        recs.append(rec)
 
     def emit(self, source: str, kind: str, detail: Any = None) -> None:
-        """Append a record at the current simulation time."""
-        if not self.enabled:
+        """Append an instant record at the current simulation time."""
+        if not self._accepts(source, kind):
             return
         self._counts[kind] = self._counts.get(kind, 0) + 1
-        if self.max_records is not None and len(self.records) >= self.max_records:
-            return
-        self.records.append(TraceRecord(self.env.now, source, kind, detail))
+        self._store(TraceRecord(self.env.now, source, kind, detail))
 
+    # -- spans ---------------------------------------------------------------
+    def span_begin(self, source: str, kind: str, detail: Any = None) -> int:
+        """Open a span; returns its id (0 when filtered/disabled)."""
+        if not self._accepts(source, kind):
+            return 0
+        sid = self._next_sid
+        self._next_sid += 1
+        now = self.env.now
+        self._open_spans[sid] = _OpenSpan(sid, source, kind, now)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        self._store(TraceRecord(now, source, kind, detail, BEGIN, sid))
+        return sid
+
+    def span_end(self, sid: int, detail: Any = None) -> float:
+        """Close span *sid*; returns its duration (0.0 for id 0 / unknown)."""
+        span = self._open_spans.pop(sid, None)
+        if span is None:
+            return 0.0
+        now = self.env.now
+        duration = now - span.begin
+        totals = self.span_totals.get(span.kind)
+        if totals is None:
+            totals = self.span_totals[span.kind] = [0, 0.0]
+        totals[0] += 1
+        totals[1] += duration
+        self._store(
+            TraceRecord(now, span.source, span.kind, detail, END, sid)
+        )
+        return duration
+
+    def span(self, source: str, kind: str, detail: Any = None) -> _SpanContext:
+        """Context manager emitting a BEGIN/END pair around its body."""
+        return _SpanContext(self, source, kind, detail)
+
+    def open_spans(self) -> Tuple[Tuple[str, str], ...]:
+        """(source, kind) of spans still open (diagnostics)."""
+        return tuple(
+            (s.source, s.kind) for s in self._open_spans.values()
+        )
+
+    def span_seconds(self, kind: str) -> float:
+        """Total accumulated duration of completed spans named *kind*."""
+        totals = self.span_totals.get(kind)
+        return totals[1] if totals else 0.0
+
+    # -- queries -----------------------------------------------------------
     def count(self, kind: str) -> int:
         """Number of records of *kind* (counted even past max_records)."""
         return self._counts.get(kind, 0)
 
-    def filter(self, kind: Optional[str] = None, source: Optional[str] = None
-               ) -> Iterator[TraceRecord]:
-        """Iterate records matching the given kind and/or source."""
-        for rec in self.records:
+    def filter(self, kind: Optional[str] = None, source: Optional[str] = None,
+               ph: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate records matching the given kind, source, and/or phase."""
+        for rec in self._records:
             if kind is not None and rec.kind != kind:
                 continue
             if source is not None and rec.source != source:
+                continue
+            if ph is not None and rec.ph != ph:
                 continue
             yield rec
 
@@ -80,19 +250,133 @@ class Trace:
         """All record kinds seen so far, in first-seen order."""
         return tuple(self._counts)
 
+    def sources(self) -> Tuple[str, ...]:
+        """All sources present in the stored records, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for rec in self._records:
+            seen.setdefault(rec.source, None)
+        return tuple(seen)
+
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        return iter(self._records)
 
     def format(self, limit: Optional[int] = None) -> str:
         """Render the trace as aligned text lines (for examples/debugging)."""
-        rows = self.records if limit is None else self.records[:limit]
+        records = self.records
+        rows = records if limit is None else records[:limit]
+        marks = {INSTANT: " ", BEGIN: ">", END: "<"}
         lines = [
-            f"[{rec.time:14.3f}s] {rec.source:<16s} {rec.kind:<24s} {rec.detail!r}"
+            f"[{rec.time:14.3f}s] {marks[rec.ph]} {rec.source:<16s} "
+            f"{rec.kind:<24s} {rec.detail!r}"
             for rec in rows
         ]
-        if limit is not None and len(self.records) > limit:
-            lines.append(f"... ({len(self.records) - limit} more records)")
+        if limit is not None and len(records) > limit:
+            lines.append(f"... ({len(records) - limit} more records)")
         return "\n".join(lines)
+
+    # -- exporters ------------------------------------------------------------
+    def to_jsonl(self, path_or_fp: Union[str, IO[str]]) -> int:
+        """Write every stored record as one JSON object per line.
+
+        Non-JSON-native details are stringified; records whose detail is
+        built from JSON types round-trip exactly through
+        :func:`load_jsonl`.  Returns the number of records written.
+        """
+        def _write(fp: IO[str]) -> int:
+            n = 0
+            for rec in self._records:
+                fp.write(json.dumps(
+                    {"t": rec.time, "source": rec.source, "kind": rec.kind,
+                     "ph": rec.ph, "sid": rec.sid, "detail": rec.detail},
+                    default=str, separators=(",", ":"),
+                ))
+                fp.write("\n")
+                n += 1
+            return n
+
+        if isinstance(path_or_fp, str):
+            with open(path_or_fp, "w", encoding="utf-8") as fp:
+                return _write(fp)
+        return _write(path_or_fp)
+
+    def to_chrome_trace(self, path_or_fp: Union[str, IO[str]],
+                        time_scale: float = 1e6) -> int:
+        """Write the trace in Chrome trace-event JSON (Perfetto-viewable).
+
+        Each source becomes one named "thread"; spans map to ``B``/``E``
+        duration events and instants to scoped ``i`` events.  Simulation
+        seconds are scaled by *time_scale* into the format's microsecond
+        timestamps (the default renders 1 sim-second as 1 display-second).
+        Returns the number of trace events written (metadata included).
+        """
+        tids: Dict[str, int] = {}
+        events: List[Dict[str, Any]] = []
+        for rec in self._records:
+            tid = tids.get(rec.source)
+            if tid is None:
+                tid = tids[rec.source] = len(tids) + 1
+            ev: Dict[str, Any] = {
+                "name": rec.kind,
+                "ph": "i" if rec.ph == INSTANT else rec.ph,
+                "ts": rec.time * time_scale,
+                "pid": 1,
+                "tid": tid,
+            }
+            if rec.ph == INSTANT:
+                ev["s"] = "t"  # thread-scoped instant
+            if rec.detail is not None:
+                ev["args"] = {"detail": _jsonable(rec.detail)}
+            events.append(ev)
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "simulation"}},
+        ] + [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": source}}
+            for source, tid in tids.items()
+        ]
+        payload = {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+        if isinstance(path_or_fp, str):
+            with open(path_or_fp, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp)
+        else:
+            json.dump(payload, path_or_fp)
+        return len(meta) + len(events)
+
+
+def _jsonable(detail: Any) -> Any:
+    """Best-effort conversion of a record detail to JSON-native types."""
+    try:
+        json.dumps(detail)
+        return detail
+    except (TypeError, ValueError):
+        if isinstance(detail, dict):
+            return {str(k): _jsonable(v) for k, v in detail.items()}
+        if isinstance(detail, (list, tuple, set, frozenset)):
+            return [_jsonable(v) for v in detail]
+        return str(detail)
+
+
+def load_jsonl(path_or_fp: Union[str, IO[str]]) -> List[TraceRecord]:
+    """Read records written by :meth:`Trace.to_jsonl`."""
+    def _read(fp: IO[str]) -> List[TraceRecord]:
+        out: List[TraceRecord] = []
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            out.append(TraceRecord(
+                time=obj["t"], source=obj["source"], kind=obj["kind"],
+                detail=obj.get("detail"), ph=obj.get("ph", INSTANT),
+                sid=obj.get("sid", 0),
+            ))
+        return out
+
+    if isinstance(path_or_fp, str):
+        with open(path_or_fp, "r", encoding="utf-8") as fp:
+            return _read(fp)
+    return _read(path_or_fp)

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence, Union
 import numpy as np
 
 from ..analysis.metrics import FTStats, OverheadBreakdown, percent_reduction
+from ..des.metrics import MetricsRegistry
 from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
 from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
 from ..failures.weibull import TITAN_WEIBULL, WeibullParams
@@ -53,6 +54,11 @@ class SimulationResult:
         the pooled counts — the paper's "averaged over 1000 runs").
     oci_initial / oci_final:
         Mean first/last checkpoint interval (seconds).
+    metrics:
+        Merged :class:`~repro.des.metrics.MetricsRegistry` across all
+        replications when the run collected metrics, else ``None``.
+        Merging happens in replication order, so the result is
+        bit-identical regardless of worker count.
     """
 
     app_name: str
@@ -64,6 +70,7 @@ class SimulationResult:
     ft: FTStats
     oci_initial: float
     oci_final: float
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def total_overhead_hours(self) -> float:
@@ -107,6 +114,7 @@ def _run_once(
     lead_model: LeadTimeModel,
     predictor: PredictorSpec,
     seed_seq,
+    collect_metrics: bool = False,
 ) -> RunOutput:
     """Worker: one replication (top-level for pickling)."""
     if not isinstance(seed_seq, np.random.SeedSequence):
@@ -120,6 +128,7 @@ def _run_once(
         lead_model=lead_model,
         predictor=predictor,
         rng=rng,
+        metrics=MetricsRegistry() if collect_metrics else None,
     )
     return sim.run()
 
@@ -135,6 +144,13 @@ def _aggregate(
         mean_overhead = mean_overhead + out.overhead
         ft = ft + out.ft
     mean_overhead = mean_overhead.scaled(1.0 / n)
+    # Metrics snapshots merge in replication order — the outputs sequence
+    # is already ordered by replication index regardless of which worker
+    # produced each one, so aggregation is parallelism-independent.
+    if any(o.metrics is not None for o in outputs):
+        metrics = MetricsRegistry.merge_snapshots([o.metrics for o in outputs])
+    else:
+        metrics = None
     return SimulationResult(
         app_name=app.name,
         model_name=config.name,
@@ -145,6 +161,7 @@ def _aggregate(
         ft=ft,
         oci_initial=float(np.mean([o.oci_initial for o in outputs])),
         oci_final=float(np.mean([o.oci_final for o in outputs])),
+        metrics=metrics,
     )
 
 
@@ -160,6 +177,7 @@ def simulate_application(
     lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
     predictor: PredictorSpec = DEFAULT_PREDICTOR,
     seed: int = 0,
+    collect_metrics: bool = False,
 ) -> SimulationResult:
     """Run a single replication of one application under one model.
 
@@ -167,7 +185,8 @@ def simulate_application(
     :func:`run_replications`.
     """
     config = _resolve_model(model)
-    out = _run_once(app, config, platform, weibull, lead_model, predictor, seed)
+    out = _run_once(app, config, platform, weibull, lead_model, predictor,
+                    seed, collect_metrics)
     return _aggregate(app, config, [out])
 
 
@@ -181,6 +200,7 @@ def run_replications(
     predictor: PredictorSpec = DEFAULT_PREDICTOR,
     seed: int = 0,
     workers: Optional[int] = None,
+    collect_metrics: bool = False,
 ) -> SimulationResult:
     """Monte-Carlo estimate for one (application, model) cell.
 
@@ -193,6 +213,11 @@ def run_replications(
     workers:
         Process count; ``None`` chooses serial below a size threshold and
         ``os.cpu_count()`` above it; 1 forces serial.
+    collect_metrics:
+        Attach a metrics registry to every replication and return the
+        merged registry on the result.  Each worker ships back a plain
+        snapshot dict; the merge happens here in replication order, so
+        the aggregate is identical whatever *workers* is.
     """
     if replications < 1:
         raise ValueError("replications must be >= 1")
@@ -205,7 +230,8 @@ def run_replications(
 
     if workers <= 1:
         outputs = [
-            _run_once(app, config, platform, weibull, lead_model, predictor, c)
+            _run_once(app, config, platform, weibull, lead_model, predictor,
+                      c, collect_metrics)
             for c in children
         ]
     else:
@@ -220,6 +246,7 @@ def run_replications(
                     lead_model,
                     predictor,
                     c,
+                    collect_metrics,
                 )
                 for c in children
             ]

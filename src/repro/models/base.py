@@ -34,7 +34,7 @@ from ..cr.migration import LiveMigration, MigrationOutcome
 from ..cr.oci import OCIController
 from ..cr.recovery import plan_recovery
 from ..cr.safeguard import SafeguardAborted, SafeguardCheckpoint
-from ..des import Environment, Interrupt, Trace
+from ..des import Environment, Interrupt, MetricsRegistry, Trace
 from ..failures.injector import FailureEvent, FailureInjector, FalseAlarmEvent
 from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
 from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
@@ -123,6 +123,10 @@ class RunOutput:
         Number of completed periodic BB checkpoints.
     proactive_runs:
         Number of p-ckpt / safeguard protocol executions (incl. aborted).
+    metrics:
+        :meth:`~repro.des.metrics.MetricsRegistry.snapshot` of the run's
+        metrics registry when one was attached, else ``None``.  A plain
+        picklable dict so it crosses ``ProcessPoolExecutor`` boundaries.
     """
 
     makespan: float
@@ -133,6 +137,7 @@ class RunOutput:
     oci_final: float
     periodic_checkpoints: int
     proactive_runs: int
+    metrics: Optional[Dict] = None
 
 
 @dataclass
@@ -173,15 +178,20 @@ class _Phase2Job:
         self._proc = sim.env.process(self._run(), name="pckpt-phase2")
 
     def _run(self):
+        sid = self.sim._span_begin("pckpt", "pckpt_phase2", self.snapshot_work)
         try:
             yield self.sim.env.timeout(self.duration)
         except Interrupt:
             self.cancelled = True
+            self.sim._span_end(sid, "cancelled")
+            self.sim._count("pckpt.phase2_cancelled")
             if self.sim._phase2_job is self:
                 self.sim._phase2_job = None
             return
         self.sim.ledger.record_proactive(self.snapshot_work, self.sim.env.now)
+        self.sim._span_end(sid, "landed")
         self.sim._emit("pckpt", "phase2-landed", self.snapshot_work)
+        self.sim._count("pckpt.phase2_landed")
         if self.sim._phase2_job is self:
             self.sim._phase2_job = None
 
@@ -210,6 +220,14 @@ class CRSimulation:
         Seeded generator (owns all stochasticity of this run).
     trace:
         Optional event trace for debugging / the protocol-trace example.
+        Protocol phases additionally emit spans (see
+        ``docs/OBSERVABILITY.md`` for the vocabulary); completed-span
+        totals mirror the :class:`OverheadBreakdown` accounting exactly.
+    metrics:
+        Optional metrics registry; when given it is attached to the run's
+        environment and fed counters/gauges/histograms by every layer
+        (ledger, drain, OCI, recovery planning, the protocol drivers, and
+        the DES kernel itself).  Cheap enough to leave on.
     """
 
     def __init__(
@@ -222,6 +240,7 @@ class CRSimulation:
         predictor: PredictorSpec = DEFAULT_PREDICTOR,
         rng: np.random.Generator | None = None,
         trace: Optional[Trace] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         from ..failures.weibull import TITAN_WEIBULL
 
@@ -233,6 +252,9 @@ class CRSimulation:
         self.trace = trace
         if trace is not None:
             trace.env = self.env
+        self.metrics = metrics
+        if metrics is not None:
+            self.env.attach_metrics(metrics)
 
         per_node = app.checkpoint_bytes_per_node
         bb = platform.node.burst_buffer
@@ -271,10 +293,12 @@ class CRSimulation:
             lm_threshold=self.lm_seconds if config.use_sigma_oci else 0.0,
             sigma_includes_recall=config.sigma_includes_recall,
             online_estimation=config.oci_online,
+            metrics=metrics,
         )
-        self.ledger = SnapshotLedger()
+        self.ledger = SnapshotLedger(metrics=metrics)
         self.drain = DrainManager(
-            self.env, platform.pfs, self.ledger, app.nodes, per_node
+            self.env, platform.pfs, self.ledger, app.nodes, per_node,
+            trace=trace, metrics=metrics,
         )
         self.overhead = OverheadBreakdown()
         self.ft = FTStats()
@@ -320,6 +344,7 @@ class CRSimulation:
         self.env.run(until=self._app_proc)
         self.overhead.validate()
         self.ft.validate()
+        self._flush_metrics()
         return RunOutput(
             makespan=self.env.now,
             useful_seconds=self.app.compute_seconds,
@@ -329,7 +354,32 @@ class CRSimulation:
             oci_final=self.oci_final,
             periodic_checkpoints=self.periodic_checkpoints,
             proactive_runs=self.proactive_runs,
+            metrics=(
+                self.metrics.snapshot() if self.metrics is not None else None
+            ),
         )
+
+    def _flush_metrics(self) -> None:
+        """Record end-of-run totals into the metrics registry.
+
+        Only deterministic quantities go in — wall-clock figures stay on
+        :meth:`Environment.kernel_stats` so merged registries are
+        bit-identical regardless of worker count or machine load.
+        """
+        if self.metrics is None:
+            return
+        m = self.metrics
+        m.counter("des.events_processed").inc(self.env.events_processed)
+        m.gauge("des.queue_high_water").set(self.env.queue_high_water)
+        m.counter("sim.replications").inc()
+        m.counter("sim.makespan_seconds").inc(self.env.now)
+        m.counter("sim.useful_seconds").inc(self.app.compute_seconds)
+        m.counter("overhead.checkpoint_seconds").inc(self.overhead.checkpoint)
+        m.counter("overhead.recomputation_seconds").inc(
+            self.overhead.recomputation
+        )
+        m.counter("overhead.recovery_seconds").inc(self.overhead.recovery)
+        m.counter("overhead.migration_seconds").inc(self.overhead.migration)
 
     # ------------------------------------------------------------------
     # event drivers
@@ -355,6 +405,7 @@ class CRSimulation:
             if alarm.prediction_time > self.env.now:
                 yield self.env.timeout(alarm.prediction_time - self.env.now)
             self.ft.false_alarms += 1
+            self._count("predictor.false_alarms")
             self._deliver_prediction(alarm)
 
     # ------------------------------------------------------------------
@@ -363,6 +414,23 @@ class CRSimulation:
     def _emit(self, source: str, kind: str, detail=None) -> None:
         if self.trace is not None:
             self.trace.emit(source, kind, detail)
+
+    def _span_begin(self, source: str, kind: str, detail=None) -> int:
+        if self.trace is not None:
+            return self.trace.span_begin(source, kind, detail)
+        return 0
+
+    def _span_end(self, sid: int, detail=None) -> None:
+        if self.trace is not None:
+            self.trace.span_end(sid, detail)
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
 
     def _notify_app(self, cause: tuple) -> None:
         """Interrupt the application, or defer if it is un-interruptible."""
@@ -422,6 +490,8 @@ class CRSimulation:
         lead = max(deadline - self.env.now, 0.0)
         action = self.coordinator.decide(lead)
         self._emit("predictor", "prediction", (prediction, action.value))
+        self._count("predictor.predictions")
+        self._observe("predictor.lead_seconds", lead)
         rec = _MitigationRecord(action=action)
         self._records[id(prediction)] = rec
         self._watchers.setdefault(prediction.node, []).append(rec)
@@ -464,11 +534,17 @@ class CRSimulation:
                 self._migrated_away.add(node)
                 self._mark(node, NodeHealth.NORMAL)
                 self._emit("lm", "completed", node)
+                self._count("lm.completed")
             else:
                 self.ft.lm_aborts += 1
                 if self.node_health(node) is NodeHealth.MIGRATING:
                     self._mark(node, NodeHealth.VULNERABLE)
-                self._emit("lm", outcome.value, node)
+                if outcome is MigrationOutcome.ABORTED:
+                    self._emit("lm", "aborted", node)
+                    self._count("lm.aborted")
+                else:
+                    self._emit("lm", "overtaken", node)
+                    self._count("lm.overtaken")
             self._replan()
 
         lm = LiveMigration(
@@ -479,14 +555,17 @@ class CRSimulation:
             self.app.checkpoint_bytes_per_node,
             alpha=self.config.lm_alpha,
             on_done=_done,
+            trace=self.trace,
         )
         self._active_lms[node] = lm
         self._mark(node, NodeHealth.MIGRATING)
         self._emit("lm", "started", (node, lm.transfer_seconds))
+        self._count("lm.started")
         self._replan()
 
     def _deliver_failure(self, ev: FailureEvent) -> None:
         self.ft.failures += 1
+        self._count("failures.injected")
         if ev.predicted:
             # Counted at failure (not prediction) delivery so that a
             # prediction whose failure lands after job completion does not
@@ -507,11 +586,13 @@ class CRSimulation:
             self._mark(ev.node, NodeHealth.FAILED)
             self._mark(ev.node, NodeHealth.NORMAL)
             self._emit("failure", "avoided-by-lm", ev.node)
+            self._count("failures.avoided_by_lm")
             return
         if ev.node in self._active_lms:
             # Transfer still in flight when the node died.
             self._active_lms[ev.node].overtake()
         self._emit("failure", "struck", ev.node)
+        self._count("failures.struck")
         self._notify_app(("failure", ev))
 
     # ------------------------------------------------------------------
@@ -572,12 +653,18 @@ class CRSimulation:
         self._emit("app", "ckpt_bb_start", self.work_done)
         while remaining > _EPS:
             start = self.env.now
+            # One span per blocked write segment: its duration is exactly
+            # the checkpoint overhead charged below, so span totals and
+            # OverheadBreakdown stay reconcilable.
+            sid = self._span_begin("app", "ckpt_bb_write", self.work_done)
             try:
                 yield self.env.timeout(remaining)
                 self.overhead.checkpoint += self.env.now - start
+                self._span_end(sid)
                 remaining = 0.0
             except Interrupt as intr:
                 self.overhead.checkpoint += self.env.now - start
+                self._span_end(sid)
                 remaining -= self.env.now - start
                 kind = intr.cause[0]
                 if kind == "replan":
@@ -585,18 +672,22 @@ class CRSimulation:
                 if kind == "proactive":
                     # Abort the BB write; the proactive snapshot supersedes.
                     self._emit("app", "ckpt_bb_aborted", None)
+                    self._count("ckpt.periodic_aborted")
                     yield from self._run_proactive(intr.cause[1], intr.cause[2])
                     yield from self._drain_pending()
                     return
                 if kind == "failure":
                     # Fig 1(C): failure during a synchronous BB checkpoint.
                     self._emit("app", "ckpt_bb_aborted", None)
+                    self._count("ckpt.periodic_aborted")
                     yield from self._handle_failure(intr.cause[1])
                     yield from self._drain_pending()
                     return
                 raise RuntimeError(f"unexpected interrupt {intr.cause!r}")
         snap = self.ledger.record_periodic(self.work_done, self.env.now)
         self.periodic_checkpoints += 1
+        self._count("ckpt.periodic_completed")
+        self._observe("ckpt.bb_write_seconds", self.t_ckpt_bb)
         self.drain.submit(snap)
         self._emit("app", "ckpt_bb_done", self.work_done)
 
@@ -634,16 +725,25 @@ class CRSimulation:
         )
         self._active_safeguard = run
         self._emit("safeguard", "start", (prediction.node, write))
+        self._count("safeguard.runs")
+        # The safeguard only burns time inside its collective write, so
+        # this span's duration equals the checkpoint overhead it charges
+        # (run.spent / outcome.duration) — on aborts too.
+        sid = self._span_begin("safeguard", "safeguard_write", prediction.node)
         try:
             outcome = yield from run.run()
         except SafeguardAborted as exc:
             self.overhead.checkpoint += run.spent
+            self._span_end(sid, "aborted")
             self._emit("safeguard", "aborted", exc.failure.node)
+            self._count("safeguard.aborts")
             yield from self._handle_failure(exc.failure)
             return
         finally:
             self._active_safeguard = None
+        self._span_end(sid, "done")
         self.overhead.checkpoint += outcome.duration
+        self._observe("safeguard.write_seconds", outcome.duration)
         self.ledger.record_proactive(outcome.snapshot_work, self.env.now)
         for served in outcome.served:
             rec = self._records.get(id(served))
@@ -668,6 +768,7 @@ class CRSimulation:
                 initial.append(entry_from_prediction(lm.prediction))
                 enqueued.add(node)
             self._emit("pckpt", "absorbed-lm", node)
+            self._count("pckpt.absorbed_lms")
         # Every other still-vulnerable node joins too: the new snapshot
         # supersedes any older protection, so their shares must be
         # re-committed under it before their failures strike.
@@ -701,16 +802,28 @@ class CRSimulation:
         )
         self._active_protocol = protocol
         self._emit("pckpt", "start", [e.node for e in initial])
+        self._count("pckpt.runs")
+        # All protocol time passes inside its interruptible waits, so this
+        # span's duration equals phase1+phase2 blocked seconds — the exact
+        # checkpoint overhead charged below, on aborts too.
+        sid = self._span_begin(
+            "pckpt", "pckpt_protocol", [e.node for e in initial]
+        )
         try:
             outcome = yield from protocol.run()
         except ProtocolAborted as exc:
             self.overhead.checkpoint += protocol.phase1_spent + protocol.phase2_spent
+            self._span_end(sid, "aborted")
             self._emit("pckpt", "aborted", exc.failure.node)
+            self._count("pckpt.aborts")
             yield from self._handle_failure(exc.failure)
             return
         finally:
             self._active_protocol = None
+        self._span_end(sid, "done")
         self.overhead.checkpoint += outcome.duration
+        self._count("pckpt.commits", len(outcome.committed))
+        self._observe("pckpt.phase1_seconds", outcome.phase1_seconds)
         if self.config.pckpt_async_phase2:
             # Phase 2 flushes in the background; the snapshot becomes
             # PFS-complete (and recovery-usable) when the job lands.
@@ -836,6 +949,7 @@ class CRSimulation:
                     if self.config.neighbor_level
                     else None
                 ),
+                metrics=self.metrics,
             )
             restore_work = plan.restore_work
             restore_seconds = plan.total_seconds
@@ -853,10 +967,19 @@ class CRSimulation:
             "restore",
             {"work": restore_work, "seconds": restore_seconds, "from_bb": from_bb},
         )
+        self._observe("recovery.restore_seconds", restore_seconds)
+        self._observe("recovery.lost_work_seconds", max(lost, 0.0))
         # The restore itself cannot be interrupted; notifications queue up.
         # The flag defers *future* notifications; interrupts already
         # scheduled this timestep still land here, so the wait itself must
-        # also catch and defer.
+        # also catch and defer.  The wait lasts exactly restore_seconds
+        # (deferral consumes no time), so this span's duration equals the
+        # recovery overhead charged above; the lost work rides along in
+        # the detail for the recomputation cross-check.
+        sid = self._span_begin(
+            "recovery", "recovery_restore",
+            {"work": restore_work, "from_bb": from_bb},
+        )
         self._interruptible = False
         remaining = restore_seconds
         while remaining > _EPS:
@@ -868,6 +991,7 @@ class CRSimulation:
                 remaining -= self.env.now - start
                 self._pending.append(intr.cause)
         self._interruptible = True
+        self._span_end(sid, {"lost": max(lost, 0.0)})
 
     def _drain_pending(self):
         """Service notifications deferred during un-interruptible spans."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.pckpt import PckptProtocol, ProtocolAborted, entry_from_prediction
@@ -34,6 +34,9 @@ def cohorts(draw):
 
 
 @given(cohorts())
+# Regression: a sub-epsilon phase-2 write must still be waited out and
+# charged, not skipped by the interrupt-residue epsilon.
+@example(([0], [1.0], 1.0, 1e-09))
 @settings(max_examples=120, deadline=None)
 def test_protocol_commit_invariants(cohort):
     """For any initial cohort (no failures during the run):

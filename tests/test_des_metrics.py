@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry (repro.des.metrics)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.des import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_merge_sums(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(2)
+        b.inc(3)
+        a.merge(b)
+        assert a.value == 5
+
+
+class TestGauge:
+    def test_set_tracks_value_and_high_water(self):
+        g = Gauge("q")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.high_water == 7
+        assert g.updates == 3
+
+    def test_merge_component_wise_max(self):
+        a, b = Gauge("q"), Gauge("q")
+        a.set(5)
+        b.set(3)
+        b.set(9)
+        b.set(1)
+        a.merge(b)
+        assert a.value == 5  # max of last-written values
+        assert a.high_water == 9
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("t", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 100.0):
+            h.observe(v)
+        # upper-bound-inclusive buckets: [<=1, <=10], overflow beyond
+        assert h.counts == [2, 2]
+        assert h.overflow == 1
+        assert h.count == 5
+        assert h.total == pytest.approx(116.5)
+        assert h.mean == pytest.approx(116.5 / 5)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t").observe(-0.1)
+
+    def test_default_buckets(self):
+        h = Histogram("t")
+        assert h.buckets == tuple(DEFAULT_SECONDS_BUCKETS)
+
+    def test_merge_element_wise(self):
+        a = Histogram("t", buckets=(1.0, 10.0))
+        b = Histogram("t", buckets=(1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.counts == [1, 1]
+        assert a.overflow == 1
+        assert a.count == 3
+
+    def test_merge_mismatched_bounds_raises(self):
+        a = Histogram("t", buckets=(1.0,))
+        b = Histogram("t", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_name_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a")
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.gauge("a")
+        reg.histogram("m")
+        assert reg.names() == ("a", "m", "z")
+
+    def test_snapshot_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2)
+        reg.gauge("g").set(1)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        clone = MetricsRegistry.from_snapshot(snap)
+        assert clone.snapshot() == snap
+        assert clone.counter("c").value == 4
+        assert clone.gauge("g").high_water == 2
+        assert clone.histogram("h").counts == [0, 1]
+
+    def test_snapshot_is_picklable_plain_data(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.counter("only_b").inc(7)
+        b.gauge("g").set(5)
+        a.merge(b)
+        assert a.counter("c").value == 3
+        assert a.counter("only_b").value == 7
+        assert a.gauge("g").value == 5
+
+    def test_merge_snapshots_skips_none_and_is_deterministic(self):
+        snaps = []
+        for k in range(3):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(k + 1)
+            reg.histogram("h").observe(0.01 * (k + 1))
+            snaps.append(reg.snapshot())
+        merged1 = MetricsRegistry.merge_snapshots(
+            [snaps[0], None, snaps[1], snaps[2]]
+        )
+        merged2 = MetricsRegistry.merge_snapshots(snaps)
+        assert merged1.counter("c").value == 6
+        # identical inputs (modulo skipped Nones) -> identical snapshots
+        assert merged1.snapshot() == merged2.snapshot()
+
+    def test_format_mentions_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat").observe(0.02)
+        text = reg.format()
+        for name in ("hits", "depth", "lat"):
+            assert name in text

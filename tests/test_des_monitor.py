@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from repro.des import Trace
+import io
+import json
+
+from repro.des import BEGIN, END, INSTANT, Trace, load_jsonl
 
 
 class TestTrace:
@@ -55,3 +58,168 @@ class TestTrace:
         text = tr.format(limit=2)
         assert "2 more records" in text
         assert text.count("\n") == 2
+
+
+class TestSpans:
+    def test_span_records_begin_end_and_duration(self, env):
+        tr = Trace(env)
+
+        def proc(env):
+            sid = tr.span_begin("app", "work", "payload")
+            yield env.timeout(7)
+            assert tr.span_end(sid) == 7.0
+
+        env.process(proc(env))
+        env.run()
+        begin, end = tr.records
+        assert (begin.ph, begin.sid, begin.time) == (BEGIN, 1, 0.0)
+        assert (end.ph, end.sid, end.time) == (END, 1, 7.0)
+        assert tr.span_seconds("work") == 7.0
+        assert tr.span_totals["work"] == [1, 7.0]
+        assert tr.open_spans() == ()
+
+    def test_span_context_manager(self, env):
+        tr = Trace(env)
+        with tr.span("app", "phase"):
+            pass
+        assert [r.ph for r in tr.records] == [BEGIN, END]
+
+    def test_filtered_span_is_free(self, env):
+        tr = Trace(env, only_kinds={"other"})
+        sid = tr.span_begin("app", "work")
+        assert sid == 0
+        assert tr.span_end(sid) == 0.0
+        assert len(tr) == 0
+        assert tr.span_totals == {}
+
+    def test_open_spans_reported(self, env):
+        tr = Trace(env)
+        tr.span_begin("app", "stuck")
+        assert tr.open_spans() == (("app", "stuck"),)
+
+    def test_span_totals_survive_truncation(self, env):
+        tr = Trace(env, max_records=1)
+        for _ in range(3):
+            tr.span_end(tr.span_begin("s", "k"))
+        assert len(tr) == 1
+        assert tr.span_totals["k"][0] == 3
+
+    def test_ring_buffer_keeps_most_recent(self, env):
+        tr = Trace(env, max_records=2, ring=True)
+        for i in range(5):
+            tr.emit("s", "k", i)
+        assert [r.detail for r in tr.records] == [3, 4]
+        assert tr.count("k") == 5
+
+    def test_only_sources_filter(self, env):
+        tr = Trace(env, only_sources={"keep"})
+        tr.emit("keep", "k")
+        tr.emit("drop", "k")
+        assert len(tr) == 1
+        assert tr.sources() == ("keep",)
+
+    def test_filter_by_phase(self, env):
+        tr = Trace(env)
+        tr.emit("s", "k")
+        tr.span_end(tr.span_begin("s", "k"))
+        assert len(list(tr.filter(ph=INSTANT))) == 1
+        assert len(list(tr.filter(ph=BEGIN))) == 1
+        assert len(list(tr.filter(ph=END))) == 1
+
+    def test_format_marks_span_boundaries(self, env):
+        tr = Trace(env)
+        tr.span_end(tr.span_begin("s", "k"))
+        lines = tr.format().splitlines()
+        assert "> s" in lines[0]
+        assert "< s" in lines[1]
+
+
+class TestExporters:
+    def _sample_trace(self, env):
+        tr = Trace(env)
+
+        def proc(env):
+            tr.emit("app", "tick", {"n": 1})
+            sid = tr.span_begin("app", "work", [1, 2])
+            yield env.timeout(3)
+            tr.span_end(sid, "done")
+
+        env.process(proc(env))
+        env.run()
+        return tr
+
+    def test_jsonl_round_trip(self, env):
+        tr = self._sample_trace(env)
+        buf = io.StringIO()
+        assert tr.to_jsonl(buf) == 3
+        loaded = load_jsonl(io.StringIO(buf.getvalue()))
+        assert len(loaded) == len(tr.records)
+        for orig, back in zip(tr.records, loaded):
+            assert (back.time, back.source, back.kind, back.ph, back.sid) == (
+                orig.time, orig.source, orig.kind, orig.ph, orig.sid
+            )
+        # JSON-native details round-trip exactly (tuples become lists)
+        assert loaded[0].detail == {"n": 1}
+        assert loaded[1].detail == [1, 2]
+        assert loaded[2].detail == "done"
+
+    def test_jsonl_stringifies_non_native_details(self, env):
+        tr = Trace(env)
+        tr.emit("s", "k", object())
+        buf = io.StringIO()
+        tr.to_jsonl(buf)
+        obj = json.loads(buf.getvalue())
+        assert isinstance(obj["detail"], str)
+
+    def test_chrome_trace_schema(self, env):
+        tr = self._sample_trace(env)
+        buf = io.StringIO()
+        n = tr.to_chrome_trace(buf)
+        payload = json.loads(buf.getvalue())
+        events = payload["traceEvents"]
+        assert n == len(events)
+        assert payload["displayTimeUnit"] == "ms"
+
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names and "thread_name" in names
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names == {"app"}
+
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["s"] == "t"
+        assert instants[0]["args"]["detail"] == {"n": 1}
+
+        b = next(e for e in events if e["ph"] == "B")
+        e_ = next(e for e in events if e["ph"] == "E")
+        assert b["name"] == e_["name"] == "work"
+        assert b["tid"] == e_["tid"]
+        # default scale: seconds -> microseconds
+        assert e_["ts"] - b["ts"] == 3e6
+
+    def test_chrome_trace_one_tid_per_source(self, env):
+        tr = Trace(env)
+        tr.emit("alpha", "k")
+        tr.emit("beta", "k")
+        tr.emit("alpha", "k")
+        buf = io.StringIO()
+        tr.to_chrome_trace(buf)
+        events = json.loads(buf.getvalue())["traceEvents"]
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e.get("name") == "thread_name"
+        }
+        assert len(tids) == 2
+        rows = [e["tid"] for e in events if e["ph"] == "i"]
+        assert rows == [tids["alpha"], tids["beta"], tids["alpha"]]
+
+    def test_file_paths(self, env, tmp_path):
+        tr = self._sample_trace(env)
+        jpath = tmp_path / "t.jsonl"
+        cpath = tmp_path / "t.json"
+        tr.to_jsonl(str(jpath))
+        tr.to_chrome_trace(str(cpath))
+        assert len(load_jsonl(str(jpath))) == 3
+        assert "traceEvents" in json.loads(cpath.read_text())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Docs-sync check: every emitted trace kind must be documented.
+
+Scans ``src/repro`` for literal-string ``emit``/``span_begin``/``span``
+calls and asserts that each kind appears (backticked) somewhere in
+``docs/OBSERVABILITY.md``.  Run by CI and by the test suite; exits
+non-zero listing any undocumented kinds.
+
+Emit sites must use literal kind strings — a dynamically computed kind
+defeats this check (and makes traces harder to grep), so branch on the
+value and emit literals instead.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Set
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+#: Matches emit-family calls whose first two arguments are string
+#: literals: emit("source", "kind"), span_begin(...), span(...), and the
+#: models' _emit/_span_begin wrappers — across line breaks.
+CALL = re.compile(
+    r"\b(?:_emit|emit|_span_begin|span_begin|span)\(\s*"
+    r"['\"]([\w/-]+)['\"]\s*,\s*['\"]([\w.-]+)['\"]"
+)
+
+
+def emitted_kinds() -> Dict[str, Set[str]]:
+    """kind -> set of source files emitting it."""
+    found: Dict[str, Set[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in CALL.finditer(text):
+            kind = match.group(2)
+            found.setdefault(kind, set()).add(
+                str(path.relative_to(ROOT))
+            )
+    return found
+
+
+def documented_kinds() -> Set[str]:
+    """Every backticked token in the observability doc."""
+    text = DOC.read_text(encoding="utf-8")
+    return set(re.findall(r"`([^`\s]+)`", text))
+
+
+def main() -> int:
+    emitted = emitted_kinds()
+    if not emitted:
+        print("error: found no emit/span_begin call sites — checker broken?")
+        return 2
+    documented = documented_kinds()
+    missing = {k: v for k, v in emitted.items() if k not in documented}
+    if missing:
+        print(
+            "trace kinds emitted in code but absent from "
+            "docs/OBSERVABILITY.md:"
+        )
+        for kind, files in sorted(missing.items()):
+            print(f"  {kind}  ({', '.join(sorted(files))})")
+        return 1
+    print(f"OK: all {len(emitted)} emitted trace kinds are documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
