@@ -1,0 +1,58 @@
+"""Campaign cache benchmark: warm sweep regeneration must be ≥10× faster.
+
+Runs the Fig-6-style ``model_comparison`` grid twice against one result
+store: cold (every cell simulated) and warm (every cell served from the
+content-addressed cache).  Asserts the ISSUE acceptance properties: the
+warm run executes zero replications (verified on the metrics registry),
+returns bit-identical results, and regenerates the sweep at least 10×
+faster than the cold run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.campaign import CampaignProgress, ResultStore
+from repro.experiments.sweep import model_comparison
+
+from conftest import REPLICATIONS
+
+
+def test_warm_cache_regeneration_10x_faster(tmp_path, bench_scale):
+    store = ResultStore(tmp_path / "store")
+    models = ["M1", "P2"]
+    apps = ["XGC"]
+
+    cold_progress = CampaignProgress()
+    t0 = time.perf_counter()
+    cold = model_comparison(models, apps, scale=bench_scale, store=store,
+                            progress=cold_progress)
+    cold_seconds = time.perf_counter() - t0
+    assert cold_progress.metrics.counter(
+        "campaign.replications.executed"
+    ).value == 3 * REPLICATIONS  # B + M1 + P2
+
+    warm_progress = CampaignProgress()
+    t0 = time.perf_counter()
+    warm = model_comparison(models, apps, scale=bench_scale, store=store,
+                            progress=warm_progress)
+    warm_seconds = time.perf_counter() - t0
+
+    assert warm_progress.metrics.counter(
+        "campaign.replications.executed"
+    ).value == 0
+    assert warm_progress.metrics.counter(
+        "campaign.cells.cached"
+    ).value == len(cold)
+    for key in cold:
+        assert warm[key].overhead == cold[key].overhead
+        assert warm[key].overhead_std == cold[key].overhead_std
+        assert warm[key].ft == cold[key].ft
+
+    print(f"\ncold={cold_seconds:.3f}s warm={warm_seconds:.3f}s "
+          f"speedup={cold_seconds / warm_seconds:.0f}x")
+    assert warm_seconds * 10 <= cold_seconds, (
+        f"warm cache regeneration only "
+        f"{cold_seconds / warm_seconds:.1f}x faster "
+        f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+    )

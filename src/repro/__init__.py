@@ -23,6 +23,8 @@ The package is layered bottom-up:
   Titan→Summit checkpoint-size rescaling (Eq 3).
 * :mod:`repro.experiments` — Monte-Carlo runner, metric accounting, and
   one driver per table/figure of the paper's evaluation.
+* :mod:`repro.campaign` — sweep orchestration: shared-pool scheduling,
+  a content-addressed result store, and resumable campaigns.
 
 Top-level names are re-exported lazily (PEP 562) so that importing
 ``repro`` stays cheap and subpackages can be used in isolation.
@@ -57,6 +59,10 @@ __all__ = [
     "ModelConfig",
     "get_model",
     "PAPER_MODELS",
+    "run_campaign",
+    "CellSpec",
+    "ResultStore",
+    "CampaignProgress",
 ]
 
 # name → (module, attribute) for lazy re-export.
@@ -76,6 +82,10 @@ _LAZY = {
     "LANL_SYSTEM18_WEIBULL": ("repro.failures.weibull", "LANL_SYSTEM18_WEIBULL"),
     "ApplicationSpec": ("repro.workloads.applications", "ApplicationSpec"),
     "APPLICATIONS": ("repro.workloads.applications", "APPLICATIONS"),
+    "run_campaign": ("repro.campaign.scheduler", "run_campaign"),
+    "CellSpec": ("repro.campaign.plan", "CellSpec"),
+    "ResultStore": ("repro.campaign.store", "ResultStore"),
+    "CampaignProgress": ("repro.campaign.progress", "CampaignProgress"),
 }
 
 

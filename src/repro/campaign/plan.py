@@ -1,0 +1,221 @@
+"""Campaign planning: cells, shards, and content-addressed cache keys.
+
+A **cell** is one Monte-Carlo grid point — the full configuration tuple
+(application, model, platform, failure distribution, lead-time model,
+predictor, root seed, replication count).  A **shard** is a contiguous
+slice of one cell's replications, the unit of work the scheduler hands to
+the shared process pool.
+
+Cache keys are SHA-256 hashes of a canonical JSON rendering of the whole
+configuration plus the store schema version, so
+
+* the same configuration hashes identically in every process and on
+  every platform (no dependence on ``PYTHONHASHSEED`` or object ids);
+* changing *any* field — one predictor rate, one Weibull parameter, the
+  seed, the replication count, the code schema — produces a new key;
+* floats are rendered with ``float.hex()``, so keys distinguish values
+  that differ in the last ulp.
+
+``docs/CAMPAIGN.md`` documents the full key-field inventory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..failures.leadtime import LeadTimeModel
+from ..failures.predictor import PredictorSpec
+from ..failures.weibull import WeibullParams
+from ..models.base import ModelConfig
+from ..platform.system import PlatformSpec
+from ..workloads.applications import ApplicationSpec
+from .store import SCHEMA_VERSION
+
+__all__ = [
+    "CellSpec",
+    "WorkUnit",
+    "CampaignPlan",
+    "canonical_config",
+    "content_key",
+]
+
+
+def _canonical(obj: object) -> object:
+    """Render *obj* as JSON-serializable data with a stable, exact form.
+
+    Dataclasses serialize field-by-field with their type name; floats use
+    ``float.hex()`` (exact, locale-free); generic objects fall back to
+    their public ``__dict__``.  Raises ``TypeError`` for anything without
+    a well-defined canonical form (e.g. callables) rather than silently
+    hashing an unstable ``repr``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj).hex()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj).hex()
+    if isinstance(obj, np.ndarray):
+        return [_canonical(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, object] = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, LeadTimeModel):
+        # Not a dataclass; its content is fully determined by the
+        # sequence mixture (weights are derived from occurrences).
+        return {"__type__": "LeadTimeModel",
+                "sequences": _canonical(obj.sequences)}
+    if hasattr(obj, "__dict__"):
+        public = {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+        out = {"__type__": type(obj).__name__}
+        for k, v in sorted(public.items()):
+            out[k] = _canonical(v)
+        return out
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for cache keying"
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class CellSpec:
+    """One grid cell: the full configuration of a Monte-Carlo aggregate.
+
+    Attributes
+    ----------
+    key:
+        The caller-facing grid key, e.g. ``("P2", "POP")`` or
+        ``("M2", -50)`` — what the sweep engines use in their result
+        dicts.  **Not** part of the cache key (it names the slot, not the
+        computation).
+    app / model / platform / weibull / lead_model / predictor:
+        The simulation configuration (model must be resolved to a
+        :class:`ModelConfig`, not a registry name).
+    seed:
+        Root seed; replication *i* runs from ``SeedSequence(seed)``'s
+        *i*-th spawned child.
+    replications:
+        Monte-Carlo runs aggregated into this cell.
+    collect_metrics:
+        Attach a metrics registry to every replication.
+    """
+
+    key: tuple
+    app: ApplicationSpec
+    model: ModelConfig
+    platform: PlatformSpec
+    weibull: WeibullParams
+    lead_model: LeadTimeModel
+    predictor: PredictorSpec
+    seed: int
+    replications: int
+    collect_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+
+
+def canonical_config(cell: CellSpec) -> Dict[str, object]:
+    """The cell's full configuration in canonical (hash-input) form."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "app": _canonical(cell.app),
+        "model": _canonical(cell.model),
+        "platform": _canonical(cell.platform),
+        "weibull": _canonical(cell.weibull),
+        "lead_model": _canonical(cell.lead_model),
+        "predictor": _canonical(cell.predictor),
+        "seed": int(cell.seed),
+        "replications": int(cell.replications),
+        "collect_metrics": bool(cell.collect_metrics),
+    }
+
+
+def content_key(cell: CellSpec) -> str:
+    """Stable SHA-256 content hash of the cell configuration (64 hex)."""
+    blob = json.dumps(canonical_config(cell), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable slice: replications [rep_start, rep_stop) of a cell."""
+
+    cell_index: int
+    rep_start: int
+    rep_stop: int
+
+    @property
+    def replications(self) -> int:
+        return self.rep_stop - self.rep_start
+
+
+class CampaignPlan:
+    """A flattened sweep: every cell, each with its cache key.
+
+    Parameters
+    ----------
+    cells:
+        Grid cells in the order the caller's result dict should present
+        them.  Duplicate cache keys are rejected — two cells with the
+        same full configuration would race on one store entry.
+    """
+
+    def __init__(self, cells: Sequence[CellSpec]) -> None:
+        self.cells: Tuple[CellSpec, ...] = tuple(cells)
+        self.keys: Tuple[str, ...] = tuple(content_key(c) for c in self.cells)
+        seen: Dict[str, int] = {}
+        for i, k in enumerate(self.keys):
+            if k in seen:
+                raise ValueError(
+                    f"duplicate cell configuration: cells {seen[k]} and {i} "
+                    f"({self.cells[seen[k]].key!r} / {self.cells[i].key!r}) "
+                    f"hash to the same cache key"
+                )
+            seen[k] = i
+
+    @property
+    def total_replications(self) -> int:
+        """Replications across all cells (cache state not considered)."""
+        return sum(c.replications for c in self.cells)
+
+    def shards(self, cell_indices: Sequence[int], workers: int,
+               max_shard: Optional[int] = None) -> List[WorkUnit]:
+        """Slice the given cells into pool-sized work units.
+
+        Targets ~4 shards per worker across the whole campaign so the
+        shared pool stays busy near the tail without drowning in IPC;
+        *max_shard* caps the shard size explicitly.  Sharding never
+        crosses a cell boundary and never affects results — aggregation
+        reassembles outputs in replication order.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        pending = sum(self.cells[i].replications for i in cell_indices)
+        if not pending:
+            return []
+        target = max(1, math.ceil(pending / (workers * 4)))
+        if max_shard is not None:
+            target = max(1, min(target, max_shard))
+        units: List[WorkUnit] = []
+        for i in cell_indices:
+            reps = self.cells[i].replications
+            for start in range(0, reps, target):
+                units.append(WorkUnit(i, start, min(start + target, reps)))
+        return units

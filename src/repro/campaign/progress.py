@@ -1,0 +1,172 @@
+"""Live campaign progress: metrics counters, trace spans, status lines.
+
+The campaign layer reports through the same observability substrate the
+simulations use (``docs/OBSERVABILITY.md``):
+
+* a :class:`~repro.des.metrics.MetricsRegistry` holds scheduler counters
+  (``campaign.cells.*``, ``campaign.replications.*``,
+  ``campaign.shards.*``) — the cache-hit acceptance check reads
+  ``campaign.replications.executed`` off this registry;
+* an optional :class:`~repro.des.monitor.Trace` receives one
+  ``campaign_run`` span for the whole campaign, a ``campaign_cell`` span
+  per executed cell, and instants for cache hits / shard completions /
+  retries, timestamped with **wall-clock** seconds since the campaign
+  started (there is no simulation clock at this layer — the trace shows
+  real scheduling, so it can sit next to per-replication simulation
+  traces in Perfetto).
+
+Counter vocabulary
+------------------
+``campaign.cells.total``         cells in the plan
+``campaign.cells.cached``        cells served from the result store
+``campaign.cells.executed``      cells computed this run
+``campaign.replications.cached``    replications covered by cache hits
+``campaign.replications.executed``  replications actually simulated
+``campaign.shards.completed``    work units finished
+``campaign.shards.retried``      work units re-run serially after a
+                                 worker crash
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+from ..des.metrics import MetricsRegistry
+from ..des.monitor import Trace
+
+__all__ = ["CampaignProgress"]
+
+
+class _WallClock:
+    """Minimal ``Environment`` stand-in: ``now`` = seconds since start."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+
+class CampaignProgress:
+    """Observer the scheduler notifies as a campaign advances.
+
+    Parameters
+    ----------
+    metrics:
+        Registry receiving the campaign counters (created if omitted, so
+        callers can always read ``progress.metrics`` afterwards).
+    trace:
+        Optional trace for scheduling spans.  The trace's environment is
+        replaced by a wall clock while the campaign runs if it has none.
+    stream:
+        Text stream for one status line per completed/cached cell
+        (``None`` = silent; ``pckpt campaign run`` passes stderr).
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 trace: Optional[Trace] = None,
+                 stream: Optional[IO[str]] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace
+        self.stream = stream
+        self._clock = _WallClock()
+        if trace is not None and trace.env is None:
+            trace.env = self._clock
+        self._run_sid = 0
+        self._cell_sids: dict = {}
+        self._total_cells = 0
+        self._done_cells = 0
+
+    # -- campaign lifecycle --------------------------------------------------
+    def campaign_begin(self, n_cells: int, n_replications: int) -> None:
+        self._total_cells = n_cells
+        self.metrics.counter("campaign.cells.total").inc(n_cells)
+        if self.trace is not None:
+            self._run_sid = self.trace.span_begin(
+                "campaign", "campaign_run",
+                {"cells": n_cells, "replications": n_replications},
+            )
+        self._say(f"campaign: {n_cells} cells / {n_replications} replications")
+
+    def campaign_end(self) -> None:
+        if self.trace is not None and self._run_sid:
+            self.trace.span_end(self._run_sid)
+        executed = self.metrics.counter("campaign.replications.executed").value
+        cached = self.metrics.counter("campaign.cells.cached").value
+        self._say(
+            f"campaign: done ({cached:g} cells cached, "
+            f"{executed:g} replications executed)"
+        )
+
+    # -- per-cell ------------------------------------------------------------
+    def cell_cached(self, cell, key: str) -> None:
+        self.metrics.counter("campaign.cells.cached").inc()
+        self.metrics.counter("campaign.replications.cached").inc(
+            cell.replications
+        )
+        self._done_cells += 1
+        if self.trace is not None:
+            self.trace.emit("campaign", "campaign_cell_hit",
+                            {"cell": repr(cell.key), "key": key[:12]})
+        self._say(self._cell_line(cell, "cached"))
+
+    def cell_started(self, cell, cell_index: int) -> None:
+        if self.trace is not None:
+            self._cell_sids[cell_index] = self.trace.span_begin(
+                "campaign", "campaign_cell", {"cell": repr(cell.key)}
+            )
+
+    def cell_done(self, cell, cell_index: int) -> None:
+        self.metrics.counter("campaign.cells.executed").inc()
+        self._done_cells += 1
+        if self.trace is not None:
+            sid = self._cell_sids.pop(cell_index, 0)
+            if sid:
+                self.trace.span_end(sid)
+        self._say(self._cell_line(cell, "computed"))
+
+    # -- per-shard -----------------------------------------------------------
+    def shard_done(self, unit, retried: bool = False) -> None:
+        self.metrics.counter("campaign.shards.completed").inc()
+        self.metrics.counter("campaign.replications.executed").inc(
+            unit.replications
+        )
+        if retried:
+            self.metrics.counter("campaign.shards.retried").inc()
+        if self.trace is not None:
+            self.trace.emit(
+                "campaign", "campaign_shard_done",
+                {"cell_index": unit.cell_index,
+                 "reps": [unit.rep_start, unit.rep_stop],
+                 "retried": retried},
+            )
+
+    def shard_crashed(self, unit, error: BaseException) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "campaign", "campaign_shard_crash",
+                {"cell_index": unit.cell_index,
+                 "reps": [unit.rep_start, unit.rep_stop],
+                 "error": repr(error)},
+            )
+        self._say(
+            f"campaign: shard [{unit.rep_start}, {unit.rep_stop}) of cell "
+            f"{unit.cell_index} crashed ({error!r}); retrying serially"
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def _cell_line(self, cell, how: str) -> str:
+        return (
+            f"campaign: [{self._done_cells}/{self._total_cells}] "
+            f"{cell.key!r} {how} "
+            f"({cell.replications} reps, {self._clock.now:.1f}s elapsed)"
+        )
+
+    def _say(self, line: str) -> None:
+        if self.stream is not None:
+            print(line, file=self.stream)
+            if self.stream is sys.stderr:  # keep live lines visible
+                self.stream.flush()

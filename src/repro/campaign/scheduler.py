@@ -1,0 +1,219 @@
+"""Shared-pool campaign execution with dynamic scheduling and caching.
+
+:func:`run_campaign` is the engine under every sweep driver: it takes a
+flat list of cells, serves what it can from the result store, slices the
+rest into replication shards, and runs **all** shards of **all** cells on
+one shared :class:`~concurrent.futures.ProcessPoolExecutor` — no
+per-cell pool churn, no idle cores while a small cell finishes.
+
+Determinism is identical to the serial path by construction:
+
+* replication *i* of a cell always runs from the same
+  ``SeedSequence.spawn`` child (workers reconstruct child *i* as
+  ``SeedSequence(entropy=seed, spawn_key=(i,))``, exactly what
+  ``SeedSequence(seed).spawn(n)[i]`` produces);
+* per-cell outputs are reassembled in replication order before
+  aggregation, and aggregation is the runner's own ``_aggregate`` — so a
+  campaign result is **bit-identical** to ``run_replications`` for every
+  worker count, and a cached result is bit-identical to a computed one
+  (the store round-trips floats exactly).
+
+Robustness: a shard that crashes in a worker is re-run serially in the
+parent, replication by replication, so completed work is never discarded
+and a genuinely failing replication is reported by cell, replication
+index, and seed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..experiments.runner import SimulationResult, _aggregate, _run_once
+from .plan import CampaignPlan, CellSpec, WorkUnit
+from .progress import CampaignProgress
+from .store import ResultStore
+
+__all__ = ["CampaignExecutionError", "run_campaign"]
+
+
+class CampaignExecutionError(RuntimeError):
+    """A replication failed even after the serial retry."""
+
+
+def _spawn_child(seed: int, index: int) -> np.random.SeedSequence:
+    """Child *index* of ``SeedSequence(seed)`` without spawning the rest."""
+    return np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+
+
+def _run_shard(cell: CellSpec, rep_start: int, rep_stop: int) -> List:
+    """Worker: replications [rep_start, rep_stop) of one cell.
+
+    Top-level for pickling.  Ships one ``CellSpec`` instead of a child
+    seed per replication, so IPC cost is per-shard, not per-replication.
+    """
+    return [
+        _run_once(
+            cell.app, cell.model, cell.platform, cell.weibull,
+            cell.lead_model, cell.predictor,
+            _spawn_child(cell.seed, k), cell.collect_metrics,
+        )
+        for k in range(rep_start, rep_stop)
+    ]
+
+
+def _rerun_serially(cell: CellSpec, unit: WorkUnit,
+                    cause: BaseException) -> List:
+    """Serial retry of a crashed shard, isolating the failing replication."""
+    outputs = []
+    for k in range(unit.rep_start, unit.rep_stop):
+        try:
+            outputs.append(
+                _run_once(
+                    cell.app, cell.model, cell.platform, cell.weibull,
+                    cell.lead_model, cell.predictor,
+                    _spawn_child(cell.seed, k), cell.collect_metrics,
+                )
+            )
+        except Exception as exc:
+            raise CampaignExecutionError(
+                f"cell {cell.key!r}: replication {k} "
+                f"(seed={cell.seed}, spawn_key=({k},)) failed in a worker "
+                f"({cause!r}) and again on serial retry"
+            ) from exc
+    return outputs
+
+
+def _default_workers(pending_replications: int) -> int:
+    """Same heuristic as ``run_replications``: serial below 8 runs."""
+    if pending_replications < 8:
+        return 1
+    return min(os.cpu_count() or 1, pending_replications)
+
+
+def run_campaign(
+    cells: Sequence[CellSpec],
+    store: Optional[ResultStore] = None,
+    workers: Optional[int] = None,
+    resume: bool = True,
+    progress: Optional[CampaignProgress] = None,
+    max_shard: Optional[int] = None,
+) -> Dict[tuple, SimulationResult]:
+    """Execute a campaign; returns ``{cell.key: SimulationResult}``.
+
+    Parameters
+    ----------
+    cells:
+        Grid cells in presentation order (duplicate configurations are
+        rejected — see :class:`~repro.campaign.plan.CampaignPlan`).
+    store:
+        Result store for cache hits and persistence (``None`` = compute
+        everything, persist nothing).
+    workers:
+        Shared-pool width; ``None`` = serial below 8 pending
+        replications, else one process per core; 1 forces in-process
+        execution.
+    resume:
+        When ``False``, ignore existing store entries (they are
+        recomputed and overwritten).
+    progress:
+        Observer for metrics/trace/status (created internally if
+        omitted; pass your own to read the counters afterwards).
+    max_shard:
+        Upper bound on replications per work unit.
+    """
+    plan = CampaignPlan(cells)
+    if progress is None:
+        progress = CampaignProgress()
+
+    results: Dict[int, SimulationResult] = {}
+    pending: List[int] = []
+    progress.campaign_begin(len(plan.cells), plan.total_replications)
+    for i, cell in enumerate(plan.cells):
+        cached = store.get(plan.keys[i]) if (store and resume) else None
+        if cached is not None:
+            results[i] = cached
+            progress.cell_cached(cell, plan.keys[i])
+        else:
+            pending.append(i)
+
+    pending_reps = sum(plan.cells[i].replications for i in pending)
+    if workers is None:
+        workers = _default_workers(pending_reps)
+    units = plan.shards(pending, max(workers, 1), max_shard)
+
+    # Per-cell reassembly state: shard outputs by rep_start + a countdown.
+    shard_outputs: Dict[int, Dict[int, List]] = {i: {} for i in pending}
+    shards_left: Dict[int, int] = {i: 0 for i in pending}
+    for unit in units:
+        shards_left[unit.cell_index] += 1
+    for i in pending:
+        progress.cell_started(plan.cells[i], i)
+
+    def finish_cell(i: int) -> None:
+        cell = plan.cells[i]
+        ordered = []
+        for start in sorted(shard_outputs[i]):
+            ordered.extend(shard_outputs[i][start])
+        result = _aggregate(cell.app, cell.model, ordered)
+        if store is not None:
+            store.put(
+                plan.keys[i], result,
+                meta={
+                    "cell": [str(part) for part in cell.key],
+                    "app": cell.app.name,
+                    "model": cell.model.name,
+                    "seed": cell.seed,
+                    "replications": cell.replications,
+                },
+            )
+        results[i] = result
+        del shard_outputs[i]
+        progress.cell_done(cell, i)
+
+    def complete(unit: WorkUnit, outputs: List, retried: bool) -> None:
+        shard_outputs[unit.cell_index][unit.rep_start] = outputs
+        shards_left[unit.cell_index] -= 1
+        progress.shard_done(unit, retried=retried)
+        if shards_left[unit.cell_index] == 0:
+            finish_cell(unit.cell_index)
+
+    if workers <= 1:
+        for unit in units:
+            cell = plan.cells[unit.cell_index]
+            try:
+                outputs = _run_shard(cell, unit.rep_start, unit.rep_stop)
+                retried = False
+            except Exception as exc:
+                progress.shard_crashed(unit, exc)
+                outputs = _rerun_serially(cell, unit, exc)
+                retried = True
+            complete(unit, outputs, retried)
+    elif units:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_run_shard, plan.cells[u.cell_index],
+                            u.rep_start, u.rep_stop): u
+                for u in units
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit = futures[future]
+                    cell = plan.cells[unit.cell_index]
+                    try:
+                        outputs = future.result()
+                        retried = False
+                    except Exception as exc:
+                        progress.shard_crashed(unit, exc)
+                        outputs = _rerun_serially(cell, unit, exc)
+                        retried = True
+                    complete(unit, outputs, retried)
+
+    progress.campaign_end()
+    # Present results in plan order, like the serial engines always did.
+    return {plan.cells[i].key: results[i] for i in range(len(plan.cells))}

@@ -1,0 +1,234 @@
+"""Content-addressed, on-disk store for per-cell campaign results.
+
+One entry per grid cell, keyed by the cell's configuration hash (see
+:mod:`repro.campaign.plan`).  Entries hold the cell's aggregated
+:class:`~repro.experiments.runner.SimulationResult` serialized to JSON.
+Python's ``repr``-based float serialization round-trips exactly (shortest
+round-trip representation), so a result read back from the store is
+**bit-identical** to the one that was written — the property the campaign
+scheduler's cache-hit path relies on.
+
+Layout (see ``docs/CAMPAIGN.md``)::
+
+    <root>/
+      schema.json            {"schema_version": N}
+      ab/<64-hex-key>.json   one cell result (2-hex fan-out directories)
+
+Writes are atomic (temp file + ``os.replace``), so an interrupted
+campaign never leaves a torn entry: a cell is either fully persisted or
+absent, and resuming simply recomputes the absent ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from ..analysis.metrics import FTStats, OverheadBreakdown
+from ..des.metrics import MetricsRegistry
+from ..experiments.runner import SimulationResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "StoreSchemaError",
+    "ResultStore",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: On-disk schema version.  Bump whenever the serialized result layout,
+#: the cache-key canonicalization, or the simulation outputs change
+#: incompatibly.  The version is hashed into every cache key (so stale
+#: entries can never be hit) *and* written to ``schema.json`` (so
+#: ``tools/check_store_schema.py`` can reject a stale store outright).
+SCHEMA_VERSION = 1
+
+
+class StoreSchemaError(RuntimeError):
+    """An on-disk store's schema version does not match the code's."""
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Serialize a :class:`SimulationResult` to a JSON-friendly dict."""
+    return {
+        "app_name": result.app_name,
+        "model_name": result.model_name,
+        "replications": result.replications,
+        "overhead": asdict(result.overhead),
+        "overhead_std": result.overhead_std,
+        "makespan_seconds": result.makespan_seconds,
+        "ft": asdict(result.ft),
+        "oci_initial": result.oci_initial,
+        "oci_final": result.oci_final,
+        "metrics": result.metrics.snapshot() if result.metrics is not None else None,
+    }
+
+
+def result_from_dict(payload: Dict) -> SimulationResult:
+    """Reconstruct a :class:`SimulationResult` from :func:`result_to_dict`."""
+    metrics = payload.get("metrics")
+    return SimulationResult(
+        app_name=payload["app_name"],
+        model_name=payload["model_name"],
+        replications=payload["replications"],
+        overhead=OverheadBreakdown(**payload["overhead"]),
+        overhead_std=payload["overhead_std"],
+        makespan_seconds=payload["makespan_seconds"],
+        ft=FTStats(**payload["ft"]),
+        oci_initial=payload["oci_initial"],
+        oci_final=payload["oci_final"],
+        metrics=MetricsRegistry.from_snapshot(metrics) if metrics is not None else None,
+    )
+
+
+class ResultStore:
+    """Directory-backed map from cache key to cell result.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with ``schema.json``) if missing.
+
+    Opening an existing store whose recorded schema version differs from
+    :data:`SCHEMA_VERSION` raises :class:`StoreSchemaError` — clear the
+    store (``pckpt campaign clear``) or keep the old code to read it.
+    """
+
+    _SCHEMA_FILE = "schema.json"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        schema_path = self.root / self._SCHEMA_FILE
+        if schema_path.exists():
+            on_disk = json.loads(schema_path.read_text(encoding="utf-8"))
+            found = on_disk.get("schema_version")
+            if found != SCHEMA_VERSION:
+                raise StoreSchemaError(
+                    f"store {self.root} has schema version {found!r}, "
+                    f"code expects {SCHEMA_VERSION} — clear the store or "
+                    f"use a matching code version"
+                )
+        else:
+            self._write_atomic(
+                schema_path, {"schema_version": SCHEMA_VERSION}
+            )
+
+    # -- paths ---------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Entry path for *key* (2-hex fan-out keeps directories small)."""
+        if len(key) < 3:
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- mapping protocol ----------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The stored result for *key*, or ``None`` on a cache miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return result_from_dict(payload["result"])
+
+    def get_meta(self, key: str) -> Optional[Dict]:
+        """The descriptive metadata stored alongside *key*'s result."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8")).get("meta", {})
+
+    def put(self, key: str, result: SimulationResult,
+            meta: Optional[Dict] = None) -> Path:
+        """Persist *result* under *key* atomically; returns the entry path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "meta": meta or {},
+            "result": result_to_dict(result),
+        }
+        self._write_atomic(path, payload)
+        return path
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: Dict) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                json.dump(payload, fp, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- maintenance ---------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """All cached cell keys (sorted for stable iteration)."""
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def stats(self) -> Dict[str, object]:
+        """Summary counters for ``pckpt campaign status``."""
+        cells = 0
+        size = 0
+        replications = 0
+        for path in self.root.glob("??/*.json"):
+            cells += 1
+            size += path.stat().st_size
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            replications += payload["result"].get("replications", 0)
+        return {
+            "path": str(self.root),
+            "schema_version": SCHEMA_VERSION,
+            "cells": cells,
+            "replications": replications,
+            "bytes": size,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (keeps ``schema.json``); returns count removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.json")):
+            path.unlink()
+            removed += 1
+        for sub in list(self.root.glob("??")):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        return removed
+
+    @classmethod
+    def wipe(cls, root: Union[str, Path]) -> int:
+        """Delete every entry under *root* and reset ``schema.json`` to the
+        code's version, **without** validating the recorded schema — the
+        recovery path for a store left behind by an older code version
+        (constructing :class:`ResultStore` on such a store raises).
+        Returns the number of entries removed.
+        """
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        removed = 0
+        for path in list(root.glob("??/*.json")):
+            path.unlink()
+            removed += 1
+        for sub in list(root.glob("??")):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        cls._write_atomic(
+            root / cls._SCHEMA_FILE, {"schema_version": SCHEMA_VERSION}
+        )
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultStore {self.root} cells={len(self)}>"

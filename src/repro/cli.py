@@ -10,6 +10,11 @@ Subcommands
 ``pckpt experiment ID``
     Regenerate one paper artifact (fig2a, fig2b, fig2c, fig4, fig6a,
     fig6b, fig6-sys8, fig6c, fig7, fig8, table2, table4, obs9).
+``pckpt campaign run|status|clear``
+    Sweep grids through the campaign scheduler (``repro.campaign``): one
+    shared process pool for the whole grid, a content-addressed on-disk
+    result store (``--store``), incremental re-runs (``--resume``, the
+    default), and ``--jobs N`` pool width.  See ``docs/CAMPAIGN.md``.
 ``pckpt list``
     Show the workload catalogue and model zoo.
 
@@ -20,6 +25,8 @@ Examples
     pckpt simulate POP P2 --replications 100
     pckpt experiment table2 --replications 50
     pckpt experiment fig6a
+    pckpt campaign run model-comparison --store .pckpt-store --jobs 8
+    pckpt campaign status --store .pckpt-store
 """
 
 from __future__ import annotations
@@ -257,6 +264,83 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default model set per campaign sweep kind.
+_CAMPAIGN_SWEEPS = {
+    "model-comparison": ("B", "M1", "M2", "P1", "P2"),
+    "lead-time": ("M1", "M2", "P1", "P2"),
+    "fn-rate": ("M1", "M2", "P1", "P2"),
+}
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignProgress, ResultStore, StoreSchemaError
+    from .des.monitor import Trace
+    from .experiments.report import format_table
+    from .experiments.sweep import (
+        false_negative_sweep,
+        lead_time_sweep,
+        model_comparison,
+    )
+
+    if args.action == "clear":
+        # wipe, not clear: must also empty a store written by an older
+        # schema version, which ResultStore() refuses to open.
+        removed = ResultStore.wipe(args.store)
+        print(f"[removed {removed} cached cells from {args.store}]")
+        return 0
+
+    try:
+        store = ResultStore(args.store) if args.store else None
+    except StoreSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "status":
+        if store is None:
+            print("error: status requires --store PATH", file=sys.stderr)
+            return 2
+        print(format_kv(store.stats(), title=f"campaign store {store.root}"))
+        return 0
+
+    # action == "run"
+    scale = _scale(args)
+    if args.jobs is not None:
+        scale = ExperimentScale(
+            replications=scale.replications, seed=scale.seed, workers=args.jobs
+        )
+    weibull = FAILURE_DISTRIBUTIONS[args.distribution]
+    trace = Trace(env=None) if args.trace else None
+    progress = CampaignProgress(trace=trace, stream=sys.stderr)
+    models = list(args.models or _CAMPAIGN_SWEEPS[args.sweep])
+    common = dict(scale=scale, weibull=weibull, store=store,
+                  progress=progress, resume=args.resume)
+    if args.sweep == "model-comparison":
+        cells = model_comparison(models, **common)
+    elif args.sweep == "lead-time":
+        cells = lead_time_sweep(args.app.upper(), models, **common)
+    else:
+        cells = false_negative_sweep(args.app.upper(), models, **common)
+
+    headers = ["model", "column", "total_overhead_h", "makespan_h", "ft_ratio"]
+    rows = [
+        [model, col, r.total_overhead_hours, r.makespan_seconds / 3600.0,
+         r.ft_ratio]
+        for (model, col), r in cells.items()
+    ]
+    print(format_table(headers, rows,
+                       title=f"campaign {args.sweep} ({weibull.name})"))
+    print()
+    print("campaign counters:")
+    print(progress.metrics.format())
+    if trace is not None:
+        if args.trace.endswith(".jsonl"):
+            n = trace.to_jsonl(args.trace)
+        else:
+            n = trace.to_chrome_trace(args.trace)
+        print(f"[wrote {n} campaign trace events to {args.trace}]")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("Applications (Table I):")
     for name in APPLICATION_ORDER:
@@ -334,6 +418,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--csv", metavar="FILE", default=None,
                        help="also write raw records as CSV")
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run sweeps through the shared-pool scheduler + result store",
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+
+    c_run = camp_sub.add_parser("run", help="execute a sweep as a campaign")
+    c_run.add_argument(
+        "sweep",
+        choices=sorted(_CAMPAIGN_SWEEPS),
+        help="which grid to run",
+    )
+    c_run.add_argument("--app", default="XGC",
+                       help="application for lead-time / fn-rate sweeps")
+    c_run.add_argument("--models", nargs="+", default=None, metavar="MODEL",
+                       help="models to sweep (default depends on the sweep)")
+    c_run.add_argument(
+        "--distribution",
+        choices=sorted(FAILURE_DISTRIBUTIONS),
+        default=TITAN_WEIBULL.name,
+    )
+    c_run.add_argument("--store", metavar="PATH", default=None,
+                       help="content-addressed result store directory")
+    c_run.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached cells from --store (--no-resume recomputes)",
+    )
+    c_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="shared process-pool width (overrides --workers)")
+    c_run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "export campaign scheduling spans: Chrome trace-event JSON, "
+            "or JSONL when PATH ends in .jsonl"
+        ),
+    )
+    c_run.set_defaults(func=_cmd_campaign)
+
+    c_status = camp_sub.add_parser("status", help="summarize a result store")
+    c_status.add_argument("--store", metavar="PATH", required=True)
+    c_status.set_defaults(func=_cmd_campaign)
+
+    c_clear = camp_sub.add_parser("clear", help="empty a result store")
+    c_clear.add_argument("--store", metavar="PATH", required=True)
+    c_clear.set_defaults(func=_cmd_campaign)
 
     p_list = sub.add_parser("list", help="show workloads and models")
     p_list.set_defaults(func=_cmd_list)

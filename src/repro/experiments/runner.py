@@ -11,10 +11,11 @@ and scheduling order.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -78,11 +79,6 @@ class SimulationResult:
         return self.overhead.total / SECONDS_PER_HOUR
 
     @property
-    def overhead_percent_of_base(self) -> None:
-        """Placeholder: use :func:`percent_reduction` against a base run."""
-        return None
-
-    @property
     def ft_ratio(self) -> float:
         """Pooled FT ratio across replications."""
         return self.ft.ft_ratio
@@ -131,6 +127,72 @@ def _run_once(
         metrics=MetricsRegistry() if collect_metrics else None,
     )
     return sim.run()
+
+
+#: Chunks submitted per worker: enough slack for dynamic load balancing
+#: near the tail, few enough that pickling/IPC stays per-chunk.
+_CHUNKS_PER_WORKER = 4
+
+
+def _run_chunk(
+    app: ApplicationSpec,
+    config: ModelConfig,
+    platform: PlatformSpec,
+    weibull: WeibullParams,
+    lead_model: LeadTimeModel,
+    predictor: PredictorSpec,
+    children: Sequence,
+    collect_metrics: bool,
+) -> List[RunOutput]:
+    """Worker: a contiguous chunk of replications (top-level for pickling)."""
+    return [
+        _run_once(app, config, platform, weibull, lead_model, predictor,
+                  c, collect_metrics)
+        for c in children
+    ]
+
+
+def _chunk_spans(n: int, workers: int) -> List[tuple]:
+    """``(start, stop)`` chunk bounds: ~4 chunks per worker, order-stable."""
+    size = max(1, math.ceil(n / (workers * _CHUNKS_PER_WORKER)))
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+def _retry_chunk_serially(
+    app: ApplicationSpec,
+    config: ModelConfig,
+    platform: PlatformSpec,
+    weibull: WeibullParams,
+    lead_model: LeadTimeModel,
+    predictor: PredictorSpec,
+    children: Sequence,
+    start: int,
+    collect_metrics: bool,
+    cause: BaseException,
+) -> List[RunOutput]:
+    """Re-run a crashed chunk in the parent, one replication at a time.
+
+    A worker crash surfaces as one failed chunk future and would discard
+    every completed replication; instead the chunk is retried serially
+    once, which both salvages the run (transient crashes — OOM kill,
+    interpreter death) and pins a deterministic failure to a replication
+    index and seed before giving up.
+    """
+    outputs = []
+    for offset, child in enumerate(children):
+        index = start + offset
+        try:
+            outputs.append(
+                _run_once(app, config, platform, weibull, lead_model,
+                          predictor, child, collect_metrics)
+            )
+        except Exception as exc:
+            raise RuntimeError(
+                f"replication {index} (app={app.name}, model={config.name}, "
+                f"seed spawn_key={tuple(child.spawn_key)}) failed in a "
+                f"worker ({cause!r}) and again on serial retry"
+            ) from exc
+    return outputs
 
 
 def _aggregate(
@@ -235,20 +297,35 @@ def run_replications(
             for c in children
         ]
     else:
+        # Submit worker-count-aware chunks (not one future per
+        # replication): pickling and result IPC are paid per chunk, which
+        # matters at PAPER_SCALE.  Futures are gathered in submission
+        # order, so outputs stay in replication order and aggregation is
+        # independent of which worker ran what.
+        spans = _chunk_spans(replications, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(
-                    _run_once,
-                    app,
-                    config,
-                    platform,
-                    weibull,
-                    lead_model,
-                    predictor,
-                    c,
-                    collect_metrics,
+                (
+                    start,
+                    stop,
+                    pool.submit(
+                        _run_chunk, app, config, platform, weibull,
+                        lead_model, predictor, children[start:stop],
+                        collect_metrics,
+                    ),
                 )
-                for c in children
+                for start, stop in spans
             ]
-            outputs = [f.result() for f in futures]
+            outputs = []
+            for start, stop, future in futures:
+                try:
+                    outputs.extend(future.result())
+                except Exception as exc:
+                    outputs.extend(
+                        _retry_chunk_serially(
+                            app, config, platform, weibull, lead_model,
+                            predictor, children[start:stop], start,
+                            collect_metrics, exc,
+                        )
+                    )
     return _aggregate(app, config, outputs)

@@ -8,21 +8,33 @@ Three reusable grids cover the paper's evaluation:
 * :func:`lead_time_sweep` — (model × lead-time-change) cells for one
   application (Figs 4 and 7, Tables II and IV, Fig 8);
 * :func:`false_negative_sweep` — (model × FN-rate) cells (Observation 9).
+
+All three flatten their grid into campaign cells and execute them through
+:func:`repro.campaign.scheduler.run_campaign`: one shared process pool
+for the whole grid (instead of one pool per cell), optional
+content-addressed caching via ``store=``, and live progress via
+``progress=``.  Results are bit-identical to running each cell through
+:func:`~repro.experiments.runner.run_replications` serially — sharding
+and caching never change the numbers (see ``docs/CAMPAIGN.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
 from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
 from ..failures.weibull import TITAN_WEIBULL, WeibullParams
 from ..models.base import ModelConfig
+from ..models.registry import get_model
 from ..platform.system import SUMMIT, PlatformSpec
 from ..workloads.applications import APPLICATIONS, ApplicationSpec
 from .config import BENCH_SCALE, ExperimentScale
-from .runner import SimulationResult, run_replications
+from .runner import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..campaign.progress import CampaignProgress
+    from ..campaign.store import ResultStore
 
 __all__ = [
     "CellKey",
@@ -36,26 +48,54 @@ __all__ = [
 CellKey = tuple
 
 
-def _run_cell(
-    app: ApplicationSpec,
-    model: Union[str, ModelConfig],
+def _with_base(models: Sequence[Union[str, ModelConfig]],
+               include_base: bool) -> List[Union[str, ModelConfig]]:
+    names = [m if isinstance(m, str) else m.name for m in models]
+    work: List[Union[str, ModelConfig]] = list(models)
+    if include_base and "B" not in names:
+        work.insert(0, "B")
+    return work
+
+
+def _run_grid(
+    grid: Sequence[tuple],
     scale: ExperimentScale,
     platform: PlatformSpec,
     weibull: WeibullParams,
     lead_model: LeadTimeModel,
-    predictor: PredictorSpec,
-) -> SimulationResult:
-    return run_replications(
-        app,
-        model,
-        replications=scale.replications,
-        platform=platform,
-        weibull=weibull,
-        lead_model=lead_model,
-        predictor=predictor,
-        seed=scale.seed,
-        workers=scale.workers,
-    )
+    store: "Optional[ResultStore]",
+    progress: "Optional[CampaignProgress]",
+    resume: bool,
+) -> Dict[CellKey, SimulationResult]:
+    """Execute ``[(column, app, model, predictor), ...]`` as one campaign.
+
+    Cells are keyed ``(resolved_model_name, column)``, matching what the
+    serial engines produced from ``res.model_name``.  The campaign import
+    is deferred to the call: ``repro.campaign`` builds on
+    :mod:`repro.experiments.runner`, so a module-level import here would
+    be circular.
+    """
+    from ..campaign.plan import CellSpec
+    from ..campaign.scheduler import run_campaign
+
+    cells = []
+    for column, app, model, predictor in grid:
+        config = get_model(model) if isinstance(model, str) else model
+        cells.append(
+            CellSpec(
+                key=(config.name, column),
+                app=app,
+                model=config,
+                platform=platform,
+                weibull=weibull,
+                lead_model=lead_model,
+                predictor=predictor,
+                seed=scale.seed,
+                replications=scale.replications,
+            )
+        )
+    return run_campaign(cells, store=store, workers=scale.workers,
+                        progress=progress, resume=resume)
 
 
 def model_comparison(
@@ -67,25 +107,25 @@ def model_comparison(
     lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
     predictor: PredictorSpec = DEFAULT_PREDICTOR,
     include_base: bool = True,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[CampaignProgress]" = None,
+    resume: bool = True,
 ) -> Dict[CellKey, SimulationResult]:
     """Run every model on every application under one failure distribution.
 
     Returns ``{(model_name, app_name): SimulationResult}``.  Model "B" is
     always included (prepended if missing) so reductions can be computed.
     """
-    names = [m if isinstance(m, str) else m.name for m in models]
-    work: List[Union[str, ModelConfig]] = list(models)
-    if include_base and "B" not in names:
-        work.insert(0, "B")
+    work = _with_base(models, include_base)
     if apps is None:
         apps = list(APPLICATIONS)
-    out: Dict[CellKey, SimulationResult] = {}
+    grid = []
     for app_name in apps:
         app = APPLICATIONS[app_name]
         for model in work:
-            res = _run_cell(app, model, scale, platform, weibull, lead_model, predictor)
-            out[(res.model_name, app_name)] = res
-    return out
+            grid.append((app_name, app, model, predictor))
+    return _run_grid(grid, scale, platform, weibull, lead_model,
+                     store, progress, resume)
 
 
 def lead_time_sweep(
@@ -98,6 +138,9 @@ def lead_time_sweep(
     lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
     predictor: PredictorSpec = DEFAULT_PREDICTOR,
     include_base: bool = True,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[CampaignProgress]" = None,
+    resume: bool = True,
 ) -> Dict[CellKey, SimulationResult]:
     """Sweep prediction lead-time variability for one application.
 
@@ -106,17 +149,14 @@ def lead_time_sweep(
     common-random-number pairing.
     """
     app = APPLICATIONS[app_name]
-    names = [m if isinstance(m, str) else m.name for m in models]
-    work: List[Union[str, ModelConfig]] = list(models)
-    if include_base and "B" not in names:
-        work.insert(0, "B")
-    out: Dict[CellKey, SimulationResult] = {}
+    work = _with_base(models, include_base)
+    grid = []
     for change in changes_percent:
         pred = predictor.with_lead_change(change)
         for model in work:
-            res = _run_cell(app, model, scale, platform, weibull, lead_model, pred)
-            out[(res.model_name, change)] = res
-    return out
+            grid.append((change, app, model, pred))
+    return _run_grid(grid, scale, platform, weibull, lead_model,
+                     store, progress, resume)
 
 
 def false_negative_sweep(
@@ -129,20 +169,20 @@ def false_negative_sweep(
     lead_model: LeadTimeModel = PAPER_LEAD_TIME_MODEL,
     predictor: PredictorSpec = DEFAULT_PREDICTOR,
     include_base: bool = True,
+    store: "Optional[ResultStore]" = None,
+    progress: "Optional[CampaignProgress]" = None,
+    resume: bool = True,
 ) -> Dict[CellKey, SimulationResult]:
     """Sweep the false-negative rate at fixed FP=18% (Observation 9).
 
     Returns ``{(model_name, fn_rate): SimulationResult}``.
     """
     app = APPLICATIONS[app_name]
-    names = [m if isinstance(m, str) else m.name for m in models]
-    work: List[Union[str, ModelConfig]] = list(models)
-    if include_base and "B" not in names:
-        work.insert(0, "B")
-    out: Dict[CellKey, SimulationResult] = {}
+    work = _with_base(models, include_base)
+    grid = []
     for fn in fn_rates:
         pred = predictor.with_false_negative_rate(fn)
         for model in work:
-            res = _run_cell(app, model, scale, platform, weibull, lead_model, pred)
-            out[(res.model_name, fn)] = res
-    return out
+            grid.append((fn, app, model, pred))
+    return _run_grid(grid, scale, platform, weibull, lead_model,
+                     store, progress, resume)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Schema-sync check for the campaign result store.
+
+Two modes, both dependency-free (the code's version is parsed from
+source, so this runs in CI without numpy/scipy installed):
+
+* **no arguments** — docs sync: the ``SCHEMA_VERSION`` declared in
+  ``src/repro/campaign/store.py`` must be the one documented in
+  ``docs/CAMPAIGN.md`` (as a backticked ``SCHEMA_VERSION = N``).  Run by
+  CI next to ``check_trace_kinds.py``.
+* **--store PATH [PATH ...]** — on-disk validation: each store's
+  ``schema.json`` must record the code's schema version, and every
+  entry must carry the same version and live at the path derived from
+  its own key.
+
+Exits non-zero with a description of every mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+STORE_PY = ROOT / "src" / "repro" / "campaign" / "store.py"
+DOC = ROOT / "docs" / "CAMPAIGN.md"
+
+VERSION_DECL = re.compile(r"^SCHEMA_VERSION\s*=\s*(\d+)\s*$", re.MULTILINE)
+VERSION_DOC = re.compile(r"`SCHEMA_VERSION = (\d+)`")
+
+
+def code_schema_version() -> int:
+    """The version declared in the store module (parsed, not imported)."""
+    match = VERSION_DECL.search(STORE_PY.read_text(encoding="utf-8"))
+    if not match:
+        raise SystemExit(f"no SCHEMA_VERSION declaration found in {STORE_PY}")
+    return int(match.group(1))
+
+
+def check_docs(version: int) -> List[str]:
+    """The documented version must match the declared one."""
+    problems = []
+    if not DOC.exists():
+        return [f"{DOC} is missing (the store layout must be documented)"]
+    documented = [int(v) for v in VERSION_DOC.findall(
+        DOC.read_text(encoding="utf-8")
+    )]
+    if not documented:
+        problems.append(
+            f"{DOC} never states the schema version "
+            f"(expected a backticked 'SCHEMA_VERSION = {version}')"
+        )
+    for doc_version in documented:
+        if doc_version != version:
+            problems.append(
+                f"{DOC} documents schema version {doc_version}, "
+                f"code declares {version}"
+            )
+    return problems
+
+
+def check_store(root: Path, version: int) -> List[str]:
+    """An on-disk store must match the code's schema version throughout."""
+    problems = []
+    schema_file = root / "schema.json"
+    if not root.is_dir():
+        return [f"{root} is not a directory"]
+    if not schema_file.exists():
+        return [f"{root} has no schema.json (not a campaign store?)"]
+    recorded = json.loads(
+        schema_file.read_text(encoding="utf-8")
+    ).get("schema_version")
+    if recorded != version:
+        problems.append(
+            f"{root}: schema.json records version {recorded!r}, "
+            f"code declares {version}"
+        )
+    for entry in sorted(root.glob("??/*.json")):
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        if payload.get("schema_version") != version:
+            problems.append(
+                f"{entry}: entry records version "
+                f"{payload.get('schema_version')!r}, code declares {version}"
+            )
+        key = payload.get("key", "")
+        if entry.stem != key or entry.parent.name != key[:2]:
+            problems.append(
+                f"{entry}: stored under a path inconsistent with its "
+                f"key {key!r}"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", nargs="+", type=Path, default=[],
+                        metavar="PATH", help="store directories to validate")
+    args = parser.parse_args(argv)
+
+    version = code_schema_version()
+    problems = check_docs(version)
+    for store in args.store:
+        problems.extend(check_store(store, version))
+
+    if problems:
+        print("store schema check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    targets = ", ".join(str(s) for s in args.store) or "docs"
+    print(f"store schema OK (version {version}, checked {targets})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
