@@ -32,8 +32,10 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 
 from .experiments import (
     BENCH_SCALE,
@@ -370,6 +372,36 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    results = bench.run_suite(
+        quick=args.quick,
+        repeats=args.repeats,
+        kernel_only=args.kernel_only,
+        progress=lambda name: print(f"[bench] {name}", file=sys.stderr),
+    )
+    sha, dirty = bench.git_sha()
+    payload = bench.build_payload(results, sha, dirty, quick=args.quick)
+    print(bench.format_payload(payload))
+
+    if not args.no_write:
+        path = bench.write_payload(payload, Path(args.out))
+        print(f"[wrote {path}]")
+
+    if args.baseline is not None:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            base = json.load(fh)
+        problems = bench.validate_payload(base)
+        if problems:
+            print(f"error: baseline {args.baseline} is not a valid bench "
+                  "payload: " + "; ".join(problems), file=sys.stderr)
+            return 2
+        print(f"vs baseline {args.baseline} (@{base.get('git_sha')}):")
+        print(bench.format_comparison(bench.compare_payloads(base, payload)))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -468,6 +500,46 @@ def build_parser() -> argparse.ArgumentParser:
     c_clear = camp_sub.add_parser("clear", help="empty a result store")
     c_clear.add_argument("--store", metavar="PATH", required=True)
     c_clear.set_defaults(func=_cmd_campaign)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the kernel/simulation benchmark suite "
+             "(see docs/PERFORMANCE.md)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workload sizes (CI smoke scale)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed runs per benchmark; the fastest is reported (default 3)",
+    )
+    p_bench.add_argument(
+        "--kernel-only",
+        action="store_true",
+        help="skip the end-to-end simulation benchmarks",
+    )
+    p_bench.add_argument(
+        "--out",
+        metavar="DIR",
+        default="benchmarks/kernel",
+        help="directory for BENCH_<git-sha>.json (default benchmarks/kernel)",
+    )
+    p_bench.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print results without writing a BENCH file",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="existing BENCH_*.json to print per-benchmark speedups against",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("list", help="show workloads and models")
     p_list.set_defaults(func=_cmd_list)

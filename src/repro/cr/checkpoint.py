@@ -27,6 +27,11 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SnapshotKind", "Snapshot", "SnapshotLedger"]
 
 
+def _noop(*_args, **_kwargs) -> None:
+    """Do-nothing sink bound in place of disabled metrics recording."""
+    return None
+
+
 class SnapshotKind(enum.Enum):
     """Provenance of a snapshot (determines recovery read paths)."""
 
@@ -72,6 +77,11 @@ class SnapshotLedger:
         #: proactive).
         self.pfs: Optional[Snapshot] = None
         self.metrics = metrics
+        if metrics is None:
+            # Ledger updates run once per checkpoint/rollback event; with
+            # metrics disabled the counter helper is rebound to a no-op so
+            # those paths skip the None check entirely.
+            self._count = _noop
 
     def _count(self, name: str) -> None:
         if self.metrics is not None:

@@ -102,13 +102,17 @@ class DrainManager:
 
     def _run(self):
         """Worker process: drain queued snapshots one at a time."""
+        # Instrumentation handles are hoisted once per worker activation;
+        # with both disabled the loop body touches neither attribute again.
+        trace = self.trace
+        metrics = self.metrics
         try:
             while self._pending:
                 snap = self._pending.pop(0)
                 duration = self.pfs.drain_time(self.nodes, self.bytes_per_node)
                 sid = (
-                    self.trace.span_begin("drain", "drain_flush", snap.work)
-                    if self.trace is not None else 0
+                    trace.span_begin("drain", "drain_flush", snap.work)
+                    if trace is not None else 0
                 )
                 remaining = duration
                 start = self.env.now
@@ -126,19 +130,19 @@ class DrainManager:
                             break
                         remaining -= self.env.now - start
                         start = self.env.now
-                if self.trace is not None:
-                    self.trace.span_end(
+                if trace is not None:
+                    trace.span_end(
                         sid, "cancelled" if snap is None else "landed"
                     )
                 if snap is None:
-                    if self.metrics is not None:
-                        self.metrics.counter("drain.cancelled").inc()
+                    if metrics is not None:
+                        metrics.counter("drain.cancelled").inc()
                     continue
                 self.ledger.record_drained(snap)
                 self.completed += 1
-                if self.metrics is not None:
-                    self.metrics.counter("drain.completed").inc()
-                    self.metrics.histogram("drain.seconds").observe(duration)
+                if metrics is not None:
+                    metrics.counter("drain.completed").inc()
+                    metrics.histogram("drain.seconds").observe(duration)
                 if self.on_drained is not None:
                     self.on_drained(snap)
         finally:

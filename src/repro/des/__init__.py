@@ -14,6 +14,10 @@ description:
 * :class:`Store` / :class:`PriorityStore` / :class:`Container` for message
   queues and bulk capacities.
 
+The kernel guarantees a deterministic total event order (the
+"Determinism contract" in ``docs/ARCHITECTURE.md``), and its hot paths
+are benchmarked and tracked by ``pckpt bench`` (``docs/PERFORMANCE.md``).
+
 Example
 -------
 >>> from repro.des import Environment

@@ -4,12 +4,26 @@ The environment owns a binary-heap event queue ordered by
 ``(time, priority, sequence)``.  The sequence number makes scheduling
 deterministic: two events scheduled for the same time and priority are
 processed in the order they were scheduled.  Determinism matters for this
-package because every experiment must be exactly reproducible from a seed.
+package because every experiment must be exactly reproducible from a seed
+(see "Determinism contract" in ``docs/ARCHITECTURE.md``).
+
+Performance
+-----------
+:meth:`Environment.run` is the hottest loop in the package — every
+simulated second of every replication of every sweep goes through it — so
+it inlines event dispatch instead of calling :meth:`Environment.step` per
+event: the heap, the pop function, and the events-processed counter are
+kept in locals and the per-event Python-level call overhead is gone.
+``step()`` remains the single-event reference implementation (and the
+kernel API for manual stepping); the inlined loops must match its
+semantics exactly.  ``docs/PERFORMANCE.md`` describes the hot-path
+architecture and how changes here are benchmarked.
 """
 
 from __future__ import annotations
 
 import time as _time
+from functools import partial
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -34,6 +48,16 @@ class Environment:
     initial_time:
         Starting value of the simulation clock (seconds in this package).
 
+    Notes
+    -----
+    **Determinism contract.**  The event queue is ordered by
+    ``(time, priority, sequence)`` where the sequence number increments on
+    every schedule.  Given the same initial state and the same sequence of
+    ``schedule`` calls, an environment dispatches the exact same events in
+    the exact same order — there is no wall-clock, iteration-order, or
+    hash-randomization dependence anywhere in the kernel.  Every
+    replication of every experiment in this package relies on this.
+
     Examples
     --------
     >>> env = Environment()
@@ -48,6 +72,20 @@ class Environment:
     'done'
     """
 
+    __slots__ = (
+        "_now",
+        "_initial_time",
+        "_queue",
+        "_eid",
+        "_active_proc",
+        "metrics",
+        "events_processed",
+        "queue_high_water",
+        "wall_seconds",
+        "event",
+        "timeout",
+    )
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now: float = float(initial_time)
         self._initial_time: float = float(initial_time)
@@ -59,12 +97,21 @@ class Environment:
         #: :meth:`attach_metrics`); ``None`` keeps recording disabled.
         self.metrics: Optional["MetricsRegistry"] = None
         # -- kernel self-profiling (cheap enough to leave always on) -----
-        #: Events popped and dispatched by :meth:`step` so far.
+        #: Events popped and dispatched so far.
         self.events_processed: int = 0
         #: Deepest the event heap has ever been.
         self.queue_high_water: int = 0
         #: Wall-clock seconds spent inside :meth:`run` loops.
         self.wall_seconds: float = 0.0
+        # -- event factories (hot, so bound as C-level partials) ---------
+        #: Create a new untriggered :class:`Event`: ``env.event()``.
+        self.event = partial(Event, self)
+        #: Create a :class:`Timeout` firing after a delay:
+        #: ``env.timeout(delay, value=None)``.  Raises :class:`ValueError`
+        #: if the delay is negative.  Bound as a :func:`functools.partial`
+        #: rather than a method so the hottest event factory in the
+        #: package skips one Python frame per call.
+        self.timeout = partial(Timeout, self)
 
     # -- clock & introspection -------------------------------------------
     @property
@@ -87,16 +134,17 @@ class Environment:
         return len(self._queue)
 
     # -- event factories ---------------------------------------------------
-    def event(self) -> Event:
-        """Create a new untriggered :class:`Event`."""
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` that fires after *delay*."""
-        return Timeout(self, delay, value)
-
+    # ``event`` and ``timeout`` are per-instance partials (see __init__):
+    # they behave exactly like the obvious methods but dispatch through
+    # functools.partial's C call path.
     def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
-        """Start a new :class:`Process` from *generator*."""
+        """Start a new :class:`Process` from *generator*.
+
+        Raises
+        ------
+        TypeError
+            If *generator* is not a generator object.
+        """
         return Process(self, generator, name=name)
 
     def all_of(self, events) -> AllOf:
@@ -112,22 +160,41 @@ class Environment:
         """Schedule *event* to be processed after *delay*.
 
         Kernel API; user code triggers events via ``succeed``/``fail``.
+        The event is keyed by ``(now + delay, priority, sequence)`` — see
+        the class docstring for the determinism contract this implements.
+        (:class:`~.events.Timeout` inlines an equivalent of this method;
+        keep the two in sync.)
+
+        Raises
+        ------
+        ValueError
+            If *delay* is negative.
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        queue = self._queue
+        heappush(queue, (self._now + delay, priority, self._eid, event))
         self._eid += 1
-        if len(self._queue) > self.queue_high_water:
-            self.queue_high_water = len(self._queue)
+        if len(queue) > self.queue_high_water:
+            self.queue_high_water = len(queue)
 
     def step(self) -> None:
         """Process the single next event.
+
+        This is the reference implementation of event dispatch: pop the
+        earliest ``(time, priority, sequence)`` entry, advance the clock,
+        consume the callback list (an event is processed exactly once),
+        and re-raise unhandled failures.  :meth:`run` inlines these exact
+        semantics.
 
         Raises
         ------
         EmptySchedule
             If no events remain.
         """
+        qlen = len(self._queue)
+        if qlen > self.queue_high_water:
+            self.queue_high_water = qlen
         try:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
@@ -141,8 +208,7 @@ class Environment:
 
         if not event._ok and not event._defused:
             # Nobody handled the failure — propagate it out of the loop.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -151,14 +217,30 @@ class Environment:
         ----------
         until:
             ``None`` — run until the event queue is exhausted.
-            A number — run until the clock reaches that time.
+            A number — run until the clock reaches that time (must be
+            strictly greater than :attr:`now`).
             An :class:`Event` — run until that event is processed and
             return its value.
 
         Returns
         -------
         The value of *until* when it is an event, else ``None``.
+
+        Raises
+        ------
+        ValueError
+            If *until* is a number less than or equal to :attr:`now`
+            (including exactly equal — a zero-length run is always a bug
+            in the caller).
+        SimulationError
+            If *until* is an event and the queue empties before it fires.
+        BaseException
+            A failed event whose exception no process handled is
+            re-raised out of the loop exactly as :meth:`step` would.
         """
+        # Hot path: the three loop variants below inline step() with the
+        # heap, heappop, and the event counter in locals.  Any semantic
+        # change here must be mirrored in step() (and vice versa).
         if until is None:
             at = Infinity
             stop_event: Optional[Event] = None
@@ -177,41 +259,89 @@ class Environment:
                 raise ValueError(f"until ({at}) must be greater than now ({self._now})")
             stop_event = None
 
+        # The heap high-water mark is sampled at pop time (queue length is
+        # maximal right before a pop) so the schedule fast paths don't pay
+        # a per-push attribute compare.
+        queue = self._queue
+        pop = heappop
+        processed = 0
+        hw = self.queue_high_water
         wall_start = _time.perf_counter()
         try:
-            while self._queue:
-                next_time = self._queue[0][0]
-                if next_time > at:
-                    self._now = at
-                    break
-                self.step()
-                if stop_event is not None and stop_event.callbacks is None:
-                    if stop_event._ok:
-                        return stop_event._value
-                    raise stop_event._value
-        except _StopSimulation:  # pragma: no cover - internal control flow
-            pass
+            if stop_event is not None:
+                while queue:
+                    qlen = len(queue)
+                    if qlen > hw:
+                        hw = qlen
+                    self._now, _, _, event = pop(queue)
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    if stop_event.callbacks is None:
+                        if stop_event._ok:
+                            return stop_event._value
+                        raise stop_event._value
+            elif at == Infinity:
+                while queue:
+                    qlen = len(queue)
+                    if qlen > hw:
+                        hw = qlen
+                    self._now, _, _, event = pop(queue)
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            else:
+                while queue:
+                    if queue[0][0] > at:
+                        self._now = at
+                        break
+                    qlen = len(queue)
+                    if qlen > hw:
+                        hw = qlen
+                    self._now, _, _, event = pop(queue)
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
         finally:
+            self.events_processed += processed
+            if hw > self.queue_high_water:
+                self.queue_high_water = hw
             self.wall_seconds += _time.perf_counter() - wall_start
 
-        if stop_event is not None and stop_event.callbacks is not None:
+        if stop_event is not None:
+            # Loop drained without the flag firing.
             raise SimulationError(
                 f"simulation ended before the until-event {stop_event!r} was triggered"
             )
-        if until is None or stop_event is None:
-            if at is not Infinity and self._now < at:
-                self._now = at
-            return None
+        if at != Infinity and self._now < at:
+            # Queue exhausted before the target time: advance the clock.
+            self._now = at
         return None
 
     def run_until_empty(self) -> None:
         """Drain every remaining event (convenience for tests)."""
-        wall_start = _time.perf_counter()
-        try:
-            while self._queue:
-                self.step()
-        finally:
-            self.wall_seconds += _time.perf_counter() - wall_start
+        self.run()
 
     # -- observability ----------------------------------------------------
     def attach_metrics(self, registry: "MetricsRegistry") -> None:
@@ -225,7 +355,8 @@ class Environment:
         seconds spent in the event loop, simulated seconds elapsed, and the
         wall-per-sim-second ratio (the DES hot-loop figure of merit; wall
         values are measurement, not simulation, and are therefore excluded
-        from the deterministic metrics registry).
+        from the deterministic metrics registry).  ``pckpt bench`` reports
+        these numbers for a fixed workload set — see ``docs/PERFORMANCE.md``.
         """
         sim_seconds = self._now - self._initial_time
         return {
@@ -242,12 +373,10 @@ class Environment:
         return f"<Environment now={self._now} queued={len(self._queue)}>"
 
 
-class _StopSimulation(Exception):
-    """Internal control-flow exception (kept for API parity; unused)."""
-
-
 class _StopFlag:
     """Callback object marking that the until-event has been processed."""
+
+    __slots__ = ()
 
     def __call__(self, event: Event) -> None:
         # Presence in callbacks is enough; run() checks callbacks is None.

@@ -13,6 +13,7 @@ Only the environment may move an event from *triggered* to *processed*.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from .exceptions import SimulationError
@@ -112,18 +113,39 @@ class Event:
         """Set the event's value and schedule it.
 
         Returns the event itself so triggering can be chained at creation.
+        The event is dispatched at the current simulation time, ordered
+        against same-time events by (priority, schedule sequence).
+
+        Raises
+        ------
+        SimulationError
+            If the event has already been triggered.
         """
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        # Inlined Environment.schedule with delay=0 (the only case here);
+        # keep the key tuple in sync with core.Environment.schedule.  The
+        # heap high-water mark is sampled at pop time by the run loop.
+        env = self.env
+        heappush(env._queue, (env._now, priority, env._eid, self))
+        env._eid += 1
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
         """Fail the event with *exception* and schedule it.
 
-        Waiters will have the exception thrown into them.
+        Waiters will have the exception thrown into them.  If no waiter
+        handles (defuses) the failure, the kernel re-raises it out of
+        :meth:`Environment.run`.
+
+        Raises
+        ------
+        SimulationError
+            If the event has already been triggered.
+        TypeError
+            If *exception* is not a ``BaseException`` instance.
         """
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
@@ -131,7 +153,9 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=priority)
+        env = self.env
+        heappush(env._queue, (env._now, priority, env._eid, self))
+        env._eid += 1
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -160,18 +184,49 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers itself after a *delay* of simulated time."""
+    """An event that triggers itself after a *delay* of simulated time.
+
+    Parameters
+    ----------
+    env:
+        The environment to schedule on.
+    delay:
+        Simulated seconds until the event fires (>= 0).
+    value:
+        Value the event triggers with (default ``None``).
+
+    Raises
+    ------
+    ValueError
+        If *delay* is negative.
+
+    Notes
+    -----
+    Timeouts dominate event traffic in every simulation, so ``__init__``
+    is a fast path: it sets the :class:`Event` fields and pushes the
+    ``(time, priority, sequence)`` heap entry directly instead of going
+    through ``Event.__init__`` + :meth:`Environment.schedule` — one
+    attribute-store sequence and one ``heappush`` per timeout, with
+    identical scheduling semantics (same key tuple, same sequence
+    numbering; the heap high-water mark is sampled at pop time by the
+    run loop).
+    """
 
     __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = float(delay)
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=self._delay)
+        self._defused = False
+        if type(delay) is not float:
+            delay = float(delay)
+        self._delay = delay
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        env._eid += 1
 
     @property
     def delay(self) -> float:
@@ -189,7 +244,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: Any) -> None:
         super().__init__(env)
-        self.callbacks = [process._resume]
+        self.callbacks = [process._cb]
         self._ok = True
         self._value = None
         env.schedule(self, priority=URGENT)
@@ -229,7 +284,7 @@ class Interruption(Event):
         target = process._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(process._resume)
+                target.callbacks.remove(process._cb)
             except ValueError:  # pragma: no cover - defensive
                 pass
         process._resume(self)
@@ -298,21 +353,34 @@ class Condition(Event):
         evaluate: Callable[[List[Event], int], bool],
         events: Iterable[Event],
     ) -> None:
-        super().__init__(env)
+        # Inlined Event.__init__ (conditions are built per protocol join;
+        # keep in sync with events.Event).
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
 
+        # One pass: validate, eagerly check already-processed events, and
+        # subscribe to the rest.  Subscription stops as soon as the
+        # condition is decided — further callbacks would only be ignored
+        # by _check, and the eager pruning in _check has already cleaned
+        # up the ones added so far.
+        check = self._check
+        decided = False
         for event in self._events:
             if event.env is not env:
                 raise ValueError("all events of a condition must share an environment")
-
-        # Eagerly check already-processed events; subscribe to the rest.
-        for event in self._events:
+            if decided:
+                continue
             if event.callbacks is None:
-                self._check(event)
+                check(event)
+                decided = self._value is not PENDING
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
         # An empty condition is immediately true.
         if self._value is PENDING and self._evaluate(self._events, self._count):
@@ -332,20 +400,30 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
+            # Prune eagerly: the condition is decided, so the remaining
+            # sub-events must not keep dead callbacks on their lists.
+            self._remove_check_callbacks()
         elif self._evaluate(self._events, self._count):
             self.succeed(None)
+            self._remove_check_callbacks()
 
     def _build_value(self, event: Event) -> None:
-        self._remove_check_callbacks()
+        # _check pruned the sub-event callbacks when the condition was
+        # decided; here only the value remains to be assembled.
         if event._ok:
             value = ConditionValue()
             self._populate_value(value)
             self._value = value
 
     def _remove_check_callbacks(self) -> None:
+        check = self._check
         for event in self._events:
-            if event.callbacks is not None and self._check in event.callbacks:
-                event.callbacks.remove(self._check)
+            callbacks = event.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(check)
+                except ValueError:
+                    pass
             if isinstance(event, Condition):
                 event._remove_check_callbacks()
 
@@ -378,6 +456,21 @@ class AllOf(Condition):
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
+    def _check(self, event: Event) -> None:
+        # Specialized Condition._check with the all_events predicate
+        # inlined (conditions fire once per composed event on the
+        # protocol's phase-2 joins; keep in sync with Condition._check).
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            self._remove_check_callbacks()
+        elif self._count == len(self._events):
+            self.succeed(None)
+            self._remove_check_callbacks()
+
 
 class AnyOf(Condition):
     """Condition that fires when *any* of *events* has fired."""
@@ -386,3 +479,16 @@ class AnyOf(Condition):
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
+
+    def _check(self, event: Event) -> None:
+        # Specialized Condition._check: any fired event decides the
+        # condition (keep in sync with Condition._check).
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(None)
+        self._remove_check_callbacks()

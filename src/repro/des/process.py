@@ -32,7 +32,7 @@ class Process(Event):
     this directly.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_cb", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None) -> None:
@@ -40,6 +40,9 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        #: The bound _resume callback, created once — subscribing to a new
+        #: target on every yield must not allocate a fresh bound method.
+        self._cb = self._resume
         #: The event the process is currently waiting for (None until started
         #: and after termination).
         self._target: Optional[Event] = Initialize(env, self)
@@ -69,18 +72,19 @@ class Process(Event):
         """Advance the generator with the value/exception of *event*."""
         env = self.env
         env._active_proc = self
+        generator = self._generator
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The event failed: mark the exception as handled (the
                     # process is dealing with it now) and throw it in.
                     event._defused = True
                     exc = type(event._value)(*event._value.args)
                     exc.__cause__ = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as exc:
                 # Generator returned: the process event succeeds.
                 self._ok = True
@@ -100,12 +104,16 @@ class Process(Event):
                 env.schedule(self, priority=NORMAL)
                 break
 
-            # The generator yielded a new event to wait for.
-            if not isinstance(next_event, Event):
+            # The generator yielded a new event to wait for.  Assume an
+            # Event and let the attribute access fail for anything else —
+            # an untaken try costs nothing, an isinstance per yield does.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 msg = f"process {self.name!r} yielded non-event {next_event!r}"
                 error = SimulationError(msg)
                 try:
-                    self._generator.throw(error)
+                    generator.throw(error)
                 except (SimulationError, StopIteration):
                     self._ok = False
                     self._value = error
@@ -113,16 +121,18 @@ class Process(Event):
                     break
                 raise error  # pragma: no cover - generator swallowed it
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Event not yet processed: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._cb)
                 self._target = next_event
-                break
+                env._active_proc = None
+                return
 
             # Event already processed: loop around immediately with it.
             event = next_event
 
-        self._target = None if self._value is not PENDING else self._target
+        # Only the termination branches break out of the loop.
+        self._target = None
         env._active_proc = None
 
     def __repr__(self) -> str:

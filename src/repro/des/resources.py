@@ -13,8 +13,9 @@ manager).
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Any, List, Tuple
+from typing import TYPE_CHECKING, Any, Deque, List, Tuple
 
 from .events import PENDING, Event
 
@@ -37,7 +38,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__ (requests are created once per acquire on
+        # the drain/protocol hot paths; keep in sync with events.Event).
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         resource._do_request(self)
 
@@ -81,7 +88,11 @@ class Release(Event):
     __slots__ = ("resource", "request")
 
     def __init__(self, resource: "Resource", request: Request) -> None:
-        super().__init__(resource.env)
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.request = request
         resource._do_release(self)
@@ -97,7 +108,21 @@ class Resource:
         Simulation environment.
     capacity:
         Number of slots that may be held concurrently (>= 1).
+
+    Raises
+    ------
+    ValueError
+        If *capacity* is less than 1.
+
+    Notes
+    -----
+    Grant order is deterministic: FIFO over request creation, which in
+    turn follows the deterministic event order of the environment.  The
+    wait queue is a :class:`collections.deque` so the grant path pops
+    from the left in O(1) (cancellation, the rare path, stays O(n)).
     """
+
+    __slots__ = ("env", "_capacity", "users", "queue")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
@@ -107,7 +132,7 @@ class Resource:
         #: Requests currently holding a slot.
         self.users: List[Request] = []
         #: Requests waiting for a slot, in grant order.
-        self.queue: List[Request] = []
+        self.queue: Deque[Request] = deque()
 
     @property
     def capacity(self) -> int:
@@ -146,7 +171,7 @@ class Resource:
 
     def _grant_next(self) -> None:
         while self.queue and len(self.users) < self._capacity:
-            nxt = self.queue.pop(0)
+            nxt = self.queue.popleft()
             self.users.append(nxt)
             nxt.succeed(None)
 
@@ -171,7 +196,12 @@ class PriorityResource(Resource):
     ``priority = lead_time_remaining`` while healthy nodes request with a
     large constant, so every vulnerable node drains ahead of every healthy
     node, and the most imminent failure drains first.
+
+    Ties are broken by request time, then submission sequence, so the
+    grant order is deterministic for any mix of priorities.
     """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         super().__init__(env, capacity)

@@ -10,8 +10,9 @@ continuous capacity (bytes in a burst buffer).
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Any, List, NamedTuple
+from typing import TYPE_CHECKING, Any, Deque, List, NamedTuple
 
 from .events import PENDING, Event
 
@@ -36,7 +37,13 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Inlined Event.__init__ (store puts carry every p-ckpt
+        # notification; keep in sync with events.Event).
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
         store._put_waiters.append(self)
         store._dispatch()
@@ -48,7 +55,11 @@ class StoreGet(Event):
     __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         store._get_waiters.append(self)
         store._dispatch()
 
@@ -75,21 +86,40 @@ class Store:
         Simulation environment.
     capacity:
         Maximum number of items held; ``inf`` (default) for unbounded.
+
+    Raises
+    ------
+    ValueError
+        If *capacity* is not positive.
+
+    Notes
+    -----
+    Puts are accepted and gets are served strictly in request order, so
+    store traffic is deterministic given the environment's event order.
+    Items live in a :class:`collections.deque` (FIFO take is O(1));
+    :attr:`items` exposes it directly and may be mutated in place.
     """
+
+    __slots__ = ("env", "_capacity", "_items", "_put_waiters", "_get_waiters")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self._capacity = capacity
-        self.items: List[Any] = []
-        self._put_waiters: List[StorePut] = []
-        self._get_waiters: List[StoreGet] = []
+        self._items: Deque[Any] = deque()
+        self._put_waiters: Deque[StorePut] = deque()
+        self._get_waiters: Deque[StoreGet] = deque()
 
     @property
     def capacity(self) -> float:
         """Maximum number of items the store holds."""
         return self._capacity
+
+    @property
+    def items(self):
+        """The stored items, oldest first (live view, mutable in place)."""
+        return self._items
 
     def put(self, item: Any) -> StorePut:
         """Offer *item*; the returned event fires once it is stored."""
@@ -100,56 +130,55 @@ class Store:
         return StoreGet(self)
 
     def __len__(self) -> int:
-        return len(self.items)
+        return self._size()
 
     # -- internals ---------------------------------------------------------
+    def _size(self) -> int:
+        return len(self._items)
+
     def _do_put(self, event: StorePut) -> bool:
-        if len(self.items) < self._capacity:
-            self._store_item(event.item)
+        if len(self._items) < self._capacity:
+            self._items.append(event.item)
             event.succeed(None)
             return True
         return False
 
     def _do_get(self, event: StoreGet) -> bool:
-        if self.items:
-            event.succeed(self._take_item())
+        if self._items:
+            event.succeed(self._items.popleft())
             return True
         return False
 
-    def _store_item(self, item: Any) -> None:
-        self.items.append(item)
-
-    def _take_item(self) -> Any:
-        return self.items.pop(0)
-
     def _dispatch(self) -> None:
         """Match puts against capacity and gets against items until stuck."""
+        put_waiters = self._put_waiters
+        get_waiters = self._get_waiters
         progress = True
         while progress:
             progress = False
-            while self._put_waiters:
-                put = self._put_waiters[0]
+            while put_waiters:
+                put = put_waiters[0]
                 if put._value is not PENDING:
-                    self._put_waiters.pop(0)
+                    put_waiters.popleft()
                     continue
                 if self._do_put(put):
-                    self._put_waiters.pop(0)
+                    put_waiters.popleft()
                     progress = True
                 else:
                     break
-            while self._get_waiters:
-                get = self._get_waiters[0]
+            while get_waiters:
+                get = get_waiters[0]
                 if get._value is not PENDING:
-                    self._get_waiters.pop(0)
+                    get_waiters.popleft()
                     continue
                 if self._do_get(get):
-                    self._get_waiters.pop(0)
+                    get_waiters.popleft()
                     progress = True
                 else:
                     break
 
     def __repr__(self) -> str:
-        return f"<{type(self).__name__} items={len(self.items)}>"
+        return f"<{type(self).__name__} items={self._size()}>"
 
 
 class PriorityItem(NamedTuple):
@@ -170,23 +199,45 @@ class PriorityStore(Store):
     """A store whose :meth:`get` returns the lowest-priority item first.
 
     Items should be :class:`PriorityItem` instances (or anything orderable).
-    Equal priorities dequeue in insertion order.
+    Equal priorities dequeue in insertion order (an insertion sequence
+    number breaks ties, so retrieval order is deterministic).
+
+    Notes
+    -----
+    Items are held in a binary heap: put and take are O(log n).  The
+    :attr:`items` view is assembled on demand — earlier revisions rebuilt
+    the sorted list on *every* put/get, making store traffic O(n log n)
+    per operation; only diagnostics pay for the sort now.
     """
+
+    __slots__ = ("_seq", "_heap")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         super().__init__(env, capacity)
         self._seq = 0
         self._heap: List[Any] = []
 
-    def _store_item(self, item: Any) -> None:
-        heappush(self._heap, (item, self._seq))
-        self._seq += 1
-        self.items = [entry[0] for entry in sorted(self._heap)]
+    @property
+    def items(self):
+        """Snapshot of the stored items in retrieval order (a new list)."""
+        return [entry[0] for entry in sorted(self._heap)]
 
-    def _take_item(self) -> Any:
-        item, _ = heappop(self._heap)
-        self.items = [entry[0] for entry in sorted(self._heap)]
-        return item
+    def _size(self) -> int:
+        return len(self._heap)
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self._heap) < self._capacity:
+            heappush(self._heap, (event.item, self._seq))
+            self._seq += 1
+            event.succeed(None)
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self._heap:
+            event.succeed(heappop(self._heap)[0])
+            return True
+        return False
 
 
 class ContainerPut(Event):
@@ -197,7 +248,11 @@ class ContainerPut(Event):
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
-        super().__init__(container.env)
+        self.env = container.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.amount = float(amount)
         container._put_waiters.append(self)
         container._dispatch()
@@ -211,7 +266,11 @@ class ContainerGet(Event):
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
-        super().__init__(container.env)
+        self.env = container.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.amount = float(amount)
         container._get_waiters.append(self)
         container._dispatch()
@@ -228,7 +287,21 @@ class Container:
         Maximum level; ``inf`` for unbounded.
     init:
         Initial level.
+
+    Raises
+    ------
+    ValueError
+        If *capacity* is not positive or *init* lies outside
+        ``[0, capacity]``.
+
+    Notes
+    -----
+    Deposits and withdrawals are served strictly in request order (no
+    reordering to fit smaller requests first), which keeps container
+    traffic deterministic.
     """
+
+    __slots__ = ("env", "_capacity", "_level", "_put_waiters", "_get_waiters")
 
     def __init__(
         self,
@@ -243,8 +316,8 @@ class Container:
         self.env = env
         self._capacity = float(capacity)
         self._level = float(init)
-        self._put_waiters: List[ContainerPut] = []
-        self._get_waiters: List[ContainerGet] = []
+        self._put_waiters: Deque[ContainerPut] = deque()
+        self._get_waiters: Deque[ContainerGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -265,24 +338,26 @@ class Container:
         return ContainerGet(self, amount)
 
     def _dispatch(self) -> None:
+        put_waiters = self._put_waiters
+        get_waiters = self._get_waiters
         progress = True
         while progress:
             progress = False
-            while self._put_waiters:
-                put = self._put_waiters[0]
+            while put_waiters:
+                put = put_waiters[0]
                 if self._level + put.amount <= self._capacity:
                     self._level += put.amount
                     put.succeed(None)
-                    self._put_waiters.pop(0)
+                    put_waiters.popleft()
                     progress = True
                 else:
                     break
-            while self._get_waiters:
-                get = self._get_waiters[0]
+            while get_waiters:
+                get = get_waiters[0]
                 if self._level >= get.amount:
                     self._level -= get.amount
                     get.succeed(None)
-                    self._get_waiters.pop(0)
+                    get_waiters.popleft()
                     progress = True
                 else:
                     break

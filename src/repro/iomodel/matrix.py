@@ -54,15 +54,26 @@ class AnalyticPFSModel:
 
     def __init__(self, ntasks: int = 8) -> None:
         self.ntasks = int(ntasks)
+        # A simulation queries the same handful of (nodes, size) cells over
+        # and over (fixed app geometry), so results are memoized.  The
+        # cache is unbounded but in practice holds a few entries per run.
+        self._bw_cache: dict = {}
 
     def write_bandwidth(self, nnodes: int, bytes_per_node: float) -> float:
+        key = (nnodes, bytes_per_node)
+        cached = self._bw_cache.get(key)
+        if cached is not None:
+            return cached
         if nnodes < 1:
             raise ValueError("nnodes must be >= 1")
         if bytes_per_node < 0:
             raise ValueError("bytes_per_node must be non-negative")
         if nnodes == 1:
-            return float(single_node_bandwidth(bytes_per_node, self.ntasks))
-        return float(aggregate_bandwidth(nnodes, bytes_per_node, self.ntasks))
+            bw = float(single_node_bandwidth(bytes_per_node, self.ntasks))
+        else:
+            bw = float(aggregate_bandwidth(nnodes, bytes_per_node, self.ntasks))
+        self._bw_cache[key] = bw
+        return bw
 
     def write_time(self, nnodes: int, bytes_per_node: float) -> float:
         if bytes_per_node == 0:
@@ -114,8 +125,16 @@ class MatrixPFSModel:
         )
         self._node_range = (float(nodes.min()), float(nodes.max()))
         self._size_range = (float(sizes.min()), float(sizes.max()))
+        # Memoized per (nnodes, bytes_per_node) query — the interpolator
+        # call costs microseconds of numpy machinery per lookup, and a
+        # simulation asks for the same few grid cells thousands of times.
+        self._bw_cache: dict = {}
 
     def write_bandwidth(self, nnodes: int, bytes_per_node: float) -> float:
+        key = (nnodes, bytes_per_node)
+        cached = self._bw_cache.get(key)
+        if cached is not None:
+            return cached
         if nnodes < 1:
             raise ValueError("nnodes must be >= 1")
         if bytes_per_node <= 0:
@@ -123,7 +142,9 @@ class MatrixPFSModel:
         n = float(np.clip(nnodes, *self._node_range))
         s = float(np.clip(bytes_per_node, *self._size_range))
         log_bw = self._interp([[np.log2(n), np.log2(s)]])[0]
-        return float(np.exp(log_bw))
+        bw = float(np.exp(log_bw))
+        self._bw_cache[key] = bw
+        return bw
 
     def write_time(self, nnodes: int, bytes_per_node: float) -> float:
         if bytes_per_node == 0:

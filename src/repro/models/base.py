@@ -201,6 +201,16 @@ class _Phase2Job:
             self._proc.interrupt(("phase2-cancel", None))
 
 
+def _noop(*_args, **_kwargs) -> None:
+    """Shared do-nothing sink bound in place of disabled instrumentation."""
+    return None
+
+
+def _noop_span_begin(*_args, **_kwargs) -> int:
+    """Disabled ``_span_begin``: every span gets the same dummy id."""
+    return 0
+
+
 class CRSimulation:
     """Simulate one application under one C/R model.
 
@@ -252,9 +262,19 @@ class CRSimulation:
         self.trace = trace
         if trace is not None:
             trace.env = self.env
+        else:
+            # Disabled tracing must cost nothing on the event hot paths:
+            # rebind the helpers to module-level no-ops so call sites pay
+            # one attribute load instead of a method frame + None check.
+            self._emit = _noop
+            self._span_begin = _noop_span_begin
+            self._span_end = _noop
         self.metrics = metrics
         if metrics is not None:
             self.env.attach_metrics(metrics)
+        else:
+            self._count = _noop
+            self._observe = _noop
 
         per_node = app.checkpoint_bytes_per_node
         bb = platform.node.burst_buffer
@@ -411,6 +431,9 @@ class CRSimulation:
     # ------------------------------------------------------------------
     # notification plumbing
     # ------------------------------------------------------------------
+    # The five helpers below are rebound to module-level no-ops in
+    # __init__ when their backend is absent, so the None checks only ever
+    # run with instrumentation enabled.
     def _emit(self, source: str, kind: str, detail=None) -> None:
         if self.trace is not None:
             self.trace.emit(source, kind, detail)

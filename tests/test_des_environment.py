@@ -48,6 +48,14 @@ class TestRun:
         with pytest.raises(ValueError):
             env.run(until=0.5)
 
+    def test_run_until_now_exactly_raises(self, env):
+        # A zero-length run is always a caller bug; the exactly-equal
+        # case is part of the documented ValueError contract.
+        env.timeout(1)
+        env.run()
+        with pytest.raises(ValueError, match="must be greater than now"):
+            env.run(until=env.now)
+
     def test_run_until_event_returns_value(self, env):
         def proc(env):
             yield env.timeout(2)

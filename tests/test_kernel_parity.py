@@ -1,0 +1,56 @@
+"""Fixed-seed parity: the optimized kernel reproduces golden results exactly.
+
+The goldens in ``tests/data/parity_goldens.json`` were captured from the
+pre-optimization kernel (one replication of every Table-I application
+under P2 and M2 at seed 1234).  Every float is stored as ``float.hex()``,
+so equality here means *bit-identical* ``SimulationResult`` fields — the
+proof required by ``docs/PERFORMANCE.md`` that kernel fast paths changed
+no observable simulation behavior.
+
+If a deliberate semantic change ever invalidates these goldens, recapture
+them with the pre-change kernel's results explicitly in hand — never by
+just re-running this file's helper on the new kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_replications
+from repro.workloads.applications import APPLICATIONS
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "parity_goldens.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def _flatten(obj, prefix: str = "") -> dict:
+    """Dataclass → flat dict fingerprint; floats rendered exactly via hex."""
+    out: dict = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        name = f"{prefix}{field.name}"
+        if dataclasses.is_dataclass(value):
+            out.update(_flatten(value, prefix=name + "."))
+        elif isinstance(value, float):
+            out[name] = value.hex()
+        elif isinstance(value, (int, str)):
+            out[name] = value
+        # Anything else (the optional metrics registry is None here) is
+        # not part of the fingerprint.
+    return out
+
+
+@pytest.mark.parametrize("cell", sorted(GOLDENS["results"]))
+def test_simulation_result_bit_identical(cell):
+    app_name, model = cell.split("/")
+    result = run_replications(
+        APPLICATIONS[app_name],
+        model,
+        replications=GOLDENS["replications"],
+        seed=GOLDENS["seed"],
+    )
+    assert _flatten(result) == GOLDENS["results"][cell]

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Schema-sync check for the kernel benchmark artifacts.
+
+Keeps three places agreeing on the ``BENCH_*.json`` schema, all parsed
+from source so this runs dependency-free in CI (no numpy/scipy needed):
+
+* the ``BENCH_SCHEMA_VERSION`` declared in ``src/repro/bench.py``;
+* the backticked ``BENCH_SCHEMA_VERSION = N`` documented in
+  ``docs/PERFORMANCE.md``;
+* every committed payload under ``benchmarks/kernel/`` (each must carry
+  the declared version, the bench payload kind, and well-formed
+  per-benchmark entries — a dependency-free mirror of
+  ``repro.bench.validate_payload``).
+
+Pass ``--file PATH`` to validate additional payloads (e.g. one freshly
+written by ``pckpt bench`` in a CI smoke step).  Exits non-zero with a
+description of every mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_PY = ROOT / "src" / "repro" / "bench.py"
+DOC = ROOT / "docs" / "PERFORMANCE.md"
+BENCH_DIR = ROOT / "benchmarks" / "kernel"
+
+VERSION_DECL = re.compile(r"^BENCH_SCHEMA_VERSION\s*=\s*(\d+)\s*$", re.MULTILINE)
+VERSION_DOC = re.compile(r"`BENCH_SCHEMA_VERSION = (\d+)`")
+
+PAYLOAD_KIND = "pckpt-bench"
+ENTRY_KEYS = (
+    "events",
+    "wall_seconds",
+    "events_per_sec",
+    "sim_seconds",
+    "wall_per_sim_second",
+)
+
+
+def code_schema_version() -> int:
+    """The version declared in the bench module (parsed, not imported)."""
+    match = VERSION_DECL.search(BENCH_PY.read_text(encoding="utf-8"))
+    if not match:
+        raise SystemExit(f"no BENCH_SCHEMA_VERSION declaration in {BENCH_PY}")
+    return int(match.group(1))
+
+
+def check_docs(version: int) -> List[str]:
+    """The documented version must match the declared one."""
+    problems = []
+    if not DOC.exists():
+        return [f"{DOC} is missing (the bench workflow must be documented)"]
+    documented = [int(v) for v in VERSION_DOC.findall(
+        DOC.read_text(encoding="utf-8")
+    )]
+    if not documented:
+        problems.append(
+            f"{DOC} never states the schema version "
+            f"(expected a backticked 'BENCH_SCHEMA_VERSION = {version}')"
+        )
+    for doc_version in documented:
+        if doc_version != version:
+            problems.append(
+                f"{DOC} documents schema version {doc_version}, "
+                f"code declares {version}"
+            )
+    return problems
+
+
+def check_payload(path: Path, version: int) -> List[str]:
+    """One payload file must carry the declared schema throughout."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    problems = []
+    if payload.get("kind") != PAYLOAD_KIND:
+        problems.append(
+            f"{path}: kind is {payload.get('kind')!r}, not {PAYLOAD_KIND!r}"
+        )
+    if payload.get("schema_version") != version:
+        problems.append(
+            f"{path}: schema_version is {payload.get('schema_version')!r}, "
+            f"code declares {version}"
+        )
+    for key in ("git_sha", "python", "benchmarks"):
+        if key not in payload:
+            problems.append(f"{path}: missing top-level key {key!r}")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        problems.append(f"{path}: benchmarks must be a non-empty object")
+        return problems
+    for name, entry in benchmarks.items():
+        if not isinstance(entry, dict):
+            problems.append(f"{path}: {name}: entry is not an object")
+            continue
+        for key in ENTRY_KEYS:
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                problems.append(
+                    f"{path}: {name}: {key} must be a non-negative number"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="extra payload files to validate")
+    args = parser.parse_args(argv)
+
+    version = code_schema_version()
+    problems = check_docs(version)
+
+    committed = sorted(BENCH_DIR.glob("*.json")) if BENCH_DIR.is_dir() else []
+    if not committed:
+        problems.append(
+            f"{BENCH_DIR} holds no committed benchmark payloads "
+            "(the tracked baseline must be checked in)"
+        )
+    for path in [*committed, *args.file]:
+        problems.extend(check_payload(path, version))
+
+    if problems:
+        print("bench schema check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    checked = len(committed) + len(args.file)
+    print(f"bench schema OK (version {version}, {checked} payload(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
