@@ -203,6 +203,32 @@ def _condition_fanin(n: int) -> Environment:
     return env
 
 
+def _store_backlog(n: int) -> Environment:
+    """Deep-occupancy priority store: fill-then-drain cycles.
+
+    The node-local priority queue under sustained load — hundreds of
+    prioritized entries resident while puts and gets keep arriving.
+    Exercises ordered retrieval at depth, where maintaining the
+    retrieval order costs O(log n) per operation in the current kernel
+    (an earlier revision rebuilt the sorted view on every put/get,
+    which makes exactly this workload quadratic).
+    """
+    env = Environment()
+    store = PriorityStore(env)
+    backlog = 512
+    cycles = max(n // (2 * backlog), 1)
+
+    def proc(env: Environment):
+        for c in range(cycles):
+            for i in range(backlog):
+                yield store.put(PriorityItem(float((i * 7919) % backlog), i))
+            for _ in range(backlog):
+                yield store.get()
+
+    env.process(proc(env))
+    return env
+
+
 def _fifo_store(n: int) -> Environment:
     """Bounded FIFO store with backpressure (put blocks at capacity)."""
     env = Environment()
@@ -241,6 +267,7 @@ KERNEL_BENCHMARKS: Tuple[_KernelBench, ...] = (
     _KernelBench("kernel.resource_cycle", _resource_cycle, 100_000, 10_000),
     _KernelBench("kernel.store_traffic", _store_traffic, 100_000, 10_000),
     _KernelBench("kernel.fifo_store", _fifo_store, 100_000, 10_000),
+    _KernelBench("kernel.store_backlog", _store_backlog, 60_000, 6_000),
     _KernelBench("kernel.condition_fanin", _condition_fanin, 60_000, 6_000),
 )
 

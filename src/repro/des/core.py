@@ -12,8 +12,9 @@ Performance
 :meth:`Environment.run` is the hottest loop in the package — every
 simulated second of every replication of every sweep goes through it — so
 it inlines event dispatch instead of calling :meth:`Environment.step` per
-event: the heap, the pop function, and the events-processed counter are
-kept in locals and the per-event Python-level call overhead is gone.
+event: the heap and the pop function are kept in locals, the
+events-processed count is derived from heap deltas rather than counted,
+and the per-event Python-level call overhead is gone.
 ``step()`` remains the single-event reference implementation (and the
 kernel API for manual stepping); the inlined loops must match its
 semantics exactly.  ``docs/PERFORMANCE.md`` describes the hot-path
@@ -262,9 +263,14 @@ class Environment:
         # The heap high-water mark is sampled at pop time (queue length is
         # maximal right before a pop) so the schedule fast paths don't pay
         # a per-push attribute compare.
+        # The processed count is derived in the finally block instead of
+        # incremented per event: every heap push increments _eid exactly
+        # once (the sequence-uniqueness invariant the heap key relies on),
+        # so pops == pushes-during-run + queue-length delta.
         queue = self._queue
         pop = heappop
-        processed = 0
+        eid_start = self._eid
+        len_start = len(queue)
         hw = self.queue_high_water
         wall_start = _time.perf_counter()
         try:
@@ -274,7 +280,6 @@ class Environment:
                     if qlen > hw:
                         hw = qlen
                     self._now, _, _, event = pop(queue)
-                    processed += 1
                     callbacks = event.callbacks
                     event.callbacks = None
                     if len(callbacks) == 1:
@@ -294,7 +299,6 @@ class Environment:
                     if qlen > hw:
                         hw = qlen
                     self._now, _, _, event = pop(queue)
-                    processed += 1
                     callbacks = event.callbacks
                     event.callbacks = None
                     if len(callbacks) == 1:
@@ -313,7 +317,6 @@ class Environment:
                     if qlen > hw:
                         hw = qlen
                     self._now, _, _, event = pop(queue)
-                    processed += 1
                     callbacks = event.callbacks
                     event.callbacks = None
                     if len(callbacks) == 1:
@@ -324,7 +327,7 @@ class Environment:
                     if not event._ok and not event._defused:
                         raise event._value
         finally:
-            self.events_processed += processed
+            self.events_processed += (self._eid - eid_start) + (len_start - len(queue))
             if hw > self.queue_high_water:
                 self.queue_high_water = hw
             self.wall_seconds += _time.perf_counter() - wall_start
