@@ -15,6 +15,12 @@ Subcommands
     shared process pool for the whole grid, a content-addressed on-disk
     result store (``--store``), incremental re-runs (``--resume``, the
     default), and ``--jobs N`` pool width.  See ``docs/CAMPAIGN.md``.
+``pckpt validate``
+    Differential fuzzing of the DES kernel: random scenarios executed on
+    the inlined fast-path loops, the ``step()`` reference, and real
+    SimPy when installed, cross-checked event for event plus invariant
+    oracles; failing cases are shrunk to minimal reproducers (see
+    ``docs/TESTING.md``).
 ``pckpt list``
     Show the workload catalogue and model zoo.
 
@@ -27,6 +33,7 @@ Examples
     pckpt experiment fig6a
     pckpt campaign run model-comparison --store .pckpt-store --jobs 8
     pckpt campaign status --store .pckpt-store
+    pckpt validate --seed 0 --cases 200
 """
 
 from __future__ import annotations
@@ -343,6 +350,53 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validate import resolve_backends, run_validation
+
+    try:
+        backends = resolve_backends(args.backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_validation(
+        args.seed,
+        args.cases,
+        backends,
+        cr_cases=args.cr_cases,
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        shrink=not args.no_shrink,
+        progress=lambda msg: print(f"[validate] {msg}", file=sys.stderr),
+    )
+    print(
+        format_kv(
+            {
+                "backends": ", ".join(report.backends),
+                "scenario cases": report.scenario_cases,
+                "C/R differential cases": report.cr_cases,
+                "simpy-incompatible (kernel-only) cases": report.simpy_skipped,
+                "failures": len(report.failures),
+            },
+            title=f"pckpt validate (seed {report.seed})",
+        )
+    )
+    for failure in report.failures:
+        print()
+        print(f"FAILURE [{failure.kind}] case {failure.case_index}:")
+        for violation in failure.violations[:8]:
+            print(f"  - {violation}")
+        if len(failure.violations) > 8:
+            print(f"  ... and {len(failure.violations) - 8} more")
+        if failure.shrunk is not None:
+            print("  minimal reproducer:")
+            for line in failure.shrunk.to_json().splitlines():
+                print(f"    {line}")
+        if failure.corpus_path is not None:
+            print(f"  saved to {failure.corpus_path}")
+    if report.ok:
+        print("\nno divergences, no invariant violations")
+    return 0 if report.ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("Applications (Table I):")
     for name in APPLICATION_ORDER:
@@ -540,6 +594,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="existing BENCH_*.json to print per-benchmark speedups against",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="differential fuzzing: fast-path kernel vs step reference "
+             "(vs SimPy when installed), plus invariant oracles",
+    )
+    p_val.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; case i uses scenario seed+i (default 0)",
+    )
+    p_val.add_argument(
+        "--cases", type=int, default=200,
+        help="number of fuzzed DES scenarios (default 200)",
+    )
+    p_val.add_argument(
+        "--backend", nargs="+", default=["all"],
+        choices=["all", "fast", "step", "simpy"],
+        help="backends to cross-check (default: every available one)",
+    )
+    p_val.add_argument(
+        "--cr-cases", type=int, default=None, metavar="N",
+        help="full C/R differential simulations (default cases//10, min 2)",
+    )
+    p_val.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="save shrunk reproducers here (e.g. tests/corpus)",
+    )
+    p_val.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failing cases without minimizing them",
+    )
+    p_val.set_defaults(func=_cmd_validate)
 
     p_list = sub.add_parser("list", help="show workloads and models")
     p_list.set_defaults(func=_cmd_list)

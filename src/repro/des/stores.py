@@ -195,6 +195,35 @@ class PriorityItem(NamedTuple):
         return self.priority < other.priority
 
 
+class _HeapEntry:
+    """Heap node pairing an item with its insertion sequence number.
+
+    A plain ``(item, seq)`` tuple does *not* give FIFO tie-breaking:
+    tuple comparison consults ``seq`` only when the items compare
+    *equal*, but two :class:`PriorityItem` entries with the same priority
+    and different payloads are neither equal nor ordered (``__eq__``
+    includes the payload while ``__lt__`` compares priority only), so
+    the heap saw them as interchangeable and popped them in heap-shape
+    order.  This wrapper falls back to ``seq`` whenever neither item
+    strictly precedes the other, restoring the documented insertion-order
+    tie-break (caught by the ``repro.validate`` fuzzer; the minimal
+    reproducer lives in ``tests/corpus/``).
+    """
+
+    __slots__ = ("item", "seq")
+
+    def __init__(self, item: Any, seq: int) -> None:
+        self.item = item
+        self.seq = seq
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        if self.item < other.item:
+            return True
+        if other.item < self.item:
+            return False
+        return self.seq < other.seq
+
+
 class PriorityStore(Store):
     """A store whose :meth:`get` returns the lowest-priority item first.
 
@@ -215,19 +244,19 @@ class PriorityStore(Store):
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         super().__init__(env, capacity)
         self._seq = 0
-        self._heap: List[Any] = []
+        self._heap: List[_HeapEntry] = []
 
     @property
     def items(self):
         """Snapshot of the stored items in retrieval order (a new list)."""
-        return [entry[0] for entry in sorted(self._heap)]
+        return [entry.item for entry in sorted(self._heap)]
 
     def _size(self) -> int:
         return len(self._heap)
 
     def _do_put(self, event: StorePut) -> bool:
         if len(self._heap) < self._capacity:
-            heappush(self._heap, (event.item, self._seq))
+            heappush(self._heap, _HeapEntry(event.item, self._seq))
             self._seq += 1
             event.succeed(None)
             return True
@@ -235,7 +264,7 @@ class PriorityStore(Store):
 
     def _do_get(self, event: StoreGet) -> bool:
         if self._heap:
-            event.succeed(heappop(self._heap)[0])
+            event.succeed(heappop(self._heap).item)
             return True
         return False
 

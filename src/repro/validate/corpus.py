@@ -1,0 +1,67 @@
+"""Regression corpus: shrunk reproducers committed under ``tests/corpus/``.
+
+Every scenario the fuzzer ever caught a bug with is saved here as JSON —
+the scenario itself plus the violation report that condemned it — and
+replayed forever by ``tests/test_validate_corpus.py`` and
+``tools/check_corpus.py``.  File names are content-addressed
+(``case-<seed>-<digest>.json``) so re-saving the same reproducer is
+idempotent and names never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from .scenarios import Scenario
+
+__all__ = ["default_corpus_dir", "save_case", "load_corpus"]
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus directory (``tests/corpus`` at the repo root).
+
+    Resolved relative to this file so it works regardless of the current
+    working directory; falls back to ``tests/corpus`` under the cwd when
+    the package is used outside the repository checkout.
+    """
+    repo_root = Path(__file__).resolve().parents[3]
+    candidate = repo_root / "tests" / "corpus"
+    if candidate.parent.is_dir():
+        return candidate
+    return Path("tests") / "corpus"
+
+
+def save_case(
+    directory: Path,
+    scenario: Scenario,
+    violations: List[str],
+    note: str = "",
+) -> Path:
+    """Persist one reproducer; returns the written path (idempotent)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, Any] = {
+        "scenario": scenario.to_dict(),
+        "violations": violations,
+        "note": note,
+    }
+    canonical = json.dumps(payload["scenario"], sort_keys=True)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:10]
+    path = directory / f"case-{scenario.seed}-{digest}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(directory: Path) -> List[Tuple[Path, Scenario, Dict[str, Any]]]:
+    """Load every corpus file as ``(path, scenario, full payload)``."""
+    directory = Path(directory)
+    out: List[Tuple[Path, Scenario, Dict[str, Any]]] = []
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("*.json")):
+        payload = json.loads(path.read_text())
+        out.append((path, Scenario.from_dict(payload["scenario"]), payload))
+    return out

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import multiprocessing
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -326,6 +327,40 @@ class TestShardRetry:
         got = results[("P1", "TINY")]
         assert got.overhead == direct.overhead
         assert got.ft == direct.ft
+
+    def test_pool_worker_crash_retried_serially(self, make_cell, monkeypatch,
+                                                tiny_app, hot_weibull):
+        """A shard that dies inside a *pool worker* is retried serially in
+        the parent and the campaign result stays bit-identical."""
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork so pool workers inherit the patch")
+        real_run_once = scheduler_mod._run_once
+        parent_pid = os.getpid()
+
+        def dies_in_workers(app, config, platform, weibull, lead_model,
+                            predictor, seed_seq, collect_metrics=False):
+            # Forked pool workers inherit this patched module global; only
+            # the parent (serial-retry path) may actually run replications.
+            if os.getpid() != parent_pid:
+                raise OSError("simulated worker death")
+            return real_run_once(app, config, platform, weibull, lead_model,
+                                 predictor, seed_seq, collect_metrics)
+
+        monkeypatch.setattr(scheduler_mod, "_run_once", dies_in_workers)
+        progress = CampaignProgress()
+        results = run_campaign([make_cell("P1")], workers=2,
+                               progress=progress)
+        retried = progress.metrics.counter("campaign.shards.retried").value
+        assert retried >= 1, "no shard ever hit the retry path"
+        direct = run_replications(tiny_app, "P1", replications=6,
+                                  weibull=hot_weibull, seed=5, workers=1)
+        got = results[("P1", "TINY")]
+        assert got.overhead == direct.overhead
+        assert got.overhead_std == direct.overhead_std
+        assert got.makespan_seconds == direct.makespan_seconds
+        assert got.ft == direct.ft
+        assert got.oci_initial == direct.oci_initial
+        assert got.oci_final == direct.oci_final
 
 
 class TestCheckStoreSchemaTool:

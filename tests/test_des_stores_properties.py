@@ -1,0 +1,219 @@
+"""Property-based tests for store edge cases (PR-3 deque/lazy-items refactor).
+
+Covers the corners the unit tests in ``test_des_stores.py`` pin only
+pointwise: get cancellation while queued, zero/negative capacities,
+FIFO tie-breaking of equal priorities under arbitrary interleavings,
+and the laziness of ``PriorityStore.items`` under interleaved put/get.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Container, Environment, PriorityItem, PriorityStore, Store
+
+
+class TestCapacityValidation:
+    @pytest.mark.parametrize("capacity", [0, -1, -0.5])
+    def test_store_rejects_nonpositive_capacity(self, env, capacity):
+        with pytest.raises(ValueError):
+            Store(env, capacity=capacity)
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_priority_store_rejects_nonpositive_capacity(self, env, capacity):
+        with pytest.raises(ValueError):
+            PriorityStore(env, capacity=capacity)
+
+    @pytest.mark.parametrize("capacity", [0, -2.0])
+    def test_container_rejects_nonpositive_capacity(self, env, capacity):
+        with pytest.raises(ValueError):
+            Container(env, capacity=capacity)
+
+
+class TestCancelWhileQueued:
+    def test_cancelled_get_never_fires_and_item_goes_to_next_waiter(self, env):
+        st_ = Store(env)
+        got = []
+
+        def canceller(env):
+            ev = st_.get()
+            yield env.timeout(1)
+            ev.cancel()
+            got.append(("cancelled", ev.triggered and ev.value))
+
+        def waiter(env):
+            item = yield st_.get()
+            got.append(("served", env.now, item))
+
+        def producer(env):
+            yield env.timeout(2)
+            yield st_.put("x")
+
+        env.process(canceller(env))
+        env.process(waiter(env))
+        env.process(producer(env))
+        env.run()
+        # The cancelled get was first in line but must be skipped; the
+        # second waiter receives the item.
+        assert ("served", 2.0, "x") in got
+        assert not any(entry[0] == "served" and entry[2] != "x" for entry in got)
+
+    def test_cancel_after_service_is_a_noop(self, env):
+        st_ = Store(env)
+        results = []
+
+        def consumer(env):
+            ev = st_.get()
+            item = yield ev
+            ev.cancel()  # already fulfilled: must not corrupt the value
+            results.append(item)
+
+        def producer(env):
+            yield st_.put(42)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert results == [42]
+
+    @given(n_waiters=st.integers(2, 8), cancel_mask=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_cancel_subset_conserves_items(self, n_waiters, cancel_mask):
+        """Cancel an arbitrary subset of queued gets; every produced item
+        still reaches exactly one surviving waiter, in FIFO order."""
+        env = Environment()
+        st_ = Store(env)
+        cancelled = [bool(cancel_mask >> i & 1) for i in range(n_waiters)]
+        survivors = n_waiters - sum(cancelled)
+        served = []
+
+        def waiter(env, idx):
+            ev = st_.get()
+            if cancelled[idx]:
+                yield env.timeout(1)
+                ev.cancel()
+                return
+            item = yield ev
+            served.append((idx, item))
+
+        def producer(env):
+            yield env.timeout(2)
+            for i in range(survivors):
+                yield st_.put(i)
+
+        for i in range(n_waiters):
+            env.process(waiter(env, i))
+        env.process(producer(env))
+        env.run()
+        # Every item consumed, by surviving waiters, in request order.
+        assert [item for _idx, item in served] == list(range(survivors))
+        surviving_idx = [i for i in range(n_waiters) if not cancelled[i]]
+        assert [idx for idx, _item in served] == surviving_idx
+        assert len(st_.items) == 0
+
+
+class TestPriorityFifoTieBreak:
+    @given(
+        priorities=st.lists(
+            st.sampled_from([0.0, 1.0, 2.0]), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_equal_priorities_drain_in_insertion_order(self, priorities):
+        """Retrieval order is exactly the stable sort by priority."""
+        env = Environment()
+        ps = PriorityStore(env)
+        drained = []
+
+        def producer(env):
+            for i, prio in enumerate(priorities):
+                yield ps.put(PriorityItem(prio, i))
+
+        def consumer(env):
+            for _ in priorities:
+                item = yield ps.get()
+                drained.append((item.priority, item.item))
+
+        # All puts land before the first get (the drain is what's under
+        # test, not producer/consumer interleaving).
+        env.process(producer(env))
+        env.run()
+        env.process(consumer(env))
+        env.run()
+        expected = sorted(
+            ((p, i) for i, p in enumerate(priorities)), key=lambda e: e[0]
+        )
+        assert drained == expected
+
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("put"), st.sampled_from([0.0, 1.0, 2.0])),
+                st.tuples(st.just("get"), st.just(0.0)),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interleaved_put_get_matches_stable_model(self, ops):
+        """Arbitrary put/get interleavings match a stable-sorted model."""
+        env = Environment()
+        ps = PriorityStore(env)
+        drained = []
+        model: list = []
+        model_drained = []
+        counter = [0]
+
+        def driver(env):
+            for kind, prio in ops:
+                if kind == "put":
+                    idx = counter[0]
+                    counter[0] += 1
+                    yield ps.put(PriorityItem(prio, idx))
+                    model.append((prio, idx))
+                elif model:  # only get when the model says one is available
+                    item = yield ps.get()
+                    drained.append((item.priority, item.item))
+                    best = min(range(len(model)), key=lambda i: (model[i][0], i))
+                    model_drained.append(model.pop(best))
+                # The items view must agree with the model at every step.
+                assert [
+                    (it.priority, it.item) for it in ps.items
+                ] == sorted(model, key=lambda e: e[0])
+
+        env.process(driver(env))
+        env.run()
+        assert drained == model_drained
+
+
+class TestItemsLaziness:
+    def test_items_is_a_fresh_snapshot_not_the_heap(self, env):
+        ps = PriorityStore(env)
+
+        def setup(env):
+            yield ps.put(PriorityItem(2.0, "b"))
+            yield ps.put(PriorityItem(1.0, "a"))
+
+        env.process(setup(env))
+        env.run()
+        view = ps.items
+        assert [it.item for it in view] == ["a", "b"]
+        view.clear()  # mutating the snapshot must not touch the store
+        assert [it.item for it in ps.items] == ["a", "b"]
+        assert len(ps) == 2
+
+    def test_fifo_store_items_is_the_live_deque(self, env):
+        """Contrast: the FIFO store documents a live, mutable view."""
+        st_ = Store(env)
+
+        def setup(env):
+            yield st_.put("x")
+
+        env.process(setup(env))
+        env.run()
+        assert list(st_.items) == ["x"]
+        st_.items.append("y")
+        assert len(st_) == 2

@@ -1,0 +1,227 @@
+"""Unit tests for the ``repro.validate`` differential validation subsystem.
+
+Pins the pieces individually — fuzzer determinism, scenario
+serialization, backend resolution, the differential executor, the
+invariant oracles, the shrinker — then runs a small bounded validation
+campaign end to end and asserts it comes back clean (the CI-sized
+version of the ``pckpt validate`` acceptance run).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.validate import (
+    Scenario,
+    available_backends,
+    check_analysis_consistency,
+    check_bandwidth_monotonicity,
+    check_record,
+    check_statemachine_table,
+    compare_records,
+    diff_cr_case,
+    execute,
+    generate_cr_case,
+    generate_scenario,
+    resolve_backends,
+    run_validation,
+    scenario_size,
+    shrink_scenario,
+    validate_scenario,
+)
+from repro.validate.backends import FAST_BACKEND, STEP_BACKEND
+from repro.validate.scenarios import ProcSpec, StoreSpec
+
+
+class TestFuzzerDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 123, 99999])
+    def test_same_seed_same_scenario(self, seed):
+        assert generate_scenario(seed) == generate_scenario(seed)
+
+    def test_distinct_seeds_produce_distinct_scenarios(self):
+        scenarios = {generate_scenario(s).to_json() for s in range(30)}
+        # Not literally all distinct is required, but near-total overlap
+        # would mean the seed isn't actually feeding the generator.
+        assert len(scenarios) >= 25
+
+    def test_every_run_mode_is_generated(self):
+        modes = {generate_scenario(s).run_mode for s in range(60)}
+        assert modes == {"drain", "horizon", "proc"}
+
+    def test_scenarios_are_bounded(self):
+        for seed in range(40):
+            sc = generate_scenario(seed)
+            assert 2 <= len(sc.processes) <= 5
+            assert scenario_size(sc) >= 2
+            if sc.run_mode == "horizon":
+                assert sc.until is not None and sc.until > 0
+            else:
+                assert sc.until is None
+
+
+class TestScenarioSerialization:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_json_roundtrip_is_identity(self, seed):
+        sc = generate_scenario(seed)
+        assert Scenario.from_json(sc.to_json()) == sc
+
+    def test_simpy_compatible_rejects_kernel_extensions(self):
+        sc = Scenario(
+            seed=0,
+            stores=(StoreSpec("s0", "fifo", None),),
+            processes=(ProcSpec("p1", 0.0, (("cancel_get", "s0", 1.0),)),),
+        )
+        assert not sc.simpy_compatible()
+
+    def test_simpy_compatible_rejects_equal_priority_puts(self):
+        sc = Scenario(
+            seed=0,
+            stores=(StoreSpec("s0", "priority", None),),
+            processes=(
+                ProcSpec(
+                    "p1",
+                    0.0,
+                    (("pput", "s0", 1.0, 1), ("pput", "s0", 1.0, 2)),
+                ),
+            ),
+        )
+        assert not sc.simpy_compatible()
+
+    def test_simpy_compatible_accepts_plain_traffic(self):
+        sc = Scenario(
+            seed=0,
+            stores=(StoreSpec("s0", "fifo", None),),
+            processes=(
+                ProcSpec("p1", 0.0, (("put", "s0", 1), ("get", "s0"))),
+            ),
+        )
+        assert sc.simpy_compatible()
+
+
+class TestBackendResolution:
+    def test_kernel_backends_always_available(self):
+        have = available_backends()
+        assert {"fast", "step"} <= set(have)
+        assert have["fast"].kernel and have["step"].kernel
+
+    def test_all_resolves_to_everything(self):
+        assert resolve_backends(["all"]) == available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backends(["quantum"])
+
+    def test_simpy_requires_simpy(self):
+        if "simpy" in available_backends():
+            pytest.skip("SimPy is installed in this interpreter")
+        with pytest.raises(ValueError, match="requires SimPy"):
+            resolve_backends(["simpy"])
+
+
+class TestDifferentialExecutor:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_fast_and_step_agree(self, seed):
+        sc = generate_scenario(seed)
+        fast = execute(sc, FAST_BACKEND)
+        step = execute(sc, STEP_BACKEND)
+        assert compare_records(fast, step) == []
+
+    def test_records_satisfy_oracles(self):
+        for seed in range(30):
+            sc = generate_scenario(seed)
+            record = execute(sc, FAST_BACKEND)
+            assert check_record(record, sc) == []
+
+    def test_execution_is_deterministic(self):
+        sc = generate_scenario(17)
+        a = execute(sc, FAST_BACKEND)
+        b = execute(sc, FAST_BACKEND)
+        assert compare_records(a, b) == []
+        assert a.trace == b.trace
+
+    def test_validate_scenario_clean_on_kernel_backends(self):
+        backends = resolve_backends(["fast", "step"])
+        for seed in range(20):
+            assert validate_scenario(generate_scenario(seed), backends) == []
+
+
+class TestModelOracles:
+    def test_bandwidth_monotonicity_holds(self):
+        assert check_bandwidth_monotonicity() == []
+
+    def test_analysis_consistency_holds(self):
+        assert check_analysis_consistency() == []
+
+    def test_statemachine_table_is_legal(self):
+        assert check_statemachine_table() == []
+
+
+class TestCRDifferential:
+    def test_cr_case_generation_is_deterministic(self):
+        assert generate_cr_case(3) == generate_cr_case(3)
+        assert generate_cr_case(3) != generate_cr_case(4)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fast_and_reference_simulations_agree(self, seed):
+        assert diff_cr_case(generate_cr_case(seed)) == []
+
+
+class TestShrinker:
+    def test_requires_a_failing_scenario(self):
+        sc = generate_scenario(0)
+        with pytest.raises(ValueError):
+            shrink_scenario(sc, lambda s: False)
+
+    def test_shrinks_to_the_single_guilty_op(self):
+        # Predicate: "fails" iff any put targets store s0.  The shrinker
+        # should strip everything else.
+        sc = generate_scenario(0)
+        sc = dataclasses.replace(
+            sc,
+            stores=sc.stores + (StoreSpec("s0x", "fifo", None),),
+            processes=sc.processes
+            + (ProcSpec("guilty", 1.0, (("put", "s0x", 99),)),),
+        )
+
+        def fails(s: Scenario) -> bool:
+            def scan(ops) -> bool:
+                for op in ops:
+                    if op[0] == "put" and op[1] == "s0x":
+                        return True
+                    if op[0] == "spawn" and scan(op[1].ops):
+                        return True
+                return False
+
+            return any(scan(p.ops) for p in s.processes)
+
+        shrunk = shrink_scenario(sc, fails)
+        assert fails(shrunk)
+        assert scenario_size(shrunk) == 1
+        assert len(shrunk.processes) == 1
+        assert shrunk.run_mode == "drain"
+
+    def test_shrunk_scenario_still_roundtrips(self):
+        sc = generate_scenario(5)
+        shrunk = shrink_scenario(sc, lambda s: bool(s.processes))
+        assert Scenario.from_json(shrunk.to_json()) == shrunk
+
+
+class TestBoundedCampaign:
+    def test_small_campaign_is_clean(self):
+        backends = resolve_backends(["fast", "step"])
+        report = run_validation(seed=0, cases=25, backends=backends,
+                                cr_cases=2)
+        assert report.ok, [f.violations for f in report.failures]
+        assert report.scenario_cases == 25
+        assert report.cr_cases == 2
+        assert report.backends == ["fast", "step"]
+
+    def test_progress_sink_receives_messages_only_on_failure(self):
+        messages = []
+        backends = resolve_backends(["fast", "step"])
+        report = run_validation(seed=0, cases=5, backends=backends,
+                                cr_cases=0, progress=messages.append)
+        assert report.ok
+        assert messages == []
