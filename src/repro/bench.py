@@ -47,6 +47,7 @@ __all__ = [
     "KERNEL_BENCHMARKS",
     "SIM_BENCHMARKS",
     "run_benchmark",
+    "profile_benchmark",
     "run_suite",
     "build_payload",
     "validate_payload",
@@ -392,6 +393,40 @@ def run_benchmark(name: str, quick: bool = False,
         if sim_name == name:
             return _run_sim_bench(sim_name, app, model, seed, repeats)
     raise KeyError(f"unknown benchmark {name!r}")
+
+
+def profile_benchmark(name: str, quick: bool = False):
+    """Run one kernel microbenchmark with the attribution profiler on.
+
+    Returns ``(BenchResult, KernelProfiler)`` for the single profiled
+    run.  This is the instrumented counterpart of :func:`run_benchmark`
+    over the same deterministic workload, so callers can check the
+    profiler's accounting identities against the benchmark's kernel
+    counters (``profiler.total_count() == result.events``) or A/B the
+    wall cost of enabling attribution.  Only kernel benchmarks are
+    profiled this way — the simulation benchmarks go through
+    ``pckpt profile`` instead.
+    """
+    from .obs.profiler import KernelProfiler
+
+    for bench in KERNEL_BENCHMARKS:
+        if bench.name == name:
+            env = bench.build(bench.quick_size if quick else bench.size)
+            profiler = KernelProfiler()
+            env.attach_profiler(profiler)
+            start = time.perf_counter()
+            env.run()
+            wall = time.perf_counter() - start
+            stats = env.kernel_stats()
+            result = BenchResult(
+                name=bench.name,
+                events=int(stats["events_processed"]),
+                wall_seconds=wall,
+                sim_seconds=stats["sim_seconds"],
+                repeats=1,
+            )
+            return result, profiler
+    raise KeyError(f"unknown kernel benchmark {name!r}")
 
 
 def run_suite(quick: bool = False, repeats: int = 3,

@@ -13,7 +13,11 @@ simulations use (``docs/OBSERVABILITY.md``):
   retries, timestamped with **wall-clock** seconds since the campaign
   started (there is no simulation clock at this layer — the trace shows
   real scheduling, so it can sit next to per-replication simulation
-  traces in Perfetto).
+  traces in Perfetto);
+* an optional :class:`~repro.obs.telemetry.CampaignTelemetry` sink
+  receives one streaming snapshot (cells/shards completed, cache hit
+  rate, worker utilization, ETA) per scheduler event — the live feed
+  behind ``pckpt top`` and ``pckpt campaign status``.
 
 Counter vocabulary
 ------------------
@@ -35,6 +39,7 @@ from typing import IO, Optional
 
 from ..des.metrics import MetricsRegistry
 from ..des.monitor import Trace
+from ..obs.telemetry import CampaignTelemetry
 
 __all__ = ["CampaignProgress"]
 
@@ -64,14 +69,22 @@ class CampaignProgress:
     stream:
         Text stream for one status line per completed/cached cell
         (``None`` = silent; ``pckpt campaign run`` passes stderr).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.CampaignTelemetry` sink; a
+        schema-versioned snapshot is appended after every scheduler
+        event.  ``run_campaign`` attaches one automatically (writing to
+        ``<store>/telemetry.jsonl``) when the campaign has a store and
+        no sink was supplied — that file is what ``pckpt top`` tails.
     """
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  trace: Optional[Trace] = None,
-                 stream: Optional[IO[str]] = None) -> None:
+                 stream: Optional[IO[str]] = None,
+                 telemetry: Optional[CampaignTelemetry] = None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace
         self.stream = stream
+        self.telemetry = telemetry
         self._clock = _WallClock()
         if trace is not None and trace.env is None:
             trace.env = self._clock
@@ -79,10 +92,14 @@ class CampaignProgress:
         self._cell_sids: dict = {}
         self._total_cells = 0
         self._done_cells = 0
+        self._total_replications = 0
+        self._workers = 0
+        self._shards_total = 0
 
     # -- campaign lifecycle --------------------------------------------------
     def campaign_begin(self, n_cells: int, n_replications: int) -> None:
         self._total_cells = n_cells
+        self._total_replications = n_replications
         self.metrics.counter("campaign.cells.total").inc(n_cells)
         if self.trace is not None:
             self._run_sid = self.trace.span_begin(
@@ -90,6 +107,13 @@ class CampaignProgress:
                 {"cells": n_cells, "replications": n_replications},
             )
         self._say(f"campaign: {n_cells} cells / {n_replications} replications")
+        self._flush_telemetry("running")
+
+    def pool_sized(self, workers: int, n_shards: int) -> None:
+        """Scheduler callback: pool width and shard count are known."""
+        self._workers = int(workers)
+        self._shards_total = int(n_shards)
+        self._flush_telemetry("running")
 
     def campaign_end(self) -> None:
         if self.trace is not None and self._run_sid:
@@ -100,6 +124,9 @@ class CampaignProgress:
             f"campaign: done ({cached:g} cells cached, "
             f"{executed:g} replications executed)"
         )
+        self._flush_telemetry("done")
+        if self.telemetry is not None:
+            self.telemetry.close()
 
     # -- per-cell ------------------------------------------------------------
     def cell_cached(self, cell, key: str) -> None:
@@ -112,6 +139,7 @@ class CampaignProgress:
             self.trace.emit("campaign", "campaign_cell_hit",
                             {"cell": repr(cell.key), "key": key[:12]})
         self._say(self._cell_line(cell, "cached"))
+        self._flush_telemetry("running")
 
     def cell_started(self, cell, cell_index: int) -> None:
         if self.trace is not None:
@@ -127,6 +155,7 @@ class CampaignProgress:
             if sid:
                 self.trace.span_end(sid)
         self._say(self._cell_line(cell, "computed"))
+        self._flush_telemetry("running")
 
     # -- per-shard -----------------------------------------------------------
     def shard_done(self, unit, retried: bool = False) -> None:
@@ -143,6 +172,7 @@ class CampaignProgress:
                  "reps": [unit.rep_start, unit.rep_stop],
                  "retried": retried},
             )
+        self._flush_telemetry("running")
 
     def shard_crashed(self, unit, error: BaseException) -> None:
         if self.trace is not None:
@@ -156,6 +186,65 @@ class CampaignProgress:
             f"campaign: shard [{unit.rep_start}, {unit.rep_stop}) of cell "
             f"{unit.cell_index} crashed ({error!r}); retrying serially"
         )
+
+    # -- telemetry -----------------------------------------------------------
+    def telemetry_snapshot(self, state: str = "running") -> dict:
+        """Current scheduler state as a telemetry snapshot dict.
+
+        Counts come straight off the ``campaign.*`` counters; the derived
+        operator fields are estimates: ``cache_hit_rate`` is cached
+        replications over total, ``eta_seconds`` extrapolates the
+        executed-replication rate over what remains (``None`` until the
+        first executed replication lands), and ``worker_utilization`` is
+        the fraction of pool slots with a shard still available to run.
+        """
+        m = self.metrics
+        cells_cached = int(m.counter("campaign.cells.cached").value)
+        cells_executed = int(m.counter("campaign.cells.executed").value)
+        reps_cached = int(m.counter("campaign.replications.cached").value)
+        reps_executed = int(m.counter("campaign.replications.executed").value)
+        shards_completed = int(m.counter("campaign.shards.completed").value)
+        shards_retried = int(m.counter("campaign.shards.retried").value)
+        elapsed = float(self._clock.now)
+        total_reps = self._total_replications
+        remaining = max(total_reps - reps_cached - reps_executed, 0)
+        rate = reps_executed / elapsed if elapsed > 0.0 else 0.0
+        if state == "done":
+            eta: Optional[float] = 0.0
+        elif rate > 0.0:
+            eta = remaining / rate
+        else:
+            eta = None
+        shards_remaining = max(self._shards_total - shards_completed, 0)
+        utilization = (
+            min(shards_remaining, self._workers) / self._workers
+            if self._workers > 0 and state != "done"
+            else 0.0
+        )
+        return {
+            "state": state,
+            "elapsed_seconds": elapsed,
+            "cells_total": self._total_cells,
+            "cells_cached": cells_cached,
+            "cells_executed": cells_executed,
+            "cells_done": self._done_cells,
+            "replications_total": total_reps,
+            "replications_cached": reps_cached,
+            "replications_executed": reps_executed,
+            "shards_total": self._shards_total,
+            "shards_completed": shards_completed,
+            "shards_retried": shards_retried,
+            "workers": self._workers,
+            "worker_utilization": utilization,
+            "cache_hit_rate": (
+                reps_cached / total_reps if total_reps > 0 else 0.0
+            ),
+            "eta_seconds": eta,
+        }
+
+    def _flush_telemetry(self, state: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.write(self.telemetry_snapshot(state))
 
     # -- helpers -------------------------------------------------------------
     def _cell_line(self, cell, how: str) -> str:

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..experiments.runner import SimulationResult, _aggregate, _run_once
+from ..obs.telemetry import TELEMETRY_FILENAME, CampaignTelemetry
 from .plan import CampaignPlan, CellSpec, WorkUnit
 from .progress import CampaignProgress
 from .store import ResultStore
@@ -128,6 +129,12 @@ def run_campaign(
     plan = CampaignPlan(cells)
     if progress is None:
         progress = CampaignProgress()
+    if store is not None and progress.telemetry is None:
+        # A campaign with a store streams live telemetry next to its
+        # results; `pckpt top --store <dir>` tails exactly this file.
+        progress.telemetry = CampaignTelemetry(
+            store.root / TELEMETRY_FILENAME
+        )
 
     results: Dict[int, SimulationResult] = {}
     pending: List[int] = []
@@ -144,6 +151,7 @@ def run_campaign(
     if workers is None:
         workers = _default_workers(pending_reps)
     units = plan.shards(pending, max(workers, 1), max_shard)
+    progress.pool_sized(max(workers, 1), len(units))
 
     # Per-cell reassembly state: shard outputs by rep_start + a countdown.
     shard_outputs: Dict[int, Dict[int, List]] = {i: {} for i in pending}

@@ -170,6 +170,13 @@ class ResultStore:
                 os.unlink(tmp)
             raise
 
+    def telemetry_path(self) -> Path:
+        """Location of the live telemetry feed ``run_campaign`` streams
+        next to this store's results (``pckpt top`` tails it)."""
+        from ..obs.telemetry import TELEMETRY_FILENAME
+
+        return self.root / TELEMETRY_FILENAME
+
     # -- maintenance ---------------------------------------------------------
     def keys(self) -> Iterator[str]:
         """All cached cell keys (sorted for stable iteration)."""

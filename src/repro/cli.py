@@ -21,6 +21,17 @@ Subcommands
     SimPy when installed, cross-checked event for event plus invariant
     oracles; failing cases are shrunk to minimal reproducers (see
     ``docs/TESTING.md``).
+``pckpt profile APP MODEL``
+    Attribution-profile one traced replication: per-process and
+    per-event-kind simulated + wall time inside the DES kernel, with
+    collapsed-stack (``--flame``), JSON (``--json``) and Chrome-trace
+    (``--chrome``, profiler tracks included) exports.
+``pckpt timeline [APP MODEL | --input TRACE.jsonl]``
+    Causal failure→action chains: every checkpoint action traced back to
+    the failure/false alarm that caused it (``--jsonl`` to export).
+``pckpt top --store PATH``
+    Live dashboard tailing a running campaign's telemetry feed
+    (``--once`` for a single snapshot, ``--openmetrics`` for a scrape).
 ``pckpt list``
     Show the workload catalogue and model zoo.
 
@@ -33,6 +44,9 @@ Examples
     pckpt experiment fig6a
     pckpt campaign run model-comparison --store .pckpt-store --jobs 8
     pckpt campaign status --store .pckpt-store
+    pckpt top --store .pckpt-store
+    pckpt profile XGC P2 --quick --flame /tmp/xgc.folded
+    pckpt timeline XGC P2 --limit 10
     pckpt validate --seed 0 --cases 200
 """
 
@@ -285,6 +299,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import CampaignProgress, ResultStore, StoreSchemaError
     from .des.monitor import Trace
     from .experiments.report import format_table
+    from .obs.telemetry import latest_snapshot
     from .experiments.sweep import (
         false_negative_sweep,
         lead_time_sweep,
@@ -309,6 +324,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print("error: status requires --store PATH", file=sys.stderr)
             return 2
         print(format_kv(store.stats(), title=f"campaign store {store.root}"))
+        snapshot = latest_snapshot(str(store.telemetry_path()))
+        if snapshot is not None:
+            eta = snapshot.get("eta_seconds")
+            print()
+            print(format_kv(
+                {
+                    "state": snapshot.get("state"),
+                    "cells done": (
+                        f"{snapshot.get('cells_done')}/"
+                        f"{snapshot.get('cells_total')}"
+                    ),
+                    "replications executed": snapshot.get(
+                        "replications_executed"
+                    ),
+                    "cache hit rate": snapshot.get("cache_hit_rate"),
+                    "worker utilization": snapshot.get("worker_utilization"),
+                    "workers": snapshot.get("workers"),
+                    "elapsed (s)": snapshot.get("elapsed_seconds"),
+                    "eta (s)": "unknown" if eta is None else eta,
+                },
+                title="latest telemetry (pckpt top follows it live)",
+            ))
         return 0
 
     # action == "run"
@@ -348,6 +385,142 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             n = trace.to_chrome_trace(args.trace)
         print(f"[wrote {n} campaign trace events to {args.trace}]")
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Attribution-profile one traced replication (``repro.obs.profiler``)."""
+    from dataclasses import replace
+
+    import numpy as np
+
+    from .des import Trace
+    from .models.base import CRSimulation
+    from .obs import KernelProfiler
+
+    app = APPLICATIONS[args.app.upper()]
+    if args.quick:
+        # Smoke scale: cap the job's compute demand so the profiled
+        # replication finishes in well under a second of wall time.
+        app = replace(app, compute_hours=min(app.compute_hours, 24.0))
+    weibull = FAILURE_DISTRIBUTIONS[args.distribution]
+    child = np.random.SeedSequence(args.seed).spawn(1)[0]
+    trace = Trace(env=None)  # adopted by the simulation's environment
+    sim = CRSimulation(
+        app,
+        get_model(args.model),
+        weibull=weibull,
+        rng=np.random.default_rng(child),
+        trace=trace,
+    )
+    profiler = KernelProfiler()
+    sim.env.attach_profiler(profiler)
+    out = sim.run()
+
+    print(f"kernel attribution profile — {app.name} under {args.model} "
+          f"(seed {args.seed}, replication 0)")
+    print(profiler.format_table())
+    stats = sim.env.kernel_stats()
+    print(
+        f"kernel: {stats['events_processed']:.0f} events, "
+        f"{stats['wall_seconds'] * 1e3:.1f} ms wall, "
+        f"{stats['sim_seconds']:.1f} s simulated"
+    )
+
+    # Accounting identity: per-event sim attributions sum to the makespan
+    # (which OverheadBreakdown decomposes into useful + overheads).
+    attributed = profiler.total_sim_seconds()
+    drift = abs(attributed - out.makespan)
+    print(f"attributed sim seconds: {attributed:.6f} "
+          f"(makespan {out.makespan:.6f}, drift {drift:.2e})")
+    if drift > 1e-6 or profiler.total_count() != sim.env.events_processed:
+        print("error: attribution totals do not reconcile with kernel stats",
+              file=sys.stderr)
+        return 1
+
+    if args.flame:
+        with open(args.flame, "w", encoding="utf-8") as fp:
+            fp.write(profiler.collapsed_stacks(weight=args.weight))
+        print(f"[wrote collapsed stacks ({args.weight}) to {args.flame}]")
+    if args.json:
+        profiler.to_json(args.json)
+        print(f"[wrote profile snapshot to {args.json}]")
+    if args.chrome:
+        n = trace.to_chrome_trace(args.chrome, profiler=profiler)
+        print(f"[wrote {n} Chrome trace events (with profiler tracks) "
+              f"to {args.chrome}]")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Causal failure→action timelines (``repro.obs.timeline``)."""
+    from .obs import extract_timelines, format_timelines, timelines_to_jsonl
+
+    if args.input:
+        from .des.monitor import load_jsonl
+
+        chains = extract_timelines(load_jsonl(args.input))
+        source = args.input
+    else:
+        import numpy as np
+
+        from .des import Trace
+        from .models.base import CRSimulation
+
+        app = APPLICATIONS[args.app.upper()]
+        weibull = FAILURE_DISTRIBUTIONS[args.distribution]
+        child = np.random.SeedSequence(args.seed).spawn(1)[0]
+        trace = Trace(env=None)
+        sim = CRSimulation(
+            app,
+            get_model(args.model),
+            weibull=weibull,
+            rng=np.random.default_rng(child),
+            trace=trace,
+        )
+        sim.run()
+        chains = extract_timelines(trace)
+        source = f"{app.name} under {args.model} (seed {args.seed})"
+
+    struck = sum(1 for c in chains if c.struck)
+    print(f"causal timelines — {source}")
+    print(f"{len(chains)} chains ({struck} struck, "
+          f"{len(chains) - struck} avoided/expired)")
+    print(format_timelines(chains, limit=args.limit))
+    if args.jsonl:
+        n = timelines_to_jsonl(chains, args.jsonl)
+        print(f"[wrote {n} timeline chains to {args.jsonl}]")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live campaign dashboard tailing a store's telemetry feed."""
+    import time
+
+    from .obs.telemetry import (TELEMETRY_FILENAME, format_top,
+                                latest_snapshot, render_openmetrics)
+
+    path = os.path.join(args.store, TELEMETRY_FILENAME)
+    if args.openmetrics:
+        snapshot = latest_snapshot(path)
+        if snapshot is None:
+            print(f"error: no telemetry at {path}", file=sys.stderr)
+            return 2
+        sys.stdout.write(render_openmetrics(snapshot))
+        return 0
+    if args.once:
+        print(format_top(latest_snapshot(path), path))
+        return 0
+    try:
+        while True:
+            snapshot = latest_snapshot(path)
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(format_top(snapshot, path))
+            if snapshot is not None and snapshot.get("state") == "done":
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -594,6 +767,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="existing BENCH_*.json to print per-benchmark speedups against",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="attribution-profile one traced replication "
+             "(per-process / per-event-kind sim+wall time)",
+    )
+    p_prof.add_argument("app", help="application name (Table I)")
+    p_prof.add_argument("model", help="model name (B/M1/M2/P1/P2/...)")
+    p_prof.add_argument(
+        "--distribution",
+        choices=sorted(FAILURE_DISTRIBUTIONS),
+        default=TITAN_WEIBULL.name,
+    )
+    p_prof.add_argument(
+        "--quick", action="store_true",
+        help="cap the job's compute demand (CI smoke scale)",
+    )
+    p_prof.add_argument(
+        "--flame", metavar="PATH", default=None,
+        help="write collapsed-stack lines for flamegraph renderers",
+    )
+    p_prof.add_argument(
+        "--weight", choices=("wall", "sim", "count"), default="wall",
+        help="value column for --flame (default wall microseconds)",
+    )
+    p_prof.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the schema-versioned profile snapshot as JSON",
+    )
+    p_prof.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="write a Chrome trace with per-owner profiler tracks",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="causal failure→action chains stitched from provenance ids",
+    )
+    p_tl.add_argument("app", nargs="?", default="XGC",
+                      help="application name (ignored with --input)")
+    p_tl.add_argument("model", nargs="?", default="P2",
+                      help="model name (ignored with --input)")
+    p_tl.add_argument(
+        "--distribution",
+        choices=sorted(FAILURE_DISTRIBUTIONS),
+        default=TITAN_WEIBULL.name,
+    )
+    p_tl.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="read a trace JSONL (from `pckpt simulate --trace X.jsonl`) "
+             "instead of running a fresh traced replication",
+    )
+    p_tl.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="show at most N chains")
+    p_tl.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="export the chains as schema-versioned JSONL",
+    )
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard tailing a campaign store's telemetry feed",
+    )
+    p_top.add_argument("--store", metavar="PATH", required=True)
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print the latest snapshot and exit (no tailing)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="poll period while tailing (default 1s)",
+    )
+    p_top.add_argument(
+        "--openmetrics", action="store_true",
+        help="print the latest snapshot as an OpenMetrics exposition",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_val = sub.add_parser(
         "validate",

@@ -77,7 +77,11 @@ class LiveMigration:
         self._on_done = on_done
         self._trace = trace
         self._sid = (
-            trace.span_begin("lm", "lm_transfer", {"node": self.node})
+            trace.span_begin(
+                "lm", "lm_transfer",
+                {"node": self.node,
+                 "prov": getattr(prediction, "provenance", -1)},
+            )
             if trace is not None else 0
         )
         self._proc: Process = env.process(self._run(), name=f"lm/node{node}")

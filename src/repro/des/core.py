@@ -34,11 +34,17 @@ from .process import Process, ProcessGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
     from .metrics import MetricsRegistry
+    from ..obs.profiler import KernelProfiler
 
-__all__ = ["Environment", "Infinity"]
+__all__ = ["Environment", "Infinity", "KERNEL_OWNER"]
 
 #: Positive infinity, usable as an `until` value meaning "run to exhaustion".
 Infinity: float = float("inf")
+
+#: Attribution owner used by the profiler for events whose first callback
+#: is not a :class:`Process` resume (condition checks, bare events, clock
+#: idle advances).  See ``repro.obs.profiler``.
+KERNEL_OWNER: str = "kernel"
 
 
 class Environment:
@@ -80,6 +86,7 @@ class Environment:
         "_eid",
         "_active_proc",
         "metrics",
+        "profiler",
         "events_processed",
         "queue_high_water",
         "wall_seconds",
@@ -97,6 +104,14 @@ class Environment:
         #: components holding this environment (attach via
         #: :meth:`attach_metrics`); ``None`` keeps recording disabled.
         self.metrics: Optional["MetricsRegistry"] = None
+        #: Optional :class:`~repro.obs.profiler.KernelProfiler` (attach via
+        #: :meth:`attach_profiler`); ``None`` keeps per-event attribution
+        #: disabled.  This is the kernel analogue of the no-op-rebinding
+        #: pattern used by ``CRSimulation``: :meth:`run` checks it exactly
+        #: once per call (not per event) and dispatches to the separate
+        #: :meth:`_run_profiled` loop, so the three inlined fast loops pay
+        #: nothing when profiling is off.
+        self.profiler: Optional["KernelProfiler"] = None
         # -- kernel self-profiling (cheap enough to leave always on) -----
         #: Events popped and dispatched so far.
         self.events_processed: int = 0
@@ -196,6 +211,7 @@ class Environment:
         qlen = len(self._queue)
         if qlen > self.queue_high_water:
             self.queue_high_water = qlen
+        prev_now = self._now
         try:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
@@ -204,8 +220,22 @@ class Environment:
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"
-        for callback in callbacks:
-            callback(event)
+        profiler = self.profiler
+        if profiler is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            t0 = _time.perf_counter()
+            for callback in callbacks:
+                callback(event)
+            wall = _time.perf_counter() - t0
+            owner = getattr(callbacks[0], "__self__", None) if callbacks else None
+            profiler.record(
+                owner.name if isinstance(owner, Process) else KERNEL_OWNER,
+                type(event).__name__,
+                wall,
+                self._now - prev_now,
+            )
 
         if not event._ok and not event._defused:
             # Nobody handled the failure — propagate it out of the loop.
@@ -241,7 +271,14 @@ class Environment:
         """
         # Hot path: the three loop variants below inline step() with the
         # heap, heappop, and the event counter in locals.  Any semantic
-        # change here must be mirrored in step() (and vice versa).
+        # change here must be mirrored in step() (and vice versa), and in
+        # the instrumented twin _run_profiled().
+        if self.profiler is not None:
+            # Attribution profiling rides a separate loop so the fast
+            # variants below stay branch-free per event.  This check is
+            # the only cost the disabled mode pays: one attribute load
+            # per run() call.
+            return self._run_profiled(until)
         if until is None:
             at = Infinity
             stop_event: Optional[Event] = None
@@ -342,6 +379,105 @@ class Environment:
             self._now = at
         return None
 
+    def _run_profiled(self, until: Any = None) -> Any:
+        """Instrumented twin of :meth:`run` used when a profiler is attached.
+
+        One unified loop replicates the exact semantics of all three
+        inlined :meth:`run` variants (queue exhaustion, until-event with
+        stop flag, bounded time with final clock advance) while recording
+        a ``(owner, event-kind) -> (count, wall, sim)`` attribution per
+        dispatched event.  Attribution rules — kept identical to the ones
+        in :meth:`step`:
+
+        * *owner* is the name of the :class:`Process` whose bound resume
+          method is the event's first callback, else :data:`KERNEL_OWNER`;
+        * *sim* is the clock delta this event's pop produced, so summing
+          the sim column over all entries reproduces ``now - initial_time``
+          exactly (clock advances past the last event are attributed to
+          ``(KERNEL_OWNER, "idle")``);
+        * *wall* is the perf-counter span of the callback dispatch, so the
+          wall column sums to slightly less than :attr:`wall_seconds`
+          (which also covers heap pops and loop bookkeeping).
+        """
+        profiler = self.profiler
+        if until is None:
+            at = Infinity
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_event = until
+            at = Infinity
+            if stop_event.callbacks is None:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(_StopFlag())
+        else:
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until ({at}) must be greater than now ({self._now})")
+            stop_event = None
+
+        queue = self._queue
+        pop = heappop
+        perf = _time.perf_counter
+        record = profiler.record
+        eid_start = self._eid
+        len_start = len(queue)
+        hw = self.queue_high_water
+        wall_start = perf()
+        try:
+            while queue:
+                if queue[0][0] > at:
+                    idle = at - self._now
+                    if idle > 0.0:
+                        record(KERNEL_OWNER, "idle", 0.0, idle)
+                    self._now = at
+                    break
+                qlen = len(queue)
+                if qlen > hw:
+                    hw = qlen
+                prev_now = self._now
+                self._now, _, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                t0 = perf()
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                t1 = perf()
+                owner = getattr(callbacks[0], "__self__", None) if callbacks else None
+                record(
+                    owner.name if isinstance(owner, Process) else KERNEL_OWNER,
+                    type(event).__name__,
+                    t1 - t0,
+                    self._now - prev_now,
+                )
+                if not event._ok and not event._defused:
+                    raise event._value
+                if stop_event is not None and stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event._value
+                    raise stop_event._value
+        finally:
+            self.events_processed += (self._eid - eid_start) + (len_start - len(queue))
+            if hw > self.queue_high_water:
+                self.queue_high_water = hw
+            self.wall_seconds += perf() - wall_start
+
+        if stop_event is not None:
+            raise SimulationError(
+                f"simulation ended before the until-event {stop_event!r} was triggered"
+            )
+        if at != Infinity and self._now < at:
+            # Queue exhausted before the target time: advance the clock.
+            idle = at - self._now
+            if idle > 0.0:
+                record(KERNEL_OWNER, "idle", 0.0, idle)
+            self._now = at
+        return None
+
     def run_until_empty(self) -> None:
         """Drain every remaining event (convenience for tests)."""
         self.run()
@@ -350,6 +486,20 @@ class Environment:
     def attach_metrics(self, registry: "MetricsRegistry") -> None:
         """Share a metrics registry with components using this environment."""
         self.metrics = registry
+
+    def attach_profiler(self, profiler: "KernelProfiler") -> None:
+        """Enable per-event attribution profiling (see ``repro.obs``).
+
+        Subsequent :meth:`run` calls dispatch through the instrumented
+        :meth:`_run_profiled` loop and :meth:`step` records per-event
+        attributions into *profiler*.  Attach before running; detaching
+        restores the zero-overhead fast loops.
+        """
+        self.profiler = profiler
+
+    def detach_profiler(self) -> None:
+        """Disable attribution profiling and restore the fast run loops."""
+        self.profiler = None
 
     def kernel_stats(self) -> Dict[str, float]:
         """Kernel self-profile of this environment.

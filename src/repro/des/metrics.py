@@ -150,7 +150,8 @@ class Histogram:
         """Fold another replication's histogram in (element-wise sum)."""
         if other.buckets != self.buckets:
             raise ValueError(
-                f"histogram {self.name}: merging incompatible bucket bounds"
+                f"histogram {self.name}: merging incompatible bucket bounds "
+                f"(have {self.buckets}, got {other.buckets})"
             )
         for i, c in enumerate(other.counts):
             self.counts[i] += c
@@ -269,8 +270,56 @@ class MetricsRegistry:
         return reg
 
     # -- aggregation ---------------------------------------------------------
+    def _merge_conflicts(self, other: "MetricsRegistry") -> List[str]:
+        """Every reason merging *other* into ``self`` would be rejected.
+
+        Two registries are mergeable iff no name is bound to different
+        instrument types and every shared histogram has identical bucket
+        bounds.  Checked up front so :meth:`merge` is atomic.
+        """
+        conflicts: List[str] = []
+        tables = (("counter", self._counters), ("gauge", self._gauges),
+                  ("histogram", self._histograms))
+        for kind, theirs in (("counter", other._counters),
+                             ("gauge", other._gauges),
+                             ("histogram", other._histograms)):
+            for name in sorted(theirs):
+                for have_kind, mine in tables:
+                    if have_kind != kind and name in mine:
+                        conflicts.append(
+                            f"{name!r} is a {kind} in the source but "
+                            f"already registered as a {have_kind}"
+                        )
+        for name, h in sorted(other._histograms.items()):
+            mine = self._histograms.get(name)
+            if mine is not None and mine.buckets != h.buckets:
+                conflicts.append(
+                    f"histogram {name!r} bucket bounds differ "
+                    f"(have {mine.buckets}, got {h.buckets})"
+                )
+        return conflicts
+
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold *other* into this registry, creating instruments as needed."""
+        """Fold *other* into this registry, creating instruments as needed.
+
+        The merge is a **structural union**: instruments that exist only
+        in *other* are created here even when their values are zero (an
+        empty counter still merges), so the merged registry's instrument
+        set is the union of both sides regardless of which side observed
+        anything.  Merging an empty registry is therefore a no-op, and
+        merging *into* an empty registry copies *other*.
+
+        Incompatible registries — a name bound to different instrument
+        types, or a shared histogram with different bucket bounds — raise
+        :class:`ValueError` listing every conflict **before any state is
+        touched**, so a failed merge never leaves ``self`` partially
+        updated.
+        """
+        conflicts = self._merge_conflicts(other)
+        if conflicts:
+            raise ValueError(
+                "registries cannot be merged: " + "; ".join(conflicts)
+            )
         for name, c in sorted(other._counters.items()):
             self.counter(name).merge(c)
         for name, g in sorted(other._gauges.items()):
@@ -284,9 +333,14 @@ class MetricsRegistry:
     ) -> "MetricsRegistry":
         """Merge per-replication snapshots, in the given (fixed) order.
 
-        ``None`` entries (replications run without metrics) are skipped.
+        ``None`` entries (replications run without metrics) are skipped;
+        an empty or all-``None`` sequence yields an empty registry.
         Because the order is the caller's replication order — not worker
         completion order — the result is independent of parallelism.
+        Incompatible snapshots raise :class:`ValueError` (see
+        :meth:`merge`); snapshots before the offending one are already
+        folded into the (discarded) partial result, never into a
+        caller-visible registry.
         """
         merged = cls()
         for snap in snapshots:

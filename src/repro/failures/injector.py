@@ -45,6 +45,12 @@ class FailureEvent:
         Whether the predictor caught it.
     lead:
         Effective (scaled) lead time; 0 when unpredicted.
+    provenance:
+        Causal id assigned by the injector (monotonic across the mixed
+        failure/false-alarm stream of one injector).  Every trace record
+        a simulation emits *because of* this event carries the same id in
+        its detail dict under ``"prov"`` — see ``repro.obs.timeline``.
+        ``-1`` means "not injector-assigned" (hand-built events in tests).
     """
 
     time: float
@@ -52,6 +58,7 @@ class FailureEvent:
     sequence_id: Optional[int]
     predicted: bool
     lead: float
+    provenance: int = -1
 
     @property
     def prediction_time(self) -> float:
@@ -72,11 +79,15 @@ class FalseAlarmEvent:
     claimed_lead:
         Lead time the predictor claims; drives the proactive-action choice
         just like a true prediction's lead.
+    provenance:
+        Causal id assigned by the injector (same counter as
+        :attr:`FailureEvent.provenance`; ``-1`` = not injector-assigned).
     """
 
     prediction_time: float
     node: int
     claimed_lead: float
+    provenance: int = -1
 
 
 class FailureInjector:
@@ -118,6 +129,10 @@ class FailureInjector:
         self._rng_failures, self._rng_predict, self._rng_alarms = base.spawn(3)
         self._last_failure_time = 0.0
         self._last_alarm_time = 0.0
+        # Monotonic causal-id counter shared by both event streams.  Pure
+        # bookkeeping — consumes no RNG draws, so adding provenance ids
+        # cannot perturb the common-random-numbers contract above.
+        self._next_provenance = 0
 
     # -- rates -----------------------------------------------------------
     @property
@@ -139,14 +154,16 @@ class FailureInjector:
         t = self._last_failure_time + gap
         self._last_failure_time = t
         node = int(self._rng_failures.integers(0, self.app_nodes))
+        prov = self._next_provenance
+        self._next_provenance += 1
         if self.predictor.predicts(self._rng_predict):
             seq_id, raw_lead = self.lead_model.sample(self._rng_predict)
             lead = self.predictor.effective_lead(raw_lead)
             # The prediction cannot precede the previous failure's time
             # (the chain starts after the machine is back in service).
             lead = min(lead, gap)
-            return FailureEvent(t, node, seq_id, True, lead)
-        return FailureEvent(t, node, None, False, 0.0)
+            return FailureEvent(t, node, seq_id, True, lead, provenance=prov)
+        return FailureEvent(t, node, None, False, 0.0, provenance=prov)
 
     def next_false_alarm(self) -> Optional[FalseAlarmEvent]:
         """Sample the next false alarm, or None if FP rate is zero."""
@@ -158,7 +175,11 @@ class FailureInjector:
         self._last_alarm_time = t
         node = int(self._rng_alarms.integers(0, self.app_nodes))
         _, raw_lead = self.lead_model.sample(self._rng_alarms)
-        return FalseAlarmEvent(t, node, self.predictor.effective_lead(raw_lead))
+        prov = self._next_provenance
+        self._next_provenance += 1
+        return FalseAlarmEvent(
+            t, node, self.predictor.effective_lead(raw_lead), provenance=prov
+        )
 
     # -- analysis shortcuts -----------------------------------------------------
     def predictable_fraction(self, threshold_lead: float) -> float:

@@ -165,9 +165,12 @@ class _Phase2Job:
     share and invalidates the snapshot; the owner cancels the job.
     """
 
-    def __init__(self, sim: "CRSimulation", outcome) -> None:
+    def __init__(self, sim: "CRSimulation", outcome, provs=()) -> None:
         self.sim = sim
         self.snapshot_work = outcome.snapshot_work
+        #: Provenance ids of the predictions the parent protocol served
+        #: (causal-timeline annotation carried into the phase-2 records).
+        self.provs = list(provs)
         #: Nodes whose failure does not hurt the snapshot.
         self.covers: Set[int] = set(outcome.committed) | set(sim._migrated_away)
         self.duration = sim.platform.pfs.proactive_write_time(
@@ -178,7 +181,10 @@ class _Phase2Job:
         self._proc = sim.env.process(self._run(), name="pckpt-phase2")
 
     def _run(self):
-        sid = self.sim._span_begin("pckpt", "pckpt_phase2", self.snapshot_work)
+        sid = self.sim._span_begin(
+            "pckpt", "pckpt_phase2",
+            {"work": self.snapshot_work, "provs": self.provs},
+        )
         try:
             yield self.sim.env.timeout(self.duration)
         except Interrupt:
@@ -190,7 +196,8 @@ class _Phase2Job:
             return
         self.sim.ledger.record_proactive(self.snapshot_work, self.sim.env.now)
         self.sim._span_end(sid, "landed")
-        self.sim._emit("pckpt", "phase2-landed", self.snapshot_work)
+        self.sim._emit("pckpt", "phase2-landed",
+                       {"work": self.snapshot_work, "provs": self.provs})
         self.sim._count("pckpt.phase2_landed")
         if self.sim._phase2_job is self:
             self.sim._phase2_job = None
@@ -512,7 +519,20 @@ class CRSimulation:
         )
         lead = max(deadline - self.env.now, 0.0)
         action = self.coordinator.decide(lead)
-        self._emit("predictor", "prediction", (prediction, action.value))
+        # Trace details carry the injector-assigned provenance id ("prov")
+        # so repro.obs.timeline can stitch every record back to its causing
+        # failure/false alarm.  See docs/OBSERVABILITY.md.
+        self._emit(
+            "predictor",
+            "prediction",
+            {
+                "node": prediction.node,
+                "action": action.value,
+                "lead": lead,
+                "real": is_real,
+                "prov": prediction.provenance,
+            },
+        )
         self._count("predictor.predictions")
         self._observe("predictor.lead_seconds", lead)
         rec = _MitigationRecord(action=action)
@@ -556,17 +576,20 @@ class CRSimulation:
                         watcher.committed = True
                 self._migrated_away.add(node)
                 self._mark(node, NodeHealth.NORMAL)
-                self._emit("lm", "completed", node)
+                self._emit("lm", "completed",
+                           {"node": node, "prov": prediction.provenance})
                 self._count("lm.completed")
             else:
                 self.ft.lm_aborts += 1
                 if self.node_health(node) is NodeHealth.MIGRATING:
                     self._mark(node, NodeHealth.VULNERABLE)
                 if outcome is MigrationOutcome.ABORTED:
-                    self._emit("lm", "aborted", node)
+                    self._emit("lm", "aborted",
+                               {"node": node, "prov": prediction.provenance})
                     self._count("lm.aborted")
                 else:
-                    self._emit("lm", "overtaken", node)
+                    self._emit("lm", "overtaken",
+                               {"node": node, "prov": prediction.provenance})
                     self._count("lm.overtaken")
             self._replan()
 
@@ -582,7 +605,12 @@ class CRSimulation:
         )
         self._active_lms[node] = lm
         self._mark(node, NodeHealth.MIGRATING)
-        self._emit("lm", "started", (node, lm.transfer_seconds))
+        self._emit(
+            "lm",
+            "started",
+            {"node": node, "seconds": lm.transfer_seconds,
+             "prov": prediction.provenance},
+        )
         self._count("lm.started")
         self._replan()
 
@@ -608,13 +636,14 @@ class CRSimulation:
             # The empty node still physically fails and gets replaced.
             self._mark(ev.node, NodeHealth.FAILED)
             self._mark(ev.node, NodeHealth.NORMAL)
-            self._emit("failure", "avoided-by-lm", ev.node)
+            self._emit("failure", "avoided-by-lm",
+                       {"node": ev.node, "prov": ev.provenance})
             self._count("failures.avoided_by_lm")
             return
         if ev.node in self._active_lms:
             # Transfer still in flight when the node died.
             self._active_lms[ev.node].overtake()
-        self._emit("failure", "struck", ev.node)
+        self._emit("failure", "struck", {"node": ev.node, "prov": ev.provenance})
         self._count("failures.struck")
         self._notify_app(("failure", ev))
 
@@ -747,18 +776,23 @@ class CRSimulation:
             already_covered=set(self._migrated_away),
         )
         self._active_safeguard = run
-        self._emit("safeguard", "start", (prediction.node, write))
+        prov = getattr(prediction, "provenance", -1)
+        self._emit("safeguard", "start",
+                   {"node": prediction.node, "seconds": write, "prov": prov})
         self._count("safeguard.runs")
         # The safeguard only burns time inside its collective write, so
         # this span's duration equals the checkpoint overhead it charges
         # (run.spent / outcome.duration) — on aborts too.
-        sid = self._span_begin("safeguard", "safeguard_write", prediction.node)
+        sid = self._span_begin("safeguard", "safeguard_write",
+                               {"node": prediction.node, "prov": prov})
         try:
             outcome = yield from run.run()
         except SafeguardAborted as exc:
             self.overhead.checkpoint += run.spent
             self._span_end(sid, "aborted")
-            self._emit("safeguard", "aborted", exc.failure.node)
+            self._emit("safeguard", "aborted",
+                       {"node": exc.failure.node,
+                        "prov": exc.failure.provenance})
             self._count("safeguard.aborts")
             yield from self._handle_failure(exc.failure)
             return
@@ -773,7 +807,13 @@ class CRSimulation:
             if rec is not None:
                 rec.action = ProactiveAction.SAFEGUARD
                 rec.committed = True
-        self._emit("safeguard", "done", len(outcome.served))
+        self._emit(
+            "safeguard",
+            "done",
+            {"served": len(outcome.served),
+             "provs": sorted(getattr(s, "provenance", -1)
+                             for s in outcome.served)},
+        )
         if outcome.pending_failures:
             yield from self._recover_after_proactive(outcome.pending_failures)
 
@@ -781,6 +821,9 @@ class CRSimulation:
         per_node = self.app.checkpoint_bytes_per_node
         initial = [entry_from_prediction(prediction)]
         enqueued = {prediction.node}
+        # node -> provenance id of the prediction that enqueued it, for
+        # the causal-timeline annotations on every protocol record below.
+        prov_by_node = {prediction.node: getattr(prediction, "provenance", -1)}
         # Fig 5: starting p-ckpt aborts in-flight LMs; their nodes join
         # the priority queue (their snapshot share must now be committed).
         for node, lm in list(self._active_lms.items()):
@@ -790,7 +833,10 @@ class CRSimulation:
             if node not in enqueued:
                 initial.append(entry_from_prediction(lm.prediction))
                 enqueued.add(node)
-            self._emit("pckpt", "absorbed-lm", node)
+                prov_by_node[node] = getattr(lm.prediction, "provenance", -1)
+            self._emit("pckpt", "absorbed-lm",
+                       {"node": node,
+                        "prov": getattr(lm.prediction, "provenance", -1)})
             self._count("pckpt.absorbed_lms")
         # Every other still-vulnerable node joins too: the new snapshot
         # supersedes any older protection, so their shares must be
@@ -800,13 +846,19 @@ class CRSimulation:
                 continue
             initial.append(entry_from_prediction(pred))
             enqueued.add(node)
+            prov_by_node[node] = getattr(pred, "provenance", -1)
 
         def _on_commit(entry: VulnerableEntry, when: float) -> None:
             # The commit covers every live prediction for this node.
             for watcher in self._watchers.get(entry.node, ()):
                 watcher.action = ProactiveAction.PCKPT
                 watcher.committed = True
-            self._emit("pckpt", "vulnerable-committed", (entry.node, when))
+            self._emit(
+                "pckpt",
+                "vulnerable-committed",
+                {"node": entry.node, "when": when,
+                 "prov": prov_by_node.get(entry.node, -1)},
+            )
 
         protocol = PckptProtocol(
             self.env,
@@ -824,20 +876,24 @@ class CRSimulation:
             include_phase2=not self.config.pckpt_async_phase2,
         )
         self._active_protocol = protocol
-        self._emit("pckpt", "start", [e.node for e in initial])
+        nodes = [e.node for e in initial]
+        provs = sorted(prov_by_node.values())
+        self._emit("pckpt", "start", {"nodes": nodes, "provs": provs})
         self._count("pckpt.runs")
         # All protocol time passes inside its interruptible waits, so this
         # span's duration equals phase1+phase2 blocked seconds — the exact
         # checkpoint overhead charged below, on aborts too.
         sid = self._span_begin(
-            "pckpt", "pckpt_protocol", [e.node for e in initial]
+            "pckpt", "pckpt_protocol", {"nodes": nodes, "provs": provs}
         )
         try:
             outcome = yield from protocol.run()
         except ProtocolAborted as exc:
             self.overhead.checkpoint += protocol.phase1_spent + protocol.phase2_spent
             self._span_end(sid, "aborted")
-            self._emit("pckpt", "aborted", exc.failure.node)
+            self._emit("pckpt", "aborted",
+                       {"node": exc.failure.node,
+                        "prov": exc.failure.provenance})
             self._count("pckpt.aborts")
             yield from self._handle_failure(exc.failure)
             return
@@ -852,13 +908,14 @@ class CRSimulation:
             # PFS-complete (and recovery-usable) when the job lands.
             if self._phase2_job is not None:
                 self._phase2_job.cancel()  # superseded by the newer snapshot
-            self._phase2_job = _Phase2Job(self, outcome)
+            self._phase2_job = _Phase2Job(self, outcome, provs)
         else:
             self.ledger.record_proactive(outcome.snapshot_work, self.env.now)
         self._emit(
             "pckpt",
             "done",
-            {"committed": sorted(outcome.committed), "duration": outcome.duration},
+            {"committed": sorted(outcome.committed),
+             "duration": outcome.duration, "provs": provs},
         )
         if outcome.pending_failures:
             yield from self._recover_after_proactive(outcome.pending_failures)
@@ -988,7 +1045,8 @@ class CRSimulation:
         self._emit(
             "recovery",
             "restore",
-            {"work": restore_work, "seconds": restore_seconds, "from_bb": from_bb},
+            {"work": restore_work, "seconds": restore_seconds,
+             "from_bb": from_bb, "prov": ev.provenance},
         )
         self._observe("recovery.restore_seconds", restore_seconds)
         self._observe("recovery.lost_work_seconds", max(lost, 0.0))
@@ -1001,7 +1059,7 @@ class CRSimulation:
         # the detail for the recomputation cross-check.
         sid = self._span_begin(
             "recovery", "recovery_restore",
-            {"work": restore_work, "from_bb": from_bb},
+            {"work": restore_work, "from_bb": from_bb, "prov": ev.provenance},
         )
         self._interruptible = False
         remaining = restore_seconds

@@ -1,0 +1,45 @@
+"""Deep observability: attribution profiling, causal timelines, telemetry.
+
+Three coordinated layers over the tracing/metrics substrate of
+:mod:`repro.des` (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.profiler` — exact per-process / per-event-kind
+  accounting of simulated and wall-clock time inside the DES kernel
+  (``pckpt profile``);
+* :mod:`repro.obs.timeline` — failure→action causal chains stitched
+  from provenance-annotated trace records (``pckpt timeline``);
+* :mod:`repro.obs.telemetry` — streaming campaign snapshots with an
+  OpenMetrics exposition (``pckpt top``).
+"""
+
+from .profiler import (PROFILE_KIND, PROFILE_SCHEMA_VERSION, KernelProfiler,
+                       ProfileEntry)
+from .telemetry import (OBS_SCHEMA_VERSION, TELEMETRY_FILENAME,
+                        TELEMETRY_KIND, CampaignTelemetry, format_top,
+                        latest_snapshot, read_telemetry, render_openmetrics)
+from .timeline import (TIMELINE_CHAIN_KINDS, TIMELINE_KIND,
+                       TIMELINE_SCHEMA_VERSION, CausalChain,
+                       extract_timelines, format_timelines,
+                       timelines_to_jsonl)
+
+__all__ = [
+    "KernelProfiler",
+    "ProfileEntry",
+    "PROFILE_KIND",
+    "PROFILE_SCHEMA_VERSION",
+    "CausalChain",
+    "TIMELINE_CHAIN_KINDS",
+    "TIMELINE_KIND",
+    "TIMELINE_SCHEMA_VERSION",
+    "extract_timelines",
+    "format_timelines",
+    "timelines_to_jsonl",
+    "CampaignTelemetry",
+    "OBS_SCHEMA_VERSION",
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_KIND",
+    "format_top",
+    "latest_snapshot",
+    "read_telemetry",
+    "render_openmetrics",
+]

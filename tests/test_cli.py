@@ -68,3 +68,97 @@ class TestCommands:
         assert len(rows) == 80  # 8 task counts x 10 sizes
         assert "bandwidth_bps" in rows[0]
         assert cpath.read_text().startswith("tasks,")
+
+
+class TestObservabilityCommands:
+    def test_profile_quick_with_exports(self, capsys, tmp_path):
+        import json
+
+        flame = tmp_path / "profile.folded"
+        jpath = tmp_path / "profile.json"
+        chrome = tmp_path / "profile.trace.json"
+        code = main(["profile", "VULCAN", "P2", "--quick",
+                     "--flame", str(flame), "--json", str(jpath),
+                     "--chrome", str(chrome)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "owner" in out
+        assert "drift" in out
+        # collapsed stacks: "owner;kind value" per line
+        lines = flame.read_text(encoding="utf-8").splitlines()
+        assert lines
+        assert all(len(line.rsplit(" ", 1)) == 2 for line in lines)
+        payload = json.loads(jpath.read_text(encoding="utf-8"))
+        assert payload["kind"] == "pckpt-profile"
+        trace = json.loads(chrome.read_text(encoding="utf-8"))
+        assert any(ev.get("pid") == 2 for ev in trace["traceEvents"])
+
+    def test_timeline_with_jsonl_export(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "timelines.jsonl"
+        code = main(["timeline", "XGC", "P2", "--limit", "2",
+                     "--jsonl", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prov" in out
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert lines
+        assert json.loads(lines[0])["kind"] == "pckpt-timeline"
+
+    def test_top_without_telemetry(self, capsys, tmp_path):
+        assert main(["top", "--store", str(tmp_path), "--once"]) == 0
+        assert "no telemetry" in capsys.readouterr().out
+        # openmetrics has nothing to scrape -> error exit
+        assert main(["top", "--store", str(tmp_path),
+                     "--openmetrics"]) == 2
+
+    def test_top_reads_latest_snapshot(self, capsys, tmp_path):
+        from repro.campaign import CampaignProgress, ResultStore
+        from repro.obs.telemetry import CampaignTelemetry
+
+        store = ResultStore(tmp_path / "store")
+        progress = CampaignProgress(
+            stream=None,
+            telemetry=CampaignTelemetry(store.telemetry_path()),
+        )
+        progress.campaign_begin(1, 4)
+        progress.campaign_end()
+
+        assert main(["top", "--store", str(store.root), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "pckpt campaign [done]" in out
+        assert main(["top", "--store", str(store.root),
+                     "--openmetrics"]) == 0
+        out = capsys.readouterr().out
+        assert "pckpt_campaign_cells_total 1" in out
+        assert out.endswith("# EOF\n")
+
+    def test_campaign_status_shows_telemetry_block(self, capsys, tmp_path):
+        from repro.campaign import CampaignProgress, ResultStore
+        from repro.obs.telemetry import CampaignTelemetry
+
+        store = ResultStore(tmp_path / "store")
+        progress = CampaignProgress(
+            stream=None,
+            telemetry=CampaignTelemetry(store.telemetry_path()),
+        )
+        progress.campaign_begin(2, 12)
+        progress.campaign_end()
+
+        assert main(["campaign", "status", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "latest telemetry" in out
+        assert "cache hit rate" in out
+        assert "eta (s)" in out
+        assert "state" in out
+
+    def test_campaign_status_without_telemetry_still_works(self, capsys,
+                                                           tmp_path):
+        from repro.campaign import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        assert main(["campaign", "status", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign store" in out
+        assert "latest telemetry" not in out

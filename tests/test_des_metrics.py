@@ -170,3 +170,95 @@ class TestRegistry:
         text = reg.format()
         for name in ("hits", "depth", "lat"):
             assert name in text
+
+
+class TestMergeAudit:
+    """The merge-compatibility contract: atomic, explicit, deterministic."""
+
+    def test_merge_empty_registry_is_a_noop(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(5)
+        a.histogram("h").observe(0.5)
+        before = a.snapshot()
+        a.merge(MetricsRegistry())
+        assert a.snapshot() == before
+
+    def test_merge_into_empty_registry_copies(self):
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        b.gauge("g").set(5)
+        b.histogram("h").observe(0.5)
+        a = MetricsRegistry()
+        a.merge(b)
+        assert a.snapshot() == b.snapshot()
+
+    def test_merge_is_a_structural_union_even_for_zero_values(self):
+        # Instruments that never observed anything still appear in the
+        # merged registry: the instrument *set* is the union of both
+        # sides, so aggregates have a stable shape.
+        b = MetricsRegistry()
+        b.counter("untouched")          # value 0
+        b.gauge("idle")                 # no updates
+        b.histogram("empty")            # no observations
+        a = MetricsRegistry()
+        a.merge(b)
+        assert a.names() == ("empty", "idle", "untouched")
+        assert a.counter("untouched").value == 0
+        assert a.gauge("idle").updates == 0
+        assert a.histogram("empty").count == 0
+
+    def test_merge_type_conflict_raises_without_mutating(self):
+        a = MetricsRegistry()
+        a.counter("aaa").inc(1)
+        a.counter("shared").inc(1)
+        b = MetricsRegistry()
+        b.counter("aaa").inc(10)        # sorts before the conflict
+        b.gauge("shared").set(3)        # conflict: counter vs gauge
+        before = a.snapshot()
+        with pytest.raises(ValueError, match="shared"):
+            a.merge(b)
+        # nothing merged, not even the conflict-free 'aaa'
+        assert a.snapshot() == before
+
+    def test_merge_bucket_mismatch_raises_without_mutating(self):
+        a = MetricsRegistry()
+        a.counter("aaa").inc(1)
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b = MetricsRegistry()
+        b.counter("aaa").inc(10)
+        b.histogram("h", buckets=(1.0, 3.0)).observe(1.5)
+        before = a.snapshot()
+        with pytest.raises(ValueError, match="bucket bounds"):
+            a.merge(b)
+        assert a.snapshot() == before
+
+    def test_merge_reports_every_conflict_at_once(self):
+        a = MetricsRegistry()
+        a.counter("x")
+        a.histogram("h", buckets=(1.0,))
+        b = MetricsRegistry()
+        b.gauge("x")
+        b.histogram("h", buckets=(2.0,))
+        with pytest.raises(ValueError) as excinfo:
+            a.merge(b)
+        message = str(excinfo.value)
+        assert "'x'" in message and "'h'" in message
+
+    def test_histogram_merge_error_names_both_bounds(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 4.0))
+        with pytest.raises(ValueError, match=r"1\.0, 2\.0.*1\.0, 4\.0"):
+            a.merge(b)
+
+    def test_merge_snapshots_empty_and_all_none_inputs(self):
+        assert len(MetricsRegistry.merge_snapshots([])) == 0
+        assert len(MetricsRegistry.merge_snapshots([None, None])) == 0
+
+    def test_merge_snapshots_propagates_conflicts(self):
+        a = MetricsRegistry()
+        a.counter("x").inc(1)
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ValueError, match="cannot be merged"):
+            MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])

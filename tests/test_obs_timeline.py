@@ -1,0 +1,176 @@
+"""Causal timeline tests (repro.obs.timeline + provenance threading)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.des import Trace
+from repro.des.monitor import load_jsonl
+from repro.failures.injector import FailureInjector
+from repro.failures.weibull import TITAN_WEIBULL
+from repro.models.base import CRSimulation
+from repro.models.registry import get_model
+from repro.obs import (
+    TIMELINE_CHAIN_KINDS,
+    TIMELINE_KIND,
+    TIMELINE_SCHEMA_VERSION,
+    extract_timelines,
+    format_timelines,
+    timelines_to_jsonl,
+)
+from repro.workloads.applications import APPLICATIONS
+
+
+def _traced_run(app="XGC", model="P2", seed=2022):
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    trace = Trace(env=None)
+    sim = CRSimulation(
+        APPLICATIONS[app], get_model(model),
+        weibull=TITAN_WEIBULL, rng=np.random.default_rng(child),
+        trace=trace,
+    )
+    sim.run()
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# provenance assignment
+# ---------------------------------------------------------------------------
+class TestProvenanceAssignment:
+    def _injector(self, seed=7, **kw):
+        return FailureInjector(
+            weibull=TITAN_WEIBULL, app_nodes=64,
+            rng=np.random.default_rng(seed), **kw,
+        )
+
+    def test_ids_are_monotonic_across_both_streams(self):
+        inj = self._injector()
+        events = [inj.next_failure() for _ in range(4)]
+        events += [inj.next_false_alarm() for _ in range(2)]
+        provs = [e.provenance for e in events]
+        assert provs == list(range(6))
+
+    def test_assignment_consumes_no_rng_draws(self):
+        # Two injectors from the same seed must produce identical event
+        # streams — provenance is a plain counter, invisible to the
+        # common-random-numbers contract.
+        a, b = self._injector(seed=11), self._injector(seed=11)
+        for _ in range(5):
+            ea, eb = a.next_failure(), b.next_failure()
+            assert (ea.node, ea.time) == (eb.node, eb.time)
+            assert ea.provenance == eb.provenance
+
+    def test_default_provenance_is_unassigned(self):
+        from repro.failures.injector import FailureEvent
+
+        ev = FailureEvent(time=1.0, node=0, sequence_id=None,
+                          predicted=False, lead=0.0)
+        assert ev.provenance == -1
+
+
+# ---------------------------------------------------------------------------
+# chain extraction
+# ---------------------------------------------------------------------------
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return _traced_run()
+
+    @pytest.fixture(scope="class")
+    def chains(self, trace):
+        return extract_timelines(trace)
+
+    def test_finds_chains(self, chains):
+        assert chains
+        # one chain per provenance id, sorted
+        provs = [c.provenance for c in chains]
+        assert provs == sorted(provs)
+        assert len(set(provs)) == len(provs)
+
+    def test_every_chain_starts_with_its_prediction(self, chains):
+        for chain in chains:
+            kinds = [r.kind for r in chain.records]
+            assert "prediction" in kinds
+            assert chain.records[0].time == chain.begin
+            assert chain.records[-1].time == chain.end
+            assert chain.begin <= chain.end
+
+    def test_chain_kinds_are_in_the_declared_vocabulary(self, chains):
+        for chain in chains:
+            for rec in chain.records:
+                assert rec.kind in TIMELINE_CHAIN_KINDS, rec.kind
+
+    def test_struck_and_action_classification(self, chains):
+        for chain in chains:
+            assert chain.action in ("lm", "pckpt", "safeguard", "skip", None)
+            assert chain.struck == any(
+                r.kind == "struck" for r in chain.records
+            )
+
+    def test_round_trips_through_trace_jsonl(self, trace, chains):
+        buf = io.StringIO()
+        trace.to_jsonl(buf)
+        buf.seek(0)
+        reloaded = extract_timelines(load_jsonl(buf))
+        assert len(reloaded) == len(chains)
+        for a, b in zip(chains, reloaded):
+            assert a.provenance == b.provenance
+            assert [r.kind for r in a.records] == [r.kind for r in b.records]
+            assert [r.time for r in a.records] == [r.time for r in b.records]
+
+    def test_deterministic_across_reruns(self, chains):
+        again = extract_timelines(_traced_run())
+        assert len(again) == len(chains)
+        for a, b in zip(chains, again):
+            assert a.provenance == b.provenance
+            assert a.node == b.node
+            assert [r.time for r in a.records] == [r.time for r in b.records]
+
+    def test_unannotated_trace_yields_no_chains(self):
+        trace = Trace(env=None)
+
+        class _FakeEnv:
+            now = 0.0
+
+        trace.env = _FakeEnv()
+        trace.emit("app", "ckpt_bb_start", 1.0)
+        assert extract_timelines(trace) == []
+
+
+# ---------------------------------------------------------------------------
+# rendering and export
+# ---------------------------------------------------------------------------
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def chains(self):
+        return extract_timelines(_traced_run())
+
+    def test_format_mentions_every_chain(self, chains):
+        text = format_timelines(chains)
+        for chain in chains:
+            assert f"prov {chain.provenance}" in text
+
+    def test_format_limit(self, chains):
+        assume_multiple = len(chains) >= 2
+        text = format_timelines(chains, limit=1)
+        assert f"prov {chains[0].provenance}" in text
+        if assume_multiple:
+            assert f"prov {chains[1].provenance} " not in text
+
+    def test_jsonl_export_schema(self, chains, tmp_path):
+        path = tmp_path / "timelines.jsonl"
+        n = timelines_to_jsonl(chains, path)
+        assert n == len(chains)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == n
+        for line, chain in zip(lines, chains):
+            payload = json.loads(line)
+            assert payload["kind"] == TIMELINE_KIND
+            assert payload["schema_version"] == TIMELINE_SCHEMA_VERSION
+            assert payload["prov"] == chain.provenance
+            assert payload["struck"] == chain.struck
+            assert len(payload["records"]) == len(chain.records)

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Schema-sync check for the campaign telemetry feed.
+
+Keeps three places agreeing on the ``telemetry.jsonl`` schema, all
+parsed from source so this runs dependency-free in CI (no numpy/scipy
+needed):
+
+* the ``OBS_SCHEMA_VERSION`` and ``SNAPSHOT_FIELDS`` table declared in
+  ``src/repro/obs/telemetry.py``;
+* the backticked ``OBS_SCHEMA_VERSION = N`` documented in
+  ``docs/OBSERVABILITY.md``, plus a backticked mention of every
+  snapshot field;
+* any telemetry files passed via ``--file`` (e.g. one written by a
+  ``pckpt campaign run`` CI smoke step): every line must be a JSON
+  object carrying exactly the declared fields with the declared types,
+  the telemetry kind, the declared schema version, and strictly
+  increasing ``seq`` — a dependency-free mirror of
+  ``repro.obs.telemetry.read_telemetry``'s contract.
+
+Exits non-zero with a description of every mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+TELEMETRY_PY = ROOT / "src" / "repro" / "obs" / "telemetry.py"
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+VERSION_DECL = re.compile(r"^OBS_SCHEMA_VERSION\s*[:=]\s*(?:int\s*=\s*)?(\d+)\s*$",
+                          re.MULTILINE)
+KIND_DECL = re.compile(r"^TELEMETRY_KIND\s*[:=]\s*(?:str\s*=\s*)?['\"]([\w-]+)['\"]",
+                       re.MULTILINE)
+VERSION_DOC = re.compile(r"`OBS_SCHEMA_VERSION = (\d+)`")
+
+#: Python type name -> JSON validator.  ``float`` accepts ints (JSON has
+#: one number type); ``bool`` is never a valid numeric value.
+_CHECKERS = {
+    "str": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+}
+
+
+def declared_schema() -> Tuple[int, str, Dict[str, Tuple[str, bool]]]:
+    """(version, kind, {field: (type_name, nullable)}) parsed from source."""
+    text = TELEMETRY_PY.read_text(encoding="utf-8")
+    version = VERSION_DECL.search(text)
+    if not version:
+        raise SystemExit(f"no OBS_SCHEMA_VERSION declaration in {TELEMETRY_PY}")
+    kind = KIND_DECL.search(text)
+    if not kind:
+        raise SystemExit(f"no TELEMETRY_KIND declaration in {TELEMETRY_PY}")
+    tree = ast.parse(text)
+    fields: Dict[str, Tuple[str, bool]] = {}
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            target = node.target.id
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+        if target != "SNAPSHOT_FIELDS" or node.value is None:
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            name = ast.literal_eval(key)
+            type_node, nullable_node = value.elts
+            if not isinstance(type_node, ast.Name):
+                raise SystemExit(
+                    f"SNAPSHOT_FIELDS[{name!r}] type is not a bare name"
+                )
+            fields[name] = (type_node.id, ast.literal_eval(nullable_node))
+    if not fields:
+        raise SystemExit(f"no SNAPSHOT_FIELDS table in {TELEMETRY_PY}")
+    unknown = sorted(t for t, _ in fields.values() if t not in _CHECKERS)
+    if unknown:
+        raise SystemExit(f"SNAPSHOT_FIELDS uses unvalidatable types: {unknown}")
+    return int(version.group(1)), kind.group(1), fields
+
+
+def check_docs(version: int,
+               fields: Dict[str, Tuple[str, bool]]) -> List[str]:
+    """The doc must state the version and mention every field."""
+    if not DOC.exists():
+        return [f"{DOC} is missing (the telemetry schema must be documented)"]
+    text = DOC.read_text(encoding="utf-8")
+    problems = []
+    documented = [int(v) for v in VERSION_DOC.findall(text)]
+    if not documented:
+        problems.append(
+            f"{DOC} never states the telemetry schema version "
+            f"(expected a backticked 'OBS_SCHEMA_VERSION = {version}')"
+        )
+    for doc_version in documented:
+        if doc_version != version:
+            problems.append(
+                f"{DOC} documents telemetry schema version {doc_version}, "
+                f"code declares {version}"
+            )
+    backticked = set(re.findall(r"`([^`\s]+)`", text))
+    for name in sorted(fields):
+        if name not in backticked:
+            problems.append(
+                f"{DOC} does not document the telemetry field `{name}`"
+            )
+    return problems
+
+
+def check_file(path: Path, version: int, kind: str,
+               fields: Dict[str, Tuple[str, bool]]) -> List[str]:
+    """Every line of one telemetry file must match the schema."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    problems = []
+    last_seq = -1
+    snapshots = 0
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            snap = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines):
+                continue  # torn final line: writer was interrupted mid-append
+            problems.append(f"{path}:{i}: invalid JSON")
+            continue
+        snapshots += 1
+        if not isinstance(snap, dict):
+            problems.append(f"{path}:{i}: line is not an object")
+            continue
+        if snap.get("kind") != kind:
+            problems.append(
+                f"{path}:{i}: kind is {snap.get('kind')!r}, not {kind!r}"
+            )
+        if snap.get("schema_version") != version:
+            problems.append(
+                f"{path}:{i}: schema_version is "
+                f"{snap.get('schema_version')!r}, code declares {version}"
+            )
+        for name in sorted(set(snap) - set(fields)):
+            problems.append(f"{path}:{i}: undeclared field {name!r}")
+        for name, (type_name, nullable) in fields.items():
+            if name not in snap:
+                problems.append(f"{path}:{i}: missing field {name!r}")
+                continue
+            value = snap[name]
+            if value is None:
+                if not nullable:
+                    problems.append(
+                        f"{path}:{i}: {name} is null but not nullable"
+                    )
+            elif not _CHECKERS[type_name](value):
+                problems.append(
+                    f"{path}:{i}: {name} must be {type_name}, "
+                    f"got {value!r}"
+                )
+        seq = snap.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                problems.append(
+                    f"{path}:{i}: seq {seq} not increasing (last {last_seq})"
+                )
+            last_seq = seq
+    if snapshots == 0:
+        problems.append(f"{path}: holds no telemetry snapshots")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="telemetry JSONL files to validate")
+    args = parser.parse_args(argv)
+
+    version, kind, fields = declared_schema()
+    problems = check_docs(version, fields)
+    for path in args.file:
+        problems.extend(check_file(path, version, kind, fields))
+
+    if problems:
+        print("telemetry schema check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"telemetry schema OK (version {version}, {len(fields)} fields, "
+        f"{len(args.file)} file(s) checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,17 @@
 
 Scans ``src/repro`` for literal-string ``emit``/``span_begin``/``span``
 calls and asserts that each kind appears (backticked) somewhere in
-``docs/OBSERVABILITY.md``.  Run by CI and by the test suite; exits
-non-zero listing any undocumented kinds.
+``docs/OBSERVABILITY.md``.  Also covers the observability layer's
+declared vocabularies, parsed from source so this stays dependency-free:
+
+* every name in ``TIMELINE_CHAIN_KINDS`` (``src/repro/obs/timeline.py``)
+  — the kinds ``pckpt timeline`` stitches into causal chains;
+* the profiler's synthetic attribution names (``KERNEL_OWNER`` in
+  ``src/repro/des/core.py`` and the ``idle`` clock-advance kind) — rows
+  ``pckpt profile`` prints that correspond to no emit site.
+
+Run by CI and by the test suite; exits non-zero listing any
+undocumented kinds.
 
 Emit sites must use literal kind strings — a dynamically computed kind
 defeats this check (and makes traces harder to grep), so branch on the
@@ -21,6 +30,8 @@ from typing import Dict, Set
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src" / "repro"
 DOC = ROOT / "docs" / "OBSERVABILITY.md"
+TIMELINE_PY = SRC / "obs" / "timeline.py"
+CORE_PY = SRC / "des" / "core.py"
 
 #: Matches emit-family calls whose first two arguments are string
 #: literals: emit("source", "kind"), span_begin(...), span(...), and the
@@ -29,6 +40,13 @@ CALL = re.compile(
     r"\b(?:_emit|emit|_span_begin|span_begin|span)\(\s*"
     r"['\"]([\w/-]+)['\"]\s*,\s*['\"]([\w.-]+)['\"]"
 )
+
+#: The TIMELINE_CHAIN_KINDS tuple literal (names only, one per line).
+CHAIN_KINDS_BLOCK = re.compile(
+    r"TIMELINE_CHAIN_KINDS\s*=\s*\(([^)]*)\)", re.DOTALL
+)
+KERNEL_OWNER_DECL = re.compile(r"^KERNEL_OWNER:\s*str\s*=\s*['\"](\w+)['\"]",
+                               re.MULTILINE)
 
 
 def emitted_kinds() -> Dict[str, Set[str]]:
@@ -44,6 +62,36 @@ def emitted_kinds() -> Dict[str, Set[str]]:
     return found
 
 
+def declared_obs_kinds() -> Dict[str, Set[str]]:
+    """Observability vocabulary declared (not emitted) in source.
+
+    The timeline chain kinds, plus the profiler's synthetic attribution
+    names: the ``KERNEL_OWNER`` fallback owner and the ``idle`` rows a
+    bounded run records for clock advances past its last event.
+    """
+    found: Dict[str, Set[str]] = {}
+    text = TIMELINE_PY.read_text(encoding="utf-8")
+    block = CHAIN_KINDS_BLOCK.search(text)
+    if not block:
+        raise SystemExit(f"no TIMELINE_CHAIN_KINDS tuple in {TIMELINE_PY}")
+    rel = str(TIMELINE_PY.relative_to(ROOT))
+    for name in re.findall(r"['\"]([\w.-]+)['\"]", block.group(1)):
+        found.setdefault(name, set()).add(rel)
+    core = CORE_PY.read_text(encoding="utf-8")
+    owner = KERNEL_OWNER_DECL.search(core)
+    if not owner:
+        raise SystemExit(f"no KERNEL_OWNER declaration in {CORE_PY}")
+    rel = str(CORE_PY.relative_to(ROOT))
+    found.setdefault(owner.group(1), set()).add(rel)
+    if '"idle"' not in core and "'idle'" not in core:
+        raise SystemExit(
+            f"{CORE_PY} no longer records the synthetic 'idle' kind — "
+            "update this checker alongside the profiler"
+        )
+    found.setdefault("idle", set()).add(rel)
+    return found
+
+
 def documented_kinds() -> Set[str]:
     """Every backticked token in the observability doc."""
     text = DOC.read_text(encoding="utf-8")
@@ -55,6 +103,8 @@ def main() -> int:
     if not emitted:
         print("error: found no emit/span_begin call sites — checker broken?")
         return 2
+    for kind, files in declared_obs_kinds().items():
+        emitted.setdefault(kind, set()).update(files)
     documented = documented_kinds()
     missing = {k: v for k, v in emitted.items() if k not in documented}
     if missing:
