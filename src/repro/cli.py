@@ -2,6 +2,12 @@
 
 Subcommands
 -----------
+``pckpt run [APP MODEL] --spec FILE``
+    Execute a declarative experiment spec (``docs/EXPERIMENT_SPEC.md``)
+    through the campaign scheduler — or give ``APP MODEL`` flags, which
+    are translated into the same spec form internally (``--dump-spec``
+    prints that translation as canonical JSON and exits).  Store keys
+    are identical to the equivalent kwargs/sweep invocation.
 ``pckpt simulate APP MODEL``
     One Monte-Carlo cell (application × model) with overhead breakdown.
     ``--metrics`` prints the merged metrics registry; ``--trace PATH``
@@ -14,7 +20,8 @@ Subcommands
     Sweep grids through the campaign scheduler (``repro.campaign``): one
     shared process pool for the whole grid, a content-addressed on-disk
     result store (``--store``), incremental re-runs (``--resume``, the
-    default), and ``--jobs N`` pool width.  See ``docs/CAMPAIGN.md``.
+    default), and ``--jobs N`` pool width.  ``campaign run`` takes a
+    named sweep or ``--spec FILE``.  See ``docs/CAMPAIGN.md``.
 ``pckpt validate``
     Differential fuzzing of the DES kernel: random scenarios executed on
     the inlined fast-path loops, the ``step()`` reference, and real
@@ -39,10 +46,13 @@ Examples
 --------
 ::
 
+    pckpt run --spec examples/specs/quickstart.json
+    pckpt run XGC P2 --dump-spec > my-experiment.json
     pckpt simulate POP P2 --replications 100
     pckpt experiment table2 --replications 50
     pckpt experiment fig6a
     pckpt campaign run model-comparison --store .pckpt-store --jobs 8
+    pckpt campaign run --spec examples/specs/fig6a-model-comparison.json
     pckpt campaign status --store .pckpt-store
     pckpt top --store .pckpt-store
     pckpt profile XGC P2 --quick --flame /tmp/xgc.folded
@@ -185,6 +195,101 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.trace:
         print()
         _write_trace(args, app, weibull)
+    return 0
+
+
+def _print_cell_results(results, title: str) -> None:
+    """Render a ``{(model, column): SimulationResult}`` dict as a table."""
+    from .experiments.report import format_table
+
+    headers = ["model", "column", "total_overhead_h", "makespan_h", "ft_ratio"]
+    rows = [
+        [model, col, r.total_overhead_hours, r.makespan_seconds / 3600.0,
+         r.ft_ratio]
+        for (model, col), r in results.items()
+    ]
+    print(format_table(headers, rows, title=title))
+
+
+def _load_cli_spec(args: argparse.Namespace):
+    """Resolve the ``pckpt run`` invocation into a validated spec.
+
+    ``--spec FILE`` loads the document; otherwise the positional
+    ``APP MODEL`` plus the global flags are translated into the exact
+    same spec form — both roads lead through one loader, so validation,
+    canonicalization and store keys cannot diverge between them.
+
+    Returns the spec, or an exit code (int) on user error.
+    """
+    import dataclasses
+
+    from . import spec as espec
+
+    if args.spec:
+        if args.app or args.model:
+            print("error: give APP MODEL or --spec FILE, not both",
+                  file=sys.stderr)
+            return 2
+        if getattr(args, "scale_flags_given", False):
+            print("note: --replications/--seed are ignored with --spec; "
+                  "the spec document governs (edit the spec or use --quick)",
+                  file=sys.stderr)
+        try:
+            sp = espec.load_spec(args.spec)
+        except FileNotFoundError:
+            print(f"error: no such spec file: {args.spec}", file=sys.stderr)
+            return 2
+        except espec.SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not (args.app and args.model):
+            print("error: give APP MODEL or --spec FILE", file=sys.stderr)
+            return 2
+        try:
+            sp = espec.spec_from_dict({
+                "schema_version": espec.SPEC_SCHEMA_VERSION,
+                "name": f"{args.app.upper()}-{args.model}",
+                "apps": [args.app.upper()],
+                "models": [args.model],
+                "include_base": False,
+                "failures": args.distribution,
+                "replications": args.replications,
+                "seed": args.seed,
+            })
+        except espec.SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.quick:
+        # Smoke scale for CI: cut the Monte-Carlo width, nothing else.
+        sp = dataclasses.replace(sp, replications=min(sp.replications, 2))
+    return sp
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Execute a declarative experiment spec (``repro.spec``)."""
+    from . import spec as espec
+    from .campaign import CampaignProgress, ResultStore, StoreSchemaError
+
+    sp = _load_cli_spec(args)
+    if isinstance(sp, int):
+        return sp
+    if args.dump_spec:
+        sys.stdout.write(espec.canonical_spec_json(sp))
+        return 0
+    try:
+        store = ResultStore(args.store) if args.store else None
+    except StoreSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = CampaignProgress(stream=sys.stderr)
+    workers = args.jobs if args.jobs is not None else args.workers
+    results = espec.run_spec(sp, store=store, workers=workers,
+                             progress=progress, resume=args.resume)
+    name = sp.name or (os.path.basename(args.spec) if args.spec else "cli")
+    _print_cell_results(results, title=f"spec {name}")
+    print()
+    print(f"spec hash: {espec.spec_hash(sp)}")
     return 0
 
 
@@ -349,23 +454,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     # action == "run"
+    if (args.sweep is None) == (args.spec is None):
+        print("error: give a sweep name or --spec FILE (one of the two)",
+              file=sys.stderr)
+        return 2
     scale = _scale(args)
     if args.jobs is not None:
         scale = ExperimentScale(
             replications=scale.replications, seed=scale.seed, workers=args.jobs
         )
-    weibull = FAILURE_DISTRIBUTIONS[args.distribution]
     trace = Trace(env=None) if args.trace else None
     progress = CampaignProgress(trace=trace, stream=sys.stderr)
-    models = list(args.models or _CAMPAIGN_SWEEPS[args.sweep])
-    common = dict(scale=scale, weibull=weibull, store=store,
-                  progress=progress, resume=args.resume)
-    if args.sweep == "model-comparison":
-        cells = model_comparison(models, **common)
-    elif args.sweep == "lead-time":
-        cells = lead_time_sweep(args.app.upper(), models, **common)
+
+    if args.spec is not None:
+        from . import spec as espec
+
+        if getattr(args, "scale_flags_given", False):
+            print("note: --replications/--seed are ignored with --spec; "
+                  "the spec document governs", file=sys.stderr)
+        try:
+            sp = espec.load_spec(args.spec)
+        except FileNotFoundError:
+            print(f"error: no such spec file: {args.spec}", file=sys.stderr)
+            return 2
+        except espec.SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cells = espec.run_spec(sp, store=store, workers=scale.workers,
+                               progress=progress, resume=args.resume)
+        title = (f"campaign spec "
+                 f"{sp.name or os.path.basename(args.spec)}")
     else:
-        cells = false_negative_sweep(args.app.upper(), models, **common)
+        weibull = FAILURE_DISTRIBUTIONS[args.distribution]
+        models = list(args.models or _CAMPAIGN_SWEEPS[args.sweep])
+        common = dict(scale=scale, weibull=weibull, store=store,
+                      progress=progress, resume=args.resume)
+        if args.sweep == "model-comparison":
+            cells = model_comparison(models, **common)
+        elif args.sweep == "lead-time":
+            cells = lead_time_sweep(args.app.upper(), models, **common)
+        else:
+            cells = false_negative_sweep(args.app.upper(), models, **common)
+        title = f"campaign {args.sweep} ({weibull.name})"
 
     headers = ["model", "column", "total_overhead_h", "makespan_h", "ft_ratio"]
     rows = [
@@ -373,8 +503,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
          r.ft_ratio]
         for (model, col), r in cells.items()
     ]
-    print(format_table(headers, rows,
-                       title=f"campaign {args.sweep} ({weibull.name})"))
+    print(format_table(headers, rows, title=title))
     print()
     print("campaign counters:")
     print(progress.metrics.format())
@@ -635,10 +764,50 @@ def build_parser() -> argparse.ArgumentParser:
         prog="pckpt",
         description="P-ckpt reproduction: coordinated prioritized checkpointing",
     )
-    parser.add_argument("--replications", type=int, default=BENCH_SCALE.replications)
-    parser.add_argument("--seed", type=int, default=BENCH_SCALE.seed)
+    # None = "not given": spec-driven commands warn when the flag is
+    # passed explicitly (the spec document governs); main() fills in
+    # the BENCH_SCALE defaults for everything else.
+    parser.add_argument("--replications", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--workers", type=int, default=None)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run",
+        help="execute a declarative experiment spec "
+             "(docs/EXPERIMENT_SPEC.md) through the campaign scheduler",
+    )
+    p_run.add_argument("app", nargs="?", default=None,
+                       help="application name (alternative to --spec)")
+    p_run.add_argument("model", nargs="?", default=None,
+                       help="model name (alternative to --spec)")
+    p_run.add_argument("--spec", metavar="FILE", default=None,
+                       help="experiment spec JSON (see examples/specs/)")
+    p_run.add_argument(
+        "--distribution",
+        choices=sorted(FAILURE_DISTRIBUTIONS),
+        default=TITAN_WEIBULL.name,
+        help="failure distribution for the APP MODEL form",
+    )
+    p_run.add_argument("--store", metavar="PATH", default=None,
+                       help="content-addressed result store directory")
+    p_run.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached cells from --store (--no-resume recomputes)",
+    )
+    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="shared process-pool width (overrides --workers)")
+    p_run.add_argument(
+        "--quick", action="store_true",
+        help="smoke scale: cap replications at 2 (CI)",
+    )
+    p_run.add_argument(
+        "--dump-spec", action="store_true",
+        help="print the canonical spec JSON and exit without running",
+    )
+    p_run.set_defaults(func=_cmd_run)
 
     p_sim = sub.add_parser("simulate", help="run one application x model cell")
     p_sim.add_argument("app", help="application name (Table I)")
@@ -687,9 +856,13 @@ def build_parser() -> argparse.ArgumentParser:
     c_run = camp_sub.add_parser("run", help="execute a sweep as a campaign")
     c_run.add_argument(
         "sweep",
+        nargs="?",
+        default=None,
         choices=sorted(_CAMPAIGN_SWEEPS),
-        help="which grid to run",
+        help="which grid to run (or give --spec FILE instead)",
     )
+    c_run.add_argument("--spec", metavar="FILE", default=None,
+                       help="experiment spec JSON (docs/EXPERIMENT_SPEC.md)")
     c_run.add_argument("--app", default="XGC",
                        help="application for lead-time / fn-rate sweeps")
     c_run.add_argument("--models", nargs="+", default=None, metavar="MODEL",
@@ -887,6 +1060,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    args.scale_flags_given = (args.replications is not None
+                              or args.seed is not None)
+    if args.replications is None:
+        args.replications = BENCH_SCALE.replications
+    if args.seed is None:
+        args.seed = BENCH_SCALE.seed
     try:
         return args.func(args)
     except KeyError as exc:

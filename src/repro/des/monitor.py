@@ -144,6 +144,12 @@ class Trace:
         self._records: Union[List[TraceRecord], deque] = (
             deque(maxlen=max_records) if (ring and max_records) else []
         )
+        #: Live subscribers: callables invoked with every accepted record
+        #: the moment it is emitted, **before** any storage bound drops
+        #: it — the stream the :class:`repro.spec.engine.SimEngine`
+        #: ``subscribe`` hook (and any future service layer) feeds from.
+        #: Subscribe via :meth:`add_listener`.
+        self.listeners: List[Any] = []
         self._counts: Dict[str, int] = {}
         self._next_sid = 1
         self._open_spans: Dict[int, _OpenSpan] = {}
@@ -168,7 +174,20 @@ class Trace:
             return False
         return True
 
+    def add_listener(self, handler) -> None:
+        """Stream every accepted record to *handler* as it is emitted.
+
+        Listeners see records that storage bounds (``max_records``)
+        would drop; emit-time filters (``only_kinds``/``only_sources``)
+        still apply.  Handlers must not raise — an exception propagates
+        into the emitting simulation component.
+        """
+        self.listeners.append(handler)
+
     def _store(self, rec: TraceRecord) -> None:
+        if self.listeners:
+            for handler in self.listeners:
+                handler(rec)
         recs = self._records
         if isinstance(recs, deque):
             recs.append(rec)  # maxlen evicts the oldest automatically

@@ -9,26 +9,35 @@ Three reusable grids cover the paper's evaluation:
   application (Figs 4 and 7, Tables II and IV, Fig 8);
 * :func:`false_negative_sweep` — (model × FN-rate) cells (Observation 9).
 
-All three flatten their grid into campaign cells and execute them through
-:func:`repro.campaign.scheduler.run_campaign`: one shared process pool
-for the whole grid (instead of one pool per cell), optional
-content-addressed caching via ``store=``, and live progress via
-``progress=``.  Results are bit-identical to running each cell through
+All three are thin adapters over :mod:`repro.spec.build`: each engine
+folds its kwargs into a :class:`~repro.spec.build.ResolvedExperiment`
+and hands it to :func:`~repro.spec.build.run_resolved`, which lays out
+the grid with the **same** :func:`~repro.spec.build.build_cells` the
+declarative ``pckpt run --spec FILE`` path uses.  One grid constructor
+means one set of content-addressed store keys: a sweep launched from a
+spec file and the equivalent kwargs call hit identical cache entries
+(see ``docs/EXPERIMENT_SPEC.md``).
+
+Execution goes through :func:`repro.campaign.scheduler.run_campaign`:
+one shared process pool for the whole grid, optional content-addressed
+caching via ``store=``, and live progress via ``progress=``.  Results
+are bit-identical to running each cell through
 :func:`~repro.experiments.runner.run_replications` serially — sharding
 and caching never change the numbers (see ``docs/CAMPAIGN.md``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 from ..failures.leadtime import PAPER_LEAD_TIME_MODEL, LeadTimeModel
 from ..failures.predictor import DEFAULT_PREDICTOR, PredictorSpec
 from ..failures.weibull import TITAN_WEIBULL, WeibullParams
 from ..models.base import ModelConfig
-from ..models.registry import get_model
 from ..platform.system import SUMMIT, PlatformSpec
-from ..workloads.applications import APPLICATIONS, ApplicationSpec
+from ..spec.build import ResolvedExperiment, _resolve_models, run_resolved
+from ..spec.schema import SweepAxis
+from ..workloads.applications import APPLICATIONS
 from .config import BENCH_SCALE, ExperimentScale
 from .runner import SimulationResult
 
@@ -46,56 +55,6 @@ __all__ = [
 #: Grid cells are keyed "(model, column)" where column is an app name, a
 #: lead-time change, or a FN rate depending on the sweep.
 CellKey = tuple
-
-
-def _with_base(models: Sequence[Union[str, ModelConfig]],
-               include_base: bool) -> List[Union[str, ModelConfig]]:
-    names = [m if isinstance(m, str) else m.name for m in models]
-    work: List[Union[str, ModelConfig]] = list(models)
-    if include_base and "B" not in names:
-        work.insert(0, "B")
-    return work
-
-
-def _run_grid(
-    grid: Sequence[tuple],
-    scale: ExperimentScale,
-    platform: PlatformSpec,
-    weibull: WeibullParams,
-    lead_model: LeadTimeModel,
-    store: "Optional[ResultStore]",
-    progress: "Optional[CampaignProgress]",
-    resume: bool,
-) -> Dict[CellKey, SimulationResult]:
-    """Execute ``[(column, app, model, predictor), ...]`` as one campaign.
-
-    Cells are keyed ``(resolved_model_name, column)``, matching what the
-    serial engines produced from ``res.model_name``.  The campaign import
-    is deferred to the call: ``repro.campaign`` builds on
-    :mod:`repro.experiments.runner`, so a module-level import here would
-    be circular.
-    """
-    from ..campaign.plan import CellSpec
-    from ..campaign.scheduler import run_campaign
-
-    cells = []
-    for column, app, model, predictor in grid:
-        config = get_model(model) if isinstance(model, str) else model
-        cells.append(
-            CellSpec(
-                key=(config.name, column),
-                app=app,
-                model=config,
-                platform=platform,
-                weibull=weibull,
-                lead_model=lead_model,
-                predictor=predictor,
-                seed=scale.seed,
-                replications=scale.replications,
-            )
-        )
-    return run_campaign(cells, store=store, workers=scale.workers,
-                        progress=progress, resume=resume)
 
 
 def model_comparison(
@@ -116,16 +75,21 @@ def model_comparison(
     Returns ``{(model_name, app_name): SimulationResult}``.  Model "B" is
     always included (prepended if missing) so reductions can be computed.
     """
-    work = _with_base(models, include_base)
     if apps is None:
         apps = list(APPLICATIONS)
-    grid = []
-    for app_name in apps:
-        app = APPLICATIONS[app_name]
-        for model in work:
-            grid.append((app_name, app, model, predictor))
-    return _run_grid(grid, scale, platform, weibull, lead_model,
-                     store, progress, resume)
+    experiment = ResolvedExperiment(
+        apps=tuple(APPLICATIONS[a] for a in apps),
+        models=_resolve_models(models, include_base),
+        platform=platform,
+        weibull=weibull,
+        lead_model=lead_model,
+        predictor=predictor,
+        sweep=None,
+        replications=scale.replications,
+        seed=scale.seed,
+    )
+    return run_resolved(experiment, store=store, workers=scale.workers,
+                        progress=progress, resume=resume)
 
 
 def lead_time_sweep(
@@ -148,15 +112,19 @@ def lead_time_sweep(
     model (unaffected by lead times) is run once per change for exact
     common-random-number pairing.
     """
-    app = APPLICATIONS[app_name]
-    work = _with_base(models, include_base)
-    grid = []
-    for change in changes_percent:
-        pred = predictor.with_lead_change(change)
-        for model in work:
-            grid.append((change, app, model, pred))
-    return _run_grid(grid, scale, platform, weibull, lead_model,
-                     store, progress, resume)
+    experiment = ResolvedExperiment(
+        apps=(APPLICATIONS[app_name],),
+        models=_resolve_models(models, include_base),
+        platform=platform,
+        weibull=weibull,
+        lead_model=lead_model,
+        predictor=predictor,
+        sweep=SweepAxis("lead-change-percent", tuple(changes_percent)),
+        replications=scale.replications,
+        seed=scale.seed,
+    )
+    return run_resolved(experiment, store=store, workers=scale.workers,
+                        progress=progress, resume=resume)
 
 
 def false_negative_sweep(
@@ -177,12 +145,16 @@ def false_negative_sweep(
 
     Returns ``{(model_name, fn_rate): SimulationResult}``.
     """
-    app = APPLICATIONS[app_name]
-    work = _with_base(models, include_base)
-    grid = []
-    for fn in fn_rates:
-        pred = predictor.with_false_negative_rate(fn)
-        for model in work:
-            grid.append((fn, app, model, pred))
-    return _run_grid(grid, scale, platform, weibull, lead_model,
-                     store, progress, resume)
+    experiment = ResolvedExperiment(
+        apps=(APPLICATIONS[app_name],),
+        models=_resolve_models(models, include_base),
+        platform=platform,
+        weibull=weibull,
+        lead_model=lead_model,
+        predictor=predictor,
+        sweep=SweepAxis("fn-rate", tuple(fn_rates)),
+        replications=scale.replications,
+        seed=scale.seed,
+    )
+    return run_resolved(experiment, store=store, workers=scale.workers,
+                        progress=progress, resume=resume)

@@ -362,13 +362,31 @@ class CRSimulation:
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
+    def start(self):
+        """Register the simulation's processes without running the clock.
+
+        Idempotent; returns the application :class:`~repro.des.Process`
+        whose completion ends the run.  ``run()`` calls this internally;
+        callers that need stepwise control (the
+        :class:`repro.spec.engine.SimEngine` facade) call it directly and
+        drive ``env.step()`` themselves, then :meth:`finish`.
+        """
+        if self._app_proc is None:
+            self._app_proc = self.env.process(self._app(), name="application")
+            self.env.process(self._failure_driver(), name="failure-driver")
+            if self.config.use_prediction and self.injector.false_alarm_rate > 0:
+                self.env.process(
+                    self._false_alarm_driver(), name="false-alarm-driver"
+                )
+        return self._app_proc
+
     def run(self) -> RunOutput:
         """Execute the simulation to job completion and return results."""
-        self._app_proc = self.env.process(self._app(), name="application")
-        self.env.process(self._failure_driver(), name="failure-driver")
-        if self.config.use_prediction and self.injector.false_alarm_rate > 0:
-            self.env.process(self._false_alarm_driver(), name="false-alarm-driver")
-        self.env.run(until=self._app_proc)
+        self.env.run(until=self.start())
+        return self.finish()
+
+    def finish(self) -> RunOutput:
+        """Validate accounting and package the run's :class:`RunOutput`."""
         self.overhead.validate()
         self.ft.validate()
         self._flush_metrics()

@@ -1,0 +1,207 @@
+"""``SimEngine`` — the engine-facing facade over one spec cell.
+
+The service and scheduler layers (ROADMAP items 1 and 4) need more than
+"run a spec to completion": they need to *build* a simulation from a
+declarative spec, *step* it under external control, *pause* it from a
+callback, and *subscribe* to its event stream while it runs.  This
+module provides that contract — the ``ISimEngine`` shape
+(build-from-spec / run / step / pause / reset / subscribe) — as a thin
+facade over the existing pieces:
+
+* **build** resolves an :class:`~repro.spec.schema.ExperimentSpec` cell
+  into a :class:`~repro.models.base.CRSimulation` (same seed-spawn
+  discipline as the Monte-Carlo runner, so replication *i* of the
+  engine is bit-identical to replication *i* of a campaign);
+* **subscribe** feeds handlers from the existing monitor stream — every
+  :class:`~repro.des.monitor.TraceRecord` the simulation emits is
+  delivered live via :meth:`Trace.add_listener`, not from a private
+  side channel;
+* **run/step/pause** drive :meth:`Environment.step` directly, so a
+  subscriber can pause the engine mid-run (live control) and a later
+  ``run()`` resumes deterministically — pausing never changes results.
+
+The facade is deliberately single-replication: Monte-Carlo aggregation
+stays the campaign scheduler's job.  ``SimEngine`` is what a service
+worker wraps around one live, observable, controllable replication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..des import Trace
+from ..des.exceptions import EmptySchedule
+from ..des.monitor import TraceRecord
+from ..models.base import CRSimulation, RunOutput
+from .build import ResolvedExperiment, build_cells
+from .schema import ExperimentSpec
+
+__all__ = ["SimEngine"]
+
+#: Engine lifecycle states (see :attr:`SimEngine.state`).
+_IDLE, _BUILT, _PAUSED, _DONE = "idle", "built", "paused", "done"
+
+
+class SimEngine:
+    """Build-from-spec / run / step / pause / reset / subscribe.
+
+    Drives **one replication of one cell** of an experiment spec under
+    external control.  Determinism matches the campaign path exactly:
+    replication *i* runs from ``SeedSequence(seed, spawn_key=(i,))``, so
+    an engine run is one of the runs the Monte-Carlo aggregate already
+    contains, and pausing/resuming never changes the outcome.
+    """
+
+    def __init__(self) -> None:
+        self._spec: Optional[Union[ExperimentSpec, ResolvedExperiment]] = None
+        self._cell_index = 0
+        self._replication = 0
+        self._sim: Optional[CRSimulation] = None
+        self._app_proc = None
+        self._handlers: List[Callable[[TraceRecord], None]] = []
+        self._paused = False
+        self.state: str = _IDLE
+        #: The finished replication's :class:`RunOutput` (None until done).
+        self.result: Optional[RunOutput] = None
+
+    # -- contract ----------------------------------------------------------
+    def build(self, spec: Union[ExperimentSpec, ResolvedExperiment],
+              cell_index: int = 0, replication: int = 0) -> None:
+        """Build runtime state for one cell of *spec*.
+
+        Parameters
+        ----------
+        spec:
+            A validated spec (or an already resolved experiment).
+        cell_index:
+            Which grid cell to instantiate (grid order; see
+            :func:`repro.spec.build.build_cells`).
+        replication:
+            Which Monte-Carlo replication to run — selects the
+            ``SeedSequence`` child, exactly as the campaign scheduler
+            would.
+        """
+        cells = build_cells(spec)
+        if not 0 <= cell_index < len(cells):
+            raise IndexError(
+                f"cell_index {cell_index} out of range "
+                f"(spec has {len(cells)} cells)"
+            )
+        cell = cells[cell_index]
+        if not 0 <= replication < cell.replications:
+            raise IndexError(
+                f"replication {replication} out of range "
+                f"(cell has {cell.replications})"
+            )
+        self._spec = spec
+        self._cell_index = cell_index
+        self._replication = replication
+
+        child = np.random.SeedSequence(
+            entropy=cell.seed, spawn_key=(replication,)
+        )
+        trace = Trace(env=None)  # adopted by the simulation's environment
+        for handler in self._handlers:
+            trace.add_listener(handler)
+        self._sim = CRSimulation(
+            cell.app,
+            cell.model,
+            platform=cell.platform,
+            weibull=cell.weibull,
+            lead_model=cell.lead_model,
+            predictor=cell.predictor,
+            rng=np.random.default_rng(child),
+            trace=trace,
+        )
+        self._app_proc = self._sim.start()
+        self._paused = False
+        self.result = None
+        self.state = _BUILT
+
+    def run(self, until: Optional[float] = None) -> Optional[RunOutput]:
+        """Run until completion, the *until* horizon, or a pause.
+
+        Returns the :class:`RunOutput` once the replication completes
+        (also kept on :attr:`result`); returns ``None`` when stopped
+        early by the horizon or by :meth:`pause`.
+        """
+        sim = self._require_built()
+        if self.state == _DONE:
+            return self.result
+        env, proc = sim.env, self._app_proc
+        self._paused = False
+        while not proc.triggered:
+            if until is not None and env.peek() > until:
+                break
+            try:
+                env.step()
+            except EmptySchedule:  # pragma: no cover - drivers never drain
+                break
+            if self._paused:
+                self.state = _PAUSED
+                break
+        return self._maybe_finish()
+
+    def step(self, delta: Optional[float] = None) -> Optional[RunOutput]:
+        """Process one event (``delta=None``) or run ``delta`` seconds."""
+        sim = self._require_built()
+        if self.state == _DONE:
+            return self.result
+        if delta is not None:
+            return self.run(until=sim.env.now + delta)
+        if not self._app_proc.triggered:
+            sim.env.step()
+        return self._maybe_finish()
+
+    def pause(self) -> None:
+        """Stop the :meth:`run` loop after the current event.
+
+        Safe to call from a subscribed handler (live control): the loop
+        checks the flag between events.  A subsequent :meth:`run`
+        resumes exactly where the simulation stopped.
+        """
+        self._paused = True
+        if self.state == _BUILT:
+            self.state = _PAUSED
+
+    def reset(self) -> None:
+        """Rebuild the same cell/replication from scratch (same seed)."""
+        self._require_built()
+        self.build(self._spec, self._cell_index, self._replication)
+
+    def subscribe(self, handler: Callable[[TraceRecord], None]) -> None:
+        """Stream every emitted :class:`TraceRecord` to *handler*.
+
+        Fed from the simulation's own monitor stream
+        (:meth:`Trace.add_listener`) — the same records ``--trace``
+        exports.  Subscribing before :meth:`build` is allowed; handlers
+        survive :meth:`reset`.
+        """
+        self._handlers.append(handler)
+        if self._sim is not None and self._sim.trace is not None:
+            self._sim.trace.add_listener(handler)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time of the built cell (0.0 when idle)."""
+        return 0.0 if self._sim is None else self._sim.env.now
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        """The built simulation's trace (records + span accounting)."""
+        return None if self._sim is None else self._sim.trace
+
+    # -- internals ---------------------------------------------------------
+    def _require_built(self) -> CRSimulation:
+        if self._sim is None:
+            raise RuntimeError("SimEngine: call build(spec) first")
+        return self._sim
+
+    def _maybe_finish(self) -> Optional[RunOutput]:
+        if self._app_proc.triggered and self.result is None:
+            self.result = self._sim.finish()
+            self.state = _DONE
+        return self.result

@@ -1,0 +1,494 @@
+"""Validating loader and canonical serialization for ``ExperimentSpec``.
+
+The loader follows the package's validate-all-then-apply convention
+(:meth:`repro.des.metrics.MetricsRegistry.merge` sets the style): every
+problem in a document — unknown fields, missing required fields, type
+mismatches, unresolvable names, illegal values — is collected and
+reported in **one** :class:`SpecError`, so a user fixes a broken spec
+file in one round trip instead of one error at a time.  Nothing is
+constructed until the document is fully clean.
+
+Canonical form
+--------------
+:func:`spec_from_dict` expands every shorthand (``"apps": "all"``,
+``"platform": "summit"``, ``"failures": "titan"``) and materializes
+every default; :func:`spec_to_dict` renders that canonical form back as
+plain JSON data.  The round trip is idempotent::
+
+    spec_from_dict(spec_to_dict(spec)) == spec
+
+and :func:`spec_hash` — the SHA-256 of the compact canonical JSON — is
+therefore stable across loads, machines and processes.  The spec hash
+identifies the *document*; the per-cell cache keys derived by
+:func:`repro.spec.build.build_cells` identify the *computations* (see
+``docs/EXPERIMENT_SPEC.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..failures.weibull import FAILURE_DISTRIBUTIONS
+from ..models.registry import get_model
+from ..workloads.applications import APPLICATION_ORDER, APPLICATIONS
+from .schema import (
+    FAILURES_FIELDS,
+    PLATFORM_FIELDS,
+    PREDICTOR_FIELDS,
+    SEQUENCE_FIELDS,
+    SPEC_FIELDS,
+    SPEC_SCHEMA_VERSION,
+    SWEEP_AXES,
+    SWEEP_FIELDS,
+    ExperimentSpec,
+    FailureRef,
+    PlatformRef,
+    PredictorRef,
+    SequenceRef,
+    SweepAxis,
+)
+
+__all__ = [
+    "SpecError",
+    "spec_from_dict",
+    "spec_to_dict",
+    "load_spec",
+    "loads_spec",
+    "dump_spec",
+    "canonical_spec_json",
+    "spec_hash",
+]
+
+#: Named platforms a ``PlatformRef.base`` may reference.
+_PLATFORM_BASES = ("summit",)
+
+
+class SpecError(ValueError):
+    """A spec document failed validation.
+
+    Attributes
+    ----------
+    problems:
+        Every violation found, in document order — the loader validates
+        the whole document before rejecting it, mirroring the
+        ``MetricsRegistry.merge`` validate-all-then-apply convention.
+    """
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = list(problems)
+        super().__init__(
+            "invalid experiment spec: " + "; ".join(self.problems)
+        )
+
+
+def _type_ok(tag: str, value: Any) -> bool:
+    """Whether *value* matches a ``*_FIELDS`` type tag."""
+    if tag == "str":
+        return isinstance(value, str)
+    if tag == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if tag == "float":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if tag == "bool":
+        return isinstance(value, bool)
+    if tag == "list":
+        return isinstance(value, list)
+    if tag == "object":
+        return isinstance(value, dict)
+    if tag == "list_or_str":
+        return isinstance(value, (list, str))
+    if tag == "str_or_object":
+        return isinstance(value, (str, dict))
+    if tag == "str_or_list":
+        return isinstance(value, (str, list))
+    if tag == "object_or_null":
+        return value is None or isinstance(value, dict)
+    raise AssertionError(f"unknown type tag {tag!r}")
+
+
+def _check_fields(data: Dict[str, Any], fields: Dict[str, Tuple[str, bool]],
+                  where: str, problems: List[str]) -> bool:
+    """Structural pass: unknown keys, missing required keys, type tags.
+
+    Returns True when the structure is clean enough for the value-level
+    pass to proceed on this (sub-)object.
+    """
+    ok = True
+    for key in sorted(set(data) - set(fields)):
+        problems.append(f"{where}: unknown field {key!r}")
+        ok = False
+    for key, (tag, required) in fields.items():
+        if key not in data:
+            if required:
+                problems.append(f"{where}: missing required field {key!r}")
+                ok = False
+            continue
+        if not _type_ok(tag, data[key]):
+            problems.append(
+                f"{where}: field {key!r} must be {tag}, "
+                f"got {type(data[key]).__name__}"
+            )
+            ok = False
+    return ok
+
+
+def _parse_platform(value: Any, problems: List[str]) -> PlatformRef:
+    if isinstance(value, str):
+        value = {"base": value}
+    if not _check_fields(value, PLATFORM_FIELDS, "platform", problems):
+        return PlatformRef()
+    base = value["base"]
+    if base not in _PLATFORM_BASES:
+        problems.append(
+            f"platform: unknown base {base!r} "
+            f"(expected one of {sorted(_PLATFORM_BASES)})"
+        )
+    for key in ("restart_delay", "lm_slowdown"):
+        v = value.get(key)
+        if v is not None and v < 0:
+            problems.append(f"platform: {key} must be non-negative, got {v}")
+    lm = value.get("lm_slowdown")
+    if lm is not None and lm >= 1.0:
+        problems.append(f"platform: lm_slowdown must be < 1, got {lm}")
+    return PlatformRef(
+        base=base,
+        restart_delay=_as_float(value.get("restart_delay")),
+        lm_slowdown=_as_float(value.get("lm_slowdown")),
+    )
+
+
+def _parse_failures(value: Any, problems: List[str]) -> FailureRef:
+    if isinstance(value, str):
+        value = {"base": value}
+    if not _check_fields(value, FAILURES_FIELDS, "failures", problems):
+        return FailureRef(base="titan")
+    inline_keys = ("name", "shape", "scale_hours", "system_nodes")
+    has_inline = [k for k in inline_keys if value.get(k) is not None]
+    if value.get("base") is not None:
+        if has_inline:
+            problems.append(
+                "failures: give either a named 'base' or a full inline "
+                f"fit, not both (inline keys present: {has_inline})"
+            )
+        base = value["base"]
+        if base not in FAILURE_DISTRIBUTIONS:
+            problems.append(
+                f"failures: unknown distribution {base!r} "
+                f"(expected one of {sorted(FAILURE_DISTRIBUTIONS)})"
+            )
+        return FailureRef(base=base)
+    missing = [k for k in inline_keys if value.get(k) is None]
+    if missing:
+        problems.append(
+            "failures: an inline fit needs every one of "
+            f"{list(inline_keys)} (missing: {missing})"
+        )
+        return FailureRef(base="titan")
+    if value["shape"] <= 0:
+        problems.append("failures: shape must be positive")
+    if value["scale_hours"] <= 0:
+        problems.append("failures: scale_hours must be positive")
+    if value["system_nodes"] < 1:
+        problems.append("failures: system_nodes must be >= 1")
+    return FailureRef(
+        name=value["name"],
+        shape=_as_float(value["shape"]),
+        scale_hours=_as_float(value["scale_hours"]),
+        system_nodes=value["system_nodes"],
+    )
+
+
+def _parse_predictor(value: Dict[str, Any],
+                     problems: List[str]) -> PredictorRef:
+    if not _check_fields(value, PREDICTOR_FIELDS, "predictor", problems):
+        return PredictorRef()
+    defaults = PredictorRef()
+    recall = _as_float(value.get("recall", defaults.recall))
+    fp = _as_float(value.get("false_positive_rate",
+                             defaults.false_positive_rate))
+    latency = _as_float(value.get("detection_latency",
+                                  defaults.detection_latency))
+    lead_scale = _as_float(value.get("lead_scale", defaults.lead_scale))
+    if not (0.0 <= recall <= 1.0):
+        problems.append(f"predictor: recall must be in [0, 1], got {recall}")
+    if not (0.0 <= fp < 1.0):
+        problems.append(
+            f"predictor: false_positive_rate must be in [0, 1), got {fp}"
+        )
+    if latency < 0:
+        problems.append("predictor: detection_latency must be non-negative")
+    if lead_scale <= 0:
+        problems.append("predictor: lead_scale must be positive")
+    return PredictorRef(recall=recall, false_positive_rate=fp,
+                        detection_latency=latency, lead_scale=lead_scale)
+
+
+def _parse_lead_model(value: Any, problems: List[str]):
+    if isinstance(value, str):
+        if value != "paper":
+            problems.append(
+                f"lead_model: unknown named model {value!r} "
+                "(expected 'paper' or an inline sequence list)"
+            )
+        return "paper"
+    sequences: List[SequenceRef] = []
+    if not value:
+        problems.append("lead_model: an inline sequence list cannot be empty")
+        return "paper"
+    for i, entry in enumerate(value):
+        where = f"lead_model[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not _check_fields(entry, SEQUENCE_FIELDS, where, problems):
+            continue
+        if entry["occurrences"] < 1:
+            problems.append(f"{where}: occurrences must be >= 1")
+        if entry["mean_lead"] <= 0:
+            problems.append(f"{where}: mean_lead must be positive")
+        if entry["sd_lead"] <= 0:
+            problems.append(f"{where}: sd_lead must be positive")
+        sequences.append(SequenceRef(
+            sequence_id=entry["sequence_id"],
+            occurrences=entry["occurrences"],
+            mean_lead=_as_float(entry["mean_lead"]),
+            sd_lead=_as_float(entry["sd_lead"]),
+        ))
+    return tuple(sequences)
+
+
+def _parse_sweep(value: Optional[Dict[str, Any]], n_apps: int,
+                 problems: List[str]) -> Optional[SweepAxis]:
+    if value is None:
+        return None
+    if not _check_fields(value, SWEEP_FIELDS, "sweep", problems):
+        return None
+    axis = value["axis"]
+    if axis not in SWEEP_AXES:
+        problems.append(
+            f"sweep: unknown axis {axis!r} (expected one of {list(SWEEP_AXES)})"
+        )
+    values = value["values"]
+    if not values:
+        problems.append("sweep: values cannot be empty")
+    bad = [v for v in values
+           if not isinstance(v, (int, float)) or isinstance(v, bool)]
+    if bad:
+        problems.append(f"sweep: values must be numbers, got {bad}")
+        values = [v for v in values if v not in bad]
+    if axis == "fn-rate":
+        out_of_range = [v for v in values
+                        if isinstance(v, (int, float))
+                        and not isinstance(v, bool)
+                        and not (0.0 <= v <= 1.0)]
+        if out_of_range:
+            problems.append(
+                f"sweep: fn-rate values must be in [0, 1], got {out_of_range}"
+            )
+    if axis == "lead-change-percent":
+        too_low = [v for v in values
+                   if isinstance(v, (int, float))
+                   and not isinstance(v, bool) and v <= -100]
+        if too_low:
+            problems.append(
+                "sweep: lead-change-percent values must be > -100 "
+                f"(the scale must stay positive), got {too_low}"
+            )
+    if n_apps != 1:
+        problems.append(
+            f"sweep: a swept spec needs exactly one app, got {n_apps}"
+        )
+    return SweepAxis(axis=axis, values=tuple(_as_float(v) for v in values
+                                             if isinstance(v, (int, float))
+                                             and not isinstance(v, bool)))
+
+
+def _as_float(value):
+    """JSON ints standing in for floats become floats (None passes)."""
+    return None if value is None else float(value)
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
+    """Validate *data* and build the canonical :class:`ExperimentSpec`.
+
+    Raises
+    ------
+    SpecError
+        Carrying **every** problem found — unknown fields, missing
+        required fields, type mismatches, unresolvable names, and
+        illegal values are all collected before anything is rejected.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        raise SpecError([f"spec must be a JSON object, got "
+                         f"{type(data).__name__}"])
+    _check_fields(data, SPEC_FIELDS, "spec", problems)
+
+    version = data.get("schema_version")
+    if isinstance(version, int) and version != SPEC_SCHEMA_VERSION:
+        problems.append(
+            f"spec: schema_version is {version}, this code reads "
+            f"{SPEC_SCHEMA_VERSION}"
+        )
+
+    # -- apps --------------------------------------------------------------
+    apps_raw = data.get("apps")
+    apps: Tuple[str, ...] = ()
+    if isinstance(apps_raw, str):
+        if apps_raw == "all":
+            apps = APPLICATION_ORDER
+        else:
+            problems.append(
+                f"apps: unknown shorthand {apps_raw!r} (only 'all' is "
+                "a legal string value)"
+            )
+    elif isinstance(apps_raw, list):
+        if not apps_raw:
+            problems.append("apps: cannot be empty")
+        for a in apps_raw:
+            if not isinstance(a, str):
+                problems.append(f"apps: entries must be strings, got {a!r}")
+            elif a.upper() not in APPLICATIONS:
+                problems.append(
+                    f"apps: unknown application {a!r} "
+                    f"(expected one of {list(APPLICATION_ORDER)})"
+                )
+        apps = tuple(a.upper() for a in apps_raw if isinstance(a, str))
+
+    # -- models ------------------------------------------------------------
+    models_raw = data.get("models")
+    models: Tuple[str, ...] = ()
+    if isinstance(models_raw, list):
+        if not models_raw:
+            problems.append("models: cannot be empty")
+        for m in models_raw:
+            if not isinstance(m, str):
+                problems.append(f"models: entries must be strings, got {m!r}")
+                continue
+            try:
+                get_model(m)
+            except KeyError as exc:
+                problems.append(f"models: {exc.args[0]}")
+        models = tuple(m for m in models_raw if isinstance(m, str))
+
+    # -- scalar fields -----------------------------------------------------
+    name = data.get("name")
+    include_base = data.get("include_base", True)
+    replications = data.get("replications", 30)
+    seed = data.get("seed", 2022)
+    collect_metrics = data.get("collect_metrics", False)
+    if isinstance(replications, int) and not isinstance(replications, bool) \
+            and replications < 1:
+        problems.append(f"replications: must be >= 1, got {replications}")
+
+    # -- sub-objects -------------------------------------------------------
+    platform = _parse_platform(data.get("platform", "summit"), problems)
+    failures = _parse_failures(data.get("failures", "titan"), problems)
+    predictor = _parse_predictor(data.get("predictor", {}), problems)
+    lead_model = _parse_lead_model(data.get("lead_model", "paper"), problems)
+    sweep = _parse_sweep(data.get("sweep"), len(apps), problems)
+
+    if problems:
+        raise SpecError(problems)
+    return ExperimentSpec(
+        schema_version=SPEC_SCHEMA_VERSION,
+        name=name,
+        apps=apps,
+        models=models,
+        include_base=bool(include_base),
+        platform=platform,
+        failures=failures,
+        predictor=predictor,
+        lead_model=lead_model,
+        sweep=sweep,
+        replications=replications,
+        seed=seed,
+        collect_metrics=bool(collect_metrics),
+    )
+
+
+def _ref_to_dict(ref) -> Dict[str, Any]:
+    """Dataclass reference → plain dict, dropping ``None`` overrides."""
+    out = {}
+    for f in dataclasses.fields(ref):
+        value = getattr(ref, f.name)
+        if value is not None:
+            out[f.name] = value
+    return out
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The spec's canonical JSON-ready form (defaults materialized).
+
+    ``spec_from_dict(spec_to_dict(spec)) == spec`` for every valid spec —
+    the idempotence the round-trip tests pin down.
+    """
+    data: Dict[str, Any] = {
+        "schema_version": spec.schema_version,
+        "apps": list(spec.apps),
+        "models": list(spec.models),
+        "include_base": spec.include_base,
+        "platform": _ref_to_dict(spec.platform),
+        "failures": _ref_to_dict(spec.failures),
+        "predictor": _ref_to_dict(spec.predictor),
+        "lead_model": (
+            spec.lead_model if isinstance(spec.lead_model, str)
+            else [_ref_to_dict(s) for s in spec.lead_model]
+        ),
+        "sweep": (
+            None if spec.sweep is None
+            else {"axis": spec.sweep.axis, "values": list(spec.sweep.values)}
+        ),
+        "replications": spec.replications,
+        "seed": spec.seed,
+        "collect_metrics": spec.collect_metrics,
+    }
+    if spec.name is not None:
+        data["name"] = spec.name
+    return data
+
+
+def canonical_spec_json(spec: ExperimentSpec) -> str:
+    """Pretty canonical rendering — what ``--dump-spec`` and the
+    committed ``examples/specs/*.json`` files contain."""
+    return json.dumps(spec_to_dict(spec), indent=2, sort_keys=True) + "\n"
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """SHA-256 of the compact canonical JSON (64 hex chars).
+
+    Identifies the *document* (stable across load/dump cycles); the
+    per-cell store keys are derived separately by
+    :func:`repro.spec.build.build_cells`.
+    """
+    blob = json.dumps(spec_to_dict(spec), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def loads_spec(text: str) -> ExperimentSpec:
+    """Parse and validate a spec from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError([f"not valid JSON: {exc}"]) from exc
+    return spec_from_dict(data)
+
+
+def load_spec(path: Union[str, Path]) -> ExperimentSpec:
+    """Load and validate a spec file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError([f"cannot read {path}: {exc}"]) from exc
+    return loads_spec(text)
+
+
+def dump_spec(spec: ExperimentSpec, path: Union[str, Path]) -> None:
+    """Write the canonical rendering of *spec* to *path*."""
+    Path(path).write_text(canonical_spec_json(spec), encoding="utf-8")

@@ -1,0 +1,175 @@
+"""Tests for the ``SimEngine`` facade (build / run / step / pause / subscribe).
+
+The facade's contract: driving one replication under external control —
+stepping, pausing from a subscriber, resuming, resetting — is
+bit-identical to the Monte-Carlo runner's uninterrupted execution of
+the same ``(seed, replication)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import _run_once
+from repro.failures.leadtime import PAPER_LEAD_TIME_MODEL
+from repro.failures.predictor import DEFAULT_PREDICTOR
+from repro.platform.system import SUMMIT
+from repro.spec import SimEngine, spec_from_dict
+from repro.workloads.applications import APPLICATIONS
+
+
+@pytest.fixture
+def xgc_spec():
+    return spec_from_dict({
+        "schema_version": 1,
+        "apps": ["XGC"],
+        "models": ["P1"],
+        "include_base": False,
+        "replications": 3,
+        "seed": 2022,
+    })
+
+
+@pytest.fixture
+def reference():
+    """Replication 0 of the same cell, straight through the runner."""
+    from repro.failures.weibull import FAILURE_DISTRIBUTIONS
+
+    from repro.models.registry import get_model
+
+    child = np.random.SeedSequence(entropy=2022, spawn_key=(0,))
+    return _run_once(APPLICATIONS["XGC"], get_model("P1"), SUMMIT,
+                     FAILURE_DISTRIBUTIONS["titan"], PAPER_LEAD_TIME_MODEL,
+                     DEFAULT_PREDICTOR, child)
+
+
+def assert_same_output(got, ref):
+    assert got.makespan == ref.makespan
+    assert got.useful_seconds == ref.useful_seconds
+    assert got.overhead == ref.overhead
+    assert got.ft == ref.ft
+    assert got.oci_initial == ref.oci_initial
+    assert got.oci_final == ref.oci_final
+
+
+class TestLifecycle:
+    def test_run_before_build_raises(self):
+        with pytest.raises(RuntimeError, match="build"):
+            SimEngine().run()
+
+    def test_states(self, xgc_spec):
+        engine = SimEngine()
+        assert engine.state == "idle"
+        engine.build(xgc_spec)
+        assert engine.state == "built"
+        engine.run()
+        assert engine.state == "done"
+        assert engine.result is not None
+
+    def test_cell_index_out_of_range(self, xgc_spec):
+        with pytest.raises(IndexError, match="cell_index"):
+            SimEngine().build(xgc_spec, cell_index=5)
+
+    def test_replication_out_of_range(self, xgc_spec):
+        with pytest.raises(IndexError, match="replication"):
+            SimEngine().build(xgc_spec, replication=3)
+
+    def test_run_after_done_returns_same_result(self, xgc_spec):
+        engine = SimEngine()
+        engine.build(xgc_spec)
+        first = engine.run()
+        assert engine.run() is first
+
+
+class TestDeterminism:
+    def test_bit_identical_to_runner(self, xgc_spec, reference):
+        engine = SimEngine()
+        engine.build(xgc_spec, replication=0)
+        assert_same_output(engine.run(), reference)
+
+    def test_pause_resume_bit_identical(self, xgc_spec, reference):
+        engine = SimEngine()
+        seen = [0]
+
+        def pause_at_100(rec):
+            seen[0] += 1
+            if seen[0] == 100:
+                engine.pause()
+
+        engine.subscribe(pause_at_100)
+        engine.build(xgc_spec)
+        assert engine.run() is None          # stopped by the subscriber
+        assert engine.state == "paused"
+        assert seen[0] >= 100
+        assert_same_output(engine.run(), reference)
+
+    def test_horizon_then_resume_bit_identical(self, xgc_spec, reference):
+        engine = SimEngine()
+        engine.build(xgc_spec)
+        assert engine.run(until=3600.0) is None
+        assert engine.now <= 3600.0 or engine.state == "done"
+        assert_same_output(engine.run(), reference)
+
+    def test_step_then_run_bit_identical(self, xgc_spec, reference):
+        engine = SimEngine()
+        engine.build(xgc_spec)
+        engine.step()                        # one event
+        before = engine.now
+        engine.step(7200.0)                  # a time slice
+        assert engine.now >= before
+        assert_same_output(engine.run(), reference)
+
+    def test_reset_reproduces_exactly(self, xgc_spec):
+        engine = SimEngine()
+        engine.build(xgc_spec)
+        first = engine.run()
+        engine.reset()
+        assert engine.state == "built"
+        assert_same_output(engine.run(), first)
+
+    def test_other_replication_differs(self, xgc_spec):
+        a, b = SimEngine(), SimEngine()
+        a.build(xgc_spec, replication=0)
+        b.build(xgc_spec, replication=1)
+        assert a.run().makespan != b.run().makespan
+
+
+class TestSubscribe:
+    def test_stream_fed_from_monitor(self, xgc_spec):
+        engine = SimEngine()
+        records = []
+        engine.subscribe(records.append)
+        engine.build(xgc_spec)
+        engine.run()
+        assert records
+        # the stream is the trace's own record flow
+        assert engine.trace is not None
+        kinds = {r.kind for r in records}
+        assert "ckpt_bb_write" in kinds
+        assert "completed" in kinds
+
+    def test_subscribing_never_changes_results(self, xgc_spec, reference):
+        engine = SimEngine()
+        engine.subscribe(lambda rec: None)
+        engine.build(xgc_spec)
+        assert_same_output(engine.run(), reference)
+
+    def test_handlers_survive_reset(self, xgc_spec):
+        engine = SimEngine()
+        records = []
+        engine.subscribe(records.append)
+        engine.build(xgc_spec)
+        engine.run()
+        first = len(records)
+        engine.reset()
+        engine.run()
+        assert len(records) == 2 * first
+
+    def test_late_subscribe_attaches_to_built_sim(self, xgc_spec):
+        engine = SimEngine()
+        engine.build(xgc_spec)
+        records = []
+        engine.subscribe(records.append)
+        engine.run()
+        assert records

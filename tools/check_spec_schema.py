@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Schema-sync check for the declarative experiment spec.
+
+Keeps four places agreeing on the ``ExperimentSpec`` schema, all parsed
+from source so this runs dependency-free in CI (no numpy/scipy needed):
+
+* the ``SPEC_SCHEMA_VERSION``, the ``*_FIELDS`` tables, and the
+  ``SWEEP_AXES`` tuple declared in ``src/repro/spec/schema.py``;
+* ``docs/EXPERIMENT_SPEC.md``: must state the schema **version N**,
+  mention every declared field backticked, and mention every sweep
+  axis;
+* the ``ExperimentSpec`` class docstring: must mention every top-level
+  field (the field-by-field reference the docs build on);
+* the committed ``examples/specs/*.json`` documents (plus any passed
+  via ``--file``): every field must be declared with the declared type
+  tag, required fields present, ``schema_version`` current, sub-objects
+  (``sweep`` / ``predictor`` / ``platform`` / ``failures`` /
+  ``lead_model`` entries) well-formed, and ``sweep.axis`` legal.
+
+Exits non-zero with a description of every mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_PY = ROOT / "src" / "repro" / "spec" / "schema.py"
+DOC = ROOT / "docs" / "EXPERIMENT_SPEC.md"
+EXAMPLES = ROOT / "examples" / "specs"
+
+VERSION_DECL = re.compile(
+    r"^SPEC_SCHEMA_VERSION\s*[:=]\s*(?:int\s*=\s*)?(\d+)\s*$", re.MULTILINE
+)
+VERSION_DOC = re.compile(r"\*\*version (\d+)\*\*")
+
+#: The *_FIELDS tables the schema module must declare.
+TABLE_NAMES = (
+    "SPEC_FIELDS",
+    "SWEEP_FIELDS",
+    "PREDICTOR_FIELDS",
+    "PLATFORM_FIELDS",
+    "FAILURES_FIELDS",
+    "SEQUENCE_FIELDS",
+)
+
+#: Type tag -> JSON validator.  ``float`` accepts ints (JSON has one
+#: number type); ``bool`` is never a valid numeric value.
+def _num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+_CHECKERS = {
+    "str": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": _num,
+    "bool": lambda v: isinstance(v, bool),
+    "list": lambda v: isinstance(v, list),
+    "object": lambda v: isinstance(v, dict),
+    "list_or_str": lambda v: isinstance(v, (list, str)),
+    "str_or_object": lambda v: isinstance(v, (str, dict)),
+    "str_or_list": lambda v: isinstance(v, (str, list)),
+    "object_or_null": lambda v: v is None or isinstance(v, dict),
+}
+
+Fields = Dict[str, Tuple[str, bool]]
+
+
+def declared_schema() -> Tuple[int, Dict[str, Fields], Tuple[str, ...], str]:
+    """(version, {table: fields}, sweep_axes, spec_docstring) from source."""
+    text = SCHEMA_PY.read_text(encoding="utf-8")
+    version = VERSION_DECL.search(text)
+    if not version:
+        raise SystemExit(f"no SPEC_SCHEMA_VERSION declaration in {SCHEMA_PY}")
+    tree = ast.parse(text)
+
+    tables: Dict[str, Fields] = {}
+    axes: Tuple[str, ...] = ()
+    docstring = ""
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            target = node.target.id
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+        if target in TABLE_NAMES and node.value is not None:
+            fields: Fields = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                name = ast.literal_eval(key)
+                tag, required = (ast.literal_eval(e) for e in value.elts)
+                fields[name] = (tag, required)
+            tables[target] = fields
+        elif target == "SWEEP_AXES" and node.value is not None:
+            axes = ast.literal_eval(node.value)
+        if isinstance(node, ast.ClassDef) and node.name == "ExperimentSpec":
+            docstring = ast.get_docstring(node) or ""
+
+    missing = sorted(set(TABLE_NAMES) - set(tables))
+    if missing:
+        raise SystemExit(f"{SCHEMA_PY} lacks field tables: {missing}")
+    if not axes:
+        raise SystemExit(f"no SWEEP_AXES declaration in {SCHEMA_PY}")
+    if not docstring:
+        raise SystemExit(f"ExperimentSpec in {SCHEMA_PY} has no docstring")
+    unknown = sorted(
+        t for fields in tables.values() for t, _ in fields.values()
+        if t not in _CHECKERS
+    )
+    if unknown:
+        raise SystemExit(f"field tables use unvalidatable type tags: {unknown}")
+    return int(version.group(1)), tables, axes, docstring
+
+
+def check_docs(version: int, tables: Dict[str, Fields],
+               axes: Tuple[str, ...]) -> List[str]:
+    """The doc must state the version, every field, and every axis."""
+    if not DOC.exists():
+        return [f"{DOC} is missing (the spec schema must be documented)"]
+    text = DOC.read_text(encoding="utf-8")
+    problems = []
+    documented = [int(v) for v in VERSION_DOC.findall(text)]
+    if not documented:
+        problems.append(
+            f"{DOC} never states the spec schema version "
+            f"(expected a bold '**version {version}**')"
+        )
+    for doc_version in documented:
+        if doc_version != version:
+            problems.append(
+                f"{DOC} documents spec schema version {doc_version}, "
+                f"code declares {version}"
+            )
+    backticked = set(re.findall(r"`([^`\s]+)`", text))
+    for table, fields in sorted(tables.items()):
+        for name in sorted(fields):
+            if name not in backticked:
+                problems.append(
+                    f"{DOC} does not document the {table} field `{name}`"
+                )
+    for axis in axes:
+        if axis not in backticked:
+            problems.append(f"{DOC} does not document the sweep axis `{axis}`")
+    return problems
+
+
+def check_docstring(tables: Dict[str, Fields], docstring: str) -> List[str]:
+    """ExperimentSpec's docstring must mention every top-level field."""
+    problems = []
+    for name in sorted(tables["SPEC_FIELDS"]):
+        if not re.search(rf"\b{re.escape(name)}\b", docstring):
+            problems.append(
+                f"ExperimentSpec docstring does not mention the field "
+                f"{name!r}"
+            )
+    return problems
+
+
+def _check_object(where: str, data: dict, fields: Fields,
+                  problems: List[str]) -> None:
+    for name in sorted(set(data) - set(fields)):
+        problems.append(f"{where}: undeclared field {name!r}")
+    for name, (tag, required) in fields.items():
+        if name not in data:
+            if required:
+                problems.append(f"{where}: missing required field {name!r}")
+            continue
+        if not _CHECKERS[tag](data[name]):
+            problems.append(
+                f"{where}: {name} must be {tag}, got {data[name]!r}"
+            )
+
+
+def check_spec_file(path: Path, version: int, tables: Dict[str, Fields],
+                    axes: Tuple[str, ...]) -> List[str]:
+    """One spec document must match every declared table."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    if not isinstance(data, dict):
+        return [f"{path}: document is not a JSON object"]
+
+    problems: List[str] = []
+    _check_object(str(path), data, tables["SPEC_FIELDS"], problems)
+    if data.get("schema_version") != version:
+        problems.append(
+            f"{path}: schema_version is {data.get('schema_version')!r}, "
+            f"code declares {version}"
+        )
+    sweep = data.get("sweep")
+    if isinstance(sweep, dict):
+        _check_object(f"{path}: sweep", sweep, tables["SWEEP_FIELDS"],
+                      problems)
+        axis = sweep.get("axis")
+        if isinstance(axis, str) and axis not in axes:
+            problems.append(
+                f"{path}: sweep.axis {axis!r} not one of {list(axes)}"
+            )
+        values = sweep.get("values")
+        if isinstance(values, list) and not all(_num(v) for v in values):
+            problems.append(f"{path}: sweep.values must all be numbers")
+    if isinstance(data.get("predictor"), dict):
+        _check_object(f"{path}: predictor", data["predictor"],
+                      tables["PREDICTOR_FIELDS"], problems)
+    if isinstance(data.get("platform"), dict):
+        _check_object(f"{path}: platform", data["platform"],
+                      tables["PLATFORM_FIELDS"], problems)
+    if isinstance(data.get("failures"), dict):
+        _check_object(f"{path}: failures", data["failures"],
+                      tables["FAILURES_FIELDS"], problems)
+    if isinstance(data.get("lead_model"), list):
+        for i, entry in enumerate(data["lead_model"]):
+            if not isinstance(entry, dict):
+                problems.append(
+                    f"{path}: lead_model[{i}] is not an object"
+                )
+                continue
+            _check_object(f"{path}: lead_model[{i}]", entry,
+                          tables["SEQUENCE_FIELDS"], problems)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="additional spec JSON files to validate")
+    args = parser.parse_args(argv)
+
+    version, tables, axes, docstring = declared_schema()
+    problems = check_docs(version, tables, axes)
+    problems.extend(check_docstring(tables, docstring))
+
+    examples = sorted(EXAMPLES.glob("*.json"))
+    if not examples:
+        problems.append(f"{EXAMPLES} holds no committed example specs")
+    for path in examples + list(args.file):
+        problems.extend(check_spec_file(path, version, tables, axes))
+
+    if problems:
+        print("spec schema check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    n_fields = sum(len(f) for f in tables.values())
+    print(
+        f"spec schema OK (version {version}, {n_fields} fields across "
+        f"{len(tables)} tables, {len(examples) + len(args.file)} spec "
+        f"file(s) checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
