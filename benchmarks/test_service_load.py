@@ -1,0 +1,84 @@
+"""Load benchmark for the campaign service (``repro.service``).
+
+Drives a self-hosted in-process service with ``>= 8`` concurrent
+closed-loop clients (one tenant each) through
+:func:`repro.service.loadgen.run_load` — the same engine behind
+``python -m repro.service.loadgen`` and the committed
+``benchmarks/service/SERVICE_LOAD_<sha>.json`` artifacts — and asserts
+the service's operational promises under load:
+
+* every submission completes (no starved tenant, no lost job);
+* the second wave is fully warm — **zero** replications executed — and
+  the overall cache-hit rate reflects it;
+* submit latency percentiles (p50/p99) stay sane even while every
+  worker slot is busy (admission must not block on simulation);
+* the payload round-trips its own schema validator, so the committed
+  artifacts can never drift from the code that writes them.
+
+Scale knobs mirror the CLI: ``PCKPT_LOAD_CLIENTS`` (default 8, the
+ISSUE floor) and ``PCKPT_LOAD_SPECS`` (default 6).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.service import ServiceThread
+from repro.service.loadgen import (
+    LATENCY_KEYS,
+    LOAD_KIND,
+    format_load_payload,
+    run_load,
+    validate_load_payload,
+)
+from conftest import run_once
+
+CLIENTS = int(os.environ.get("PCKPT_LOAD_CLIENTS", "8"))
+SPECS = int(os.environ.get("PCKPT_LOAD_SPECS", "6"))
+WAVES = 2
+
+
+def test_service_load(benchmark, tmp_path):
+    with ServiceThread(tmp_path / "store", jobs=4) as svc:
+        payload = run_once(
+            benchmark,
+            run_load,
+            "127.0.0.1",
+            svc.port,
+            clients=CLIENTS,
+            specs=SPECS,
+            waves=WAVES,
+            replications=1,
+        )
+    print()
+    print(format_load_payload(payload))
+
+    # The payload validates against its own schema — the same check
+    # `tools/check_service_schema.py --load` applies to the committed
+    # artifacts.
+    assert validate_load_payload(payload) == []
+    assert payload["kind"] == LOAD_KIND
+    assert payload["clients"] == CLIENTS >= 8
+
+    # Every wave's every submission produced a completed job record.
+    assert payload["submissions"] == SPECS * WAVES
+    assert payload["jobs"] == payload["submissions"]  # no dedup: distinct specs
+    assert payload["deduped"] == 0
+
+    # Latency summaries carry every promised percentile, ordered.
+    for block in ("submit_latency", "completion_latency"):
+        summary = payload[block]
+        assert set(summary) == set(LATENCY_KEYS)
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+    # Admission is queue-bound, not simulation-bound: even with all
+    # worker slots busy, a submit round-trip stays well under a single
+    # replication's runtime (~0.4 s).
+    assert payload["submit_latency"]["p99"] < 0.35
+
+    # Wave 2 re-submits the same documents: fully warm, nothing
+    # executed, and the overall hit rate accounts for exactly half the
+    # replications being cached.
+    assert payload["warm_jobs"] == SPECS
+    assert payload["warm_replications_executed"] == 0
+    assert payload["replications_executed"] == SPECS
+    assert payload["cache_hit_rate"] == 0.5

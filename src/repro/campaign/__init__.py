@@ -20,6 +20,7 @@ from .store import (
     StoreSchemaError,
     result_from_dict,
     result_to_dict,
+    status_payload,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "StoreSchemaError",
     "result_to_dict",
     "result_from_dict",
+    "status_payload",
 ]

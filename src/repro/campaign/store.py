@@ -17,6 +17,24 @@ Layout (see ``docs/CAMPAIGN.md``)::
 Writes are atomic (temp file + ``os.replace``), so an interrupted
 campaign never leaves a torn entry: a cell is either fully persisted or
 absent, and resuming simply recomputes the absent ones.
+
+Concurrency
+-----------
+The store is safe under concurrent writers **across processes** (the
+regime ``repro.service`` runs it in: many jobs sharing one store):
+
+* two writers racing on the same key each stage a private temp file and
+  ``os.replace`` it over the entry — the last replace wins whole, and
+  because results are deterministic both writers carry identical bytes;
+* readers never observe a torn entry (``os.replace`` is atomic), and
+  :meth:`ResultStore.get`/:meth:`ResultStore.stats` tolerate entries
+  vanishing mid-scan (a concurrent ``clear``) instead of crashing;
+* :meth:`ResultStore.put` re-creates its fan-out directory if a
+  concurrent ``clear`` removed it between ``mkdir`` and the temp-file
+  creation.
+
+``tests/test_store_concurrency.py`` stress-tests exactly these races
+with real processes.
 """
 
 from __future__ import annotations
@@ -38,6 +56,7 @@ __all__ = [
     "ResultStore",
     "result_to_dict",
     "result_from_dict",
+    "status_payload",
 ]
 
 #: On-disk schema version.  Bump whenever the serialized result layout,
@@ -130,33 +149,60 @@ class ResultStore:
         return self.path_for(key).exists()
 
     def get(self, key: str) -> Optional[SimulationResult]:
-        """The stored result for *key*, or ``None`` on a cache miss."""
+        """The stored result for *key*, or ``None`` on a cache miss.
+
+        A concurrent ``clear`` may unlink the entry between the
+        existence check and the read; that is a cache miss, not an
+        error.
+        """
         path = self.path_for(key)
-        if not path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
             return None
-        payload = json.loads(path.read_text(encoding="utf-8"))
         return result_from_dict(payload["result"])
 
     def get_meta(self, key: str) -> Optional[Dict]:
         """The descriptive metadata stored alongside *key*'s result."""
         path = self.path_for(key)
-        if not path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
             return None
-        return json.loads(path.read_text(encoding="utf-8")).get("meta", {})
+        return payload.get("meta", {})
 
     def put(self, key: str, result: SimulationResult,
             meta: Optional[Dict] = None) -> Path:
-        """Persist *result* under *key* atomically; returns the entry path."""
+        """Persist *result* under *key* atomically; returns the entry path.
+
+        Concurrent writers of the same key are safe: each stages a
+        private temp file and the last atomic replace wins whole.  A
+        concurrent ``clear`` removing the fan-out directory between our
+        ``mkdir`` and the temp-file creation is retried with a fresh
+        ``mkdir``.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema_version": SCHEMA_VERSION,
             "key": key,
             "meta": meta or {},
             "result": result_to_dict(result),
         }
-        self._write_atomic(path, payload)
-        return path
+        for attempt in range(8):
+            try:
+                # mkdir(exist_ok=True) can still raise FileExistsError
+                # under a concurrent rmdir: it rechecks is_dir() after
+                # the failed mkdir, and the directory may be gone again
+                # by then.  Both races are retryable.
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._write_atomic(path, payload)
+                return path
+            except (FileNotFoundError, FileExistsError):
+                # The fan-out dir vanished under us (concurrent clear);
+                # re-create it and stage again.
+                if attempt == 7:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _write_atomic(path: Path, payload: Dict) -> None:
@@ -184,14 +230,20 @@ class ResultStore:
             yield path.stem
 
     def stats(self) -> Dict[str, object]:
-        """Summary counters for ``pckpt campaign status``."""
+        """Summary counters for ``pckpt campaign status``.
+
+        Entries unlinked by a concurrent ``clear`` mid-scan are skipped.
+        """
         cells = 0
         size = 0
         replications = 0
         for path in self.root.glob("??/*.json"):
+            try:
+                size += path.stat().st_size
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except FileNotFoundError:
+                continue
             cells += 1
-            size += path.stat().st_size
-            payload = json.loads(path.read_text(encoding="utf-8"))
             replications += payload["result"].get("replications", 0)
         return {
             "path": str(self.root),
@@ -202,14 +254,29 @@ class ResultStore:
         }
 
     def clear(self) -> int:
-        """Delete every entry (keeps ``schema.json``); returns count removed."""
+        """Delete every entry (keeps ``schema.json``); returns count removed.
+
+        Safe against concurrent writers: entries another process already
+        removed are skipped, and a fan-out directory refilled between
+        the emptiness check and ``rmdir`` is left alone.
+        """
         removed = 0
         for path in list(self.root.glob("??/*.json")):
-            path.unlink()
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
             removed += 1
+        for stray in list(self.root.glob("??/*.tmp")):
+            try:  # staging files left behind by killed writers
+                stray.unlink()
+            except FileNotFoundError:
+                continue
         for sub in list(self.root.glob("??")):
-            if sub.is_dir() and not any(sub.iterdir()):
-                sub.rmdir()
+            try:
+                sub.rmdir()  # only succeeds when (still) empty
+            except OSError:
+                continue
         return removed
 
     @classmethod
@@ -239,3 +306,23 @@ class ResultStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ResultStore {self.root} cells={len(self)}>"
+
+
+def status_payload(store: ResultStore) -> Dict[str, object]:
+    """Machine-readable campaign-store status (one JSON-ready dict).
+
+    The single source behind every status surface: ``pckpt campaign
+    status --json`` prints exactly this, and the service's
+    ``GET /v1/status`` embeds it as its ``store`` block — so scripts
+    parse one shape regardless of how they reached the store.
+
+    Keys: ``store`` (the :meth:`ResultStore.stats` counters) and
+    ``telemetry`` (the latest snapshot of the store-level feed, or
+    ``None`` when no campaign has streamed one).
+    """
+    from ..obs.telemetry import latest_snapshot
+
+    return {
+        "store": store.stats(),
+        "telemetry": latest_snapshot(str(store.telemetry_path())),
+    }

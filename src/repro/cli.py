@@ -39,6 +39,20 @@ Subcommands
 ``pckpt top --store PATH``
     Live dashboard tailing a running campaign's telemetry feed
     (``--once`` for a single snapshot, ``--openmetrics`` for a scrape).
+    On a service-managed store the store-level feed does not exist;
+    ``top`` falls back to the most recent per-job feed under
+    ``<store>/service/jobs/`` (pick one explicitly with ``--job ID``).
+``pckpt serve --store DIR --jobs N --port P``
+    Run the multi-tenant campaign service (``repro.service``): accepts
+    spec submissions over HTTP, dedupes against the shared store,
+    schedules tenants fair-share onto one worker pool.  See
+    ``docs/SERVICE.md``.
+``pckpt submit --spec FILE [--wait | --watch]``
+    Submit a spec document to a running service; ``--wait`` polls to
+    completion, ``--watch`` streams the job's NDJSON events live.
+``pckpt jobs`` / ``pckpt watch JOB_ID`` / ``pckpt shutdown``
+    List a service's jobs, follow one job's event stream, or ask the
+    service to drain gracefully.
 ``pckpt list``
     Show the workload catalogue and model zoo.
 
@@ -53,8 +67,12 @@ Examples
     pckpt experiment fig6a
     pckpt campaign run model-comparison --store .pckpt-store --jobs 8
     pckpt campaign run --spec examples/specs/fig6a-model-comparison.json
-    pckpt campaign status --store .pckpt-store
+    pckpt campaign status --store .pckpt-store --json
     pckpt top --store .pckpt-store
+    pckpt serve --store .pckpt-store --jobs 4 --port 8787
+    pckpt submit --spec examples/specs/quickstart.json --wait
+    pckpt jobs --json
+    pckpt shutdown
     pckpt profile XGC P2 --quick --flame /tmp/xgc.folded
     pckpt timeline XGC P2 --limit 10
     pckpt validate --seed 0 --cases 200
@@ -428,6 +446,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         if store is None:
             print("error: status requires --store PATH", file=sys.stderr)
             return 2
+        if args.json:
+            # The machine-readable shape shared with the service layer:
+            # GET /v1/status embeds exactly this as its "store" block.
+            from .campaign import status_payload
+
+            print(json.dumps(status_payload(store), indent=2,
+                             sort_keys=True))
+            return 0
         print(format_kv(store.stats(), title=f"campaign store {store.root}"))
         snapshot = latest_snapshot(str(store.telemetry_path()))
         if snapshot is not None:
@@ -621,14 +647,41 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_telemetry_path(store: str, job: str = None) -> str:
+    """Locate the telemetry feed to tail under *store*.
+
+    A locally-run campaign streams to ``<store>/telemetry.jsonl``; a
+    service-managed store has no store-level feed (each job streams its
+    own), so fall back to the most recently written
+    ``<store>/service/jobs/<id>/telemetry.jsonl`` — or the one named by
+    ``--job ID``.
+    """
+    import glob as _glob
+
+    from .obs.telemetry import TELEMETRY_FILENAME
+
+    if job:
+        return os.path.join(store, "service", "jobs", job,
+                            TELEMETRY_FILENAME)
+    direct = os.path.join(store, TELEMETRY_FILENAME)
+    if os.path.exists(direct):
+        return direct
+    candidates = _glob.glob(
+        os.path.join(store, "service", "jobs", "*", TELEMETRY_FILENAME)
+    )
+    if candidates:
+        return max(candidates, key=os.path.getmtime)
+    return direct
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     """Live campaign dashboard tailing a store's telemetry feed."""
     import time
 
-    from .obs.telemetry import (TELEMETRY_FILENAME, format_top,
-                                latest_snapshot, render_openmetrics)
+    from .obs.telemetry import (format_top, latest_snapshot,
+                                render_openmetrics)
 
-    path = os.path.join(args.store, TELEMETRY_FILENAME)
+    path = _resolve_telemetry_path(args.store, args.job)
     if args.openmetrics:
         snapshot = latest_snapshot(path)
         if snapshot is None:
@@ -756,6 +809,182 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"vs baseline {args.baseline} (@{base.get('git_sha')}):")
         print(bench.format_comparison(bench.compare_payloads(base, payload)))
     return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    return ServiceClient(args.host, args.port, token=args.token)
+
+
+def _service_errors(fn):
+    """Run *fn*, mapping service/network failures to exit codes."""
+    from .service import ServiceBusy, ServiceError, SpecRejected
+
+    try:
+        return fn()
+    except SpecRejected as exc:
+        print(f"error: spec rejected with {len(exc.problems)} problem(s):",
+              file=sys.stderr)
+        for problem in exc.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    except ServiceBusy as exc:
+        print(f"error: {exc} — retry after {exc.retry_after:g}s "
+              "(or pass --retries N)", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionRefusedError, ConnectionResetError, OSError) as exc:
+        print(f"error: cannot reach service: {exc} "
+              "(is `pckpt serve` running?)", file=sys.stderr)
+        return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service (``repro.service``) until shut down."""
+    from .service import load_tokens, serve
+
+    tokens = None
+    if args.tokens:
+        try:
+            tokens = load_tokens(args.tokens)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad tokens file: {exc}", file=sys.stderr)
+            return 2
+
+    def _ready(service) -> None:
+        mode = f"closed ({len(tokens)} tokens)" if tokens else "open"
+        print(
+            f"pckpt serve: http://{service.host}:{service.port} "
+            f"store={args.store} jobs={args.jobs} "
+            f"queue-limit={args.queue_limit} auth={mode}",
+            file=sys.stderr, flush=True,
+        )
+
+    serve(args.store, host=args.host, port=args.port, jobs=args.jobs,
+          queue_limit=args.queue_limit, tokens=tokens,
+          retry_after=args.retry_after, ready=_ready)
+    print("pckpt serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _job_line(record) -> str:
+    executed = record["replications_executed"]
+    hit = record["cache_hit_rate"]
+    return (
+        f"{record['id']:<22s} {record['tenant']:<12s} "
+        f"{record['state']:<8s} {record['cells']:>5d} "
+        f"{record['replications']:>6d} "
+        f"{'-' if executed is None else executed:>8} "
+        f"{'-' if hit is None else format(hit, '.0%'):>5}"
+    )
+
+
+def _jobs_header() -> str:
+    return (f"{'job':<22s} {'tenant':<12s} {'state':<8s} {'cells':>5s} "
+            f"{'reps':>6s} {'executed':>8s} {'hit':>5s}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a spec document to a running service."""
+    import dataclasses
+
+    from . import spec as espec
+
+    # Same loader as `pckpt run --spec`: validation, canonicalization
+    # and the resulting spec hash cannot diverge between the two paths.
+    try:
+        sp = espec.load_spec(args.spec)
+    except FileNotFoundError:
+        print(f"error: no such spec file: {args.spec}", file=sys.stderr)
+        return 2
+    except espec.SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.quick:
+        sp = dataclasses.replace(sp, replications=min(sp.replications, 2))
+    document = espec.spec_to_dict(sp)
+    client = _service_client(args)
+
+    def _go() -> int:
+        envelope = client.submit(document, retries=args.retries)
+        record = envelope["job"]
+        if not (args.wait or args.watch):
+            if args.json:
+                print(json.dumps(envelope, indent=2, sort_keys=True))
+            else:
+                how = "coalesced onto" if envelope["deduped"] else "queued as"
+                print(f"{how} job {record['id']} "
+                      f"({record['state']}, {record['cells']} cells, "
+                      f"hash {record['spec_hash'][:12]})")
+            return 0
+        if args.watch:
+            final_state = None
+            for event in client.events(record["id"]):
+                print(json.dumps(event, sort_keys=True), flush=True)
+                if event["event"] in ("done", "failed"):
+                    final_state = event["event"]
+            return 0 if final_state == "done" else 1
+        final = client.wait(record["id"], timeout=args.timeout)
+        if args.json:
+            print(json.dumps(final, indent=2, sort_keys=True))
+        else:
+            print(_jobs_header())
+            print(_job_line(final))
+            if final["state"] == "failed":
+                print(f"error: {final['error']}", file=sys.stderr)
+        return 0 if final["state"] == "done" else 1
+
+    return _service_errors(_go)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List a running service's jobs (newest last)."""
+    client = _service_client(args)
+
+    def _go() -> int:
+        records = client.jobs()
+        if args.json:
+            print(json.dumps({"jobs": records}, indent=2, sort_keys=True))
+            return 0
+        if not records:
+            print("no jobs")
+            return 0
+        print(_jobs_header())
+        for record in records:
+            print(_job_line(record))
+        return 0
+
+    return _service_errors(_go)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Stream one job's NDJSON events until it reaches a terminal state."""
+    client = _service_client(args)
+
+    def _go() -> int:
+        final_state = None
+        for event in client.events(args.job_id):
+            print(json.dumps(event, sort_keys=True), flush=True)
+            if event["event"] in ("done", "failed"):
+                final_state = event["event"]
+        return 0 if final_state == "done" else 1
+
+    return _service_errors(_go)
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    """Ask a running service to drain and stop."""
+    client = _service_client(args)
+
+    def _go() -> int:
+        client.shutdown()
+        print("service draining (running jobs finish; queued jobs persist)")
+        return 0
+
+    return _service_errors(_go)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -895,6 +1124,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     c_status = camp_sub.add_parser("status", help="summarize a result store")
     c_status.add_argument("--store", metavar="PATH", required=True)
+    c_status.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable status payload (the same shape "
+             "the service embeds in GET /v1/status)",
+    )
     c_status.set_defaults(func=_cmd_campaign)
 
     c_clear = camp_sub.add_parser("clear", help="empty a result store")
@@ -1007,6 +1241,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_top.add_argument("--store", metavar="PATH", required=True)
     p_top.add_argument(
+        "--job", metavar="ID", default=None,
+        help="on a service-managed store: tail this job's feed "
+             "(default: the most recently written one)",
+    )
+    p_top.add_argument(
         "--once", action="store_true",
         help="print the latest snapshot and exit (no tailing)",
     )
@@ -1051,6 +1290,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failing cases without minimizing them",
     )
     p_val.set_defaults(func=_cmd_validate)
+
+    # -- service layer (repro.service; see docs/SERVICE.md) ------------------
+    def _add_client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1",
+                       help="service host (default 127.0.0.1)")
+        p.add_argument("--port", type=int, default=8787,
+                       help="service port (default 8787)")
+        p.add_argument("--token", default=None,
+                       help="bearer token (in open mode the token names "
+                            "the tenant)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant campaign service over a shared store",
+    )
+    p_serve.add_argument("--store", metavar="DIR", required=True,
+                         help="shared content-addressed result store")
+    p_serve.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="jobs executing concurrently (default 2)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787, metavar="P",
+                         help="listen port (default 8787; 0 = ephemeral)")
+    p_serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                         help="max jobs waiting before 429 (default 64)")
+    p_serve.add_argument("--retry-after", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="Retry-After hint on 429 responses")
+    p_serve.add_argument("--tokens", metavar="FILE", default=None,
+                         help="closed-mode auth: JSON mapping token -> "
+                              "tenant (or {'tenant':..., 'weight': N})")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an experiment spec to a running service"
+    )
+    p_submit.add_argument("--spec", metavar="FILE", required=True,
+                          help="experiment spec JSON (same loader as "
+                               "`pckpt run --spec`)")
+    _add_client_flags(p_submit)
+    p_submit.add_argument("--quick", action="store_true",
+                          help="smoke scale: cap replications at 2 (CI)")
+    p_submit.add_argument("--retries", type=int, default=0, metavar="N",
+                          help="back off and resubmit on 429 up to N times")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="stream the job's NDJSON events to stdout")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="--wait limit (default 600)")
+    p_submit.add_argument("--json", action="store_true",
+                          help="print raw JSON records instead of tables")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list a running service's jobs")
+    _add_client_flags(p_jobs)
+    p_jobs.add_argument("--json", action="store_true",
+                        help="print the raw job records")
+    p_jobs.set_defaults(func=_cmd_jobs)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream one service job's NDJSON events"
+    )
+    p_watch.add_argument("job_id", help="job id (from submit/jobs)")
+    _add_client_flags(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_shut = sub.add_parser(
+        "shutdown", help="gracefully drain and stop a running service"
+    )
+    _add_client_flags(p_shut)
+    p_shut.set_defaults(func=_cmd_shutdown)
 
     p_list = sub.add_parser("list", help="show workloads and models")
     p_list.set_defaults(func=_cmd_list)

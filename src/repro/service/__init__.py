@@ -1,0 +1,73 @@
+"""``repro.service`` — campaign-as-a-service over the spec + campaign engines.
+
+The declarative :mod:`repro.spec` documents and the content-addressed
+:mod:`repro.campaign` store already make every experiment nameable and
+every result reusable; this package adds the missing operational layer:
+a long-running, multi-tenant **job service** (``pckpt serve``) that many
+clients share instead of each running their own campaigns.
+
+* :mod:`repro.service.server` — the asyncio HTTP server: admission
+  (validation, auth-lite tenancy, in-flight dedup by spec hash, bounded
+  queue with 429 backpressure), fair-share scheduling onto a shared
+  worker pool, live NDJSON event streaming, OpenMetrics, graceful
+  drain + queue persistence;
+* :mod:`repro.service.queue` — the bounded weighted-round-robin
+  fair-share queue;
+* :mod:`repro.service.jobs` — the job state machine and the
+  schema-versioned record/event tables (``tools/check_service_schema.py``
+  keeps ``docs/SERVICE.md`` and committed artifacts in sync with them);
+* :mod:`repro.service.client` — the stdlib HTTP client behind
+  ``pckpt submit`` / ``pckpt jobs`` / ``pckpt watch``;
+* :mod:`repro.service.loadgen` — the concurrent load generator behind
+  ``benchmarks/test_service_load.py`` and the committed
+  ``SERVICE_LOAD_*.json`` artifacts.
+
+Everything is stdlib-only, and every job executes through the exact
+local code path (``run_spec`` with in-process workers), so a result
+fetched from the service is bit-identical to ``pckpt run --spec`` of
+the same document.  User-facing reference: ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceBusy, ServiceClient, ServiceError, SpecRejected
+from .jobs import (
+    EVENT_FIELDS,
+    EVENT_KINDS,
+    JOB_EVENT_KIND,
+    JOB_FIELDS,
+    JOB_KIND,
+    JOB_RESULT_KIND,
+    JOB_STATES,
+    JOB_TRANSITIONS,
+    SERVICE_SCHEMA_VERSION,
+    SERVICE_STATUS_KIND,
+    TERMINAL_STATES,
+    Job,
+)
+from .queue import FairShareQueue, QueueFull
+from .server import DEFAULT_PORT, PckptService, ServiceThread, load_tokens, serve
+
+__all__ = [
+    "SERVICE_SCHEMA_VERSION",
+    "JOB_KIND",
+    "JOB_EVENT_KIND",
+    "JOB_RESULT_KIND",
+    "SERVICE_STATUS_KIND",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JOB_TRANSITIONS",
+    "EVENT_KINDS",
+    "JOB_FIELDS",
+    "EVENT_FIELDS",
+    "Job",
+    "FairShareQueue",
+    "QueueFull",
+    "DEFAULT_PORT",
+    "PckptService",
+    "ServiceThread",
+    "load_tokens",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceBusy",
+    "SpecRejected",
+]

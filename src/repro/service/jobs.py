@@ -1,0 +1,246 @@
+"""Job model for the campaign service: states, events, records.
+
+One **job** is one submitted :class:`~repro.spec.schema.ExperimentSpec`
+document, identified by its :func:`~repro.spec.loader.spec_hash`.  The
+state machine is deliberately small::
+
+    queued ──> running ──> done
+                     └───> failed
+
+``queued``
+    Admitted and waiting in the fair-share queue.
+``running``
+    Executing on the shared worker pool (one campaign, ``workers=1``
+    inside the job — jobs are the unit of parallelism, which keeps
+    every job bit-identical to a serial ``pckpt run --spec``).
+``done`` / ``failed``
+    Terminal.  ``done`` jobs serve their result set from
+    ``GET /v1/jobs/<id>/result``; ``failed`` jobs carry ``error``.
+
+Every observable change appends one **event** to the job's history —
+the NDJSON records ``GET /v1/jobs/<id>/events`` streams.  Event kinds:
+the four state entries plus ``telemetry`` (one per campaign-progress
+snapshot, bridged live from the job's ``telemetry.jsonl``).
+
+The declarative tables below (:data:`JOB_STATES`,
+:data:`JOB_TRANSITIONS`, :data:`EVENT_KINDS`, :data:`JOB_FIELDS`,
+:data:`EVENT_FIELDS`) are the single source of truth shared with
+``docs/SERVICE.md`` and ``tools/check_service_schema.py``, following
+the ``SNAPSHOT_FIELDS``/``check_obs_schema`` convention.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SERVICE_SCHEMA_VERSION",
+    "JOB_KIND",
+    "JOB_EVENT_KIND",
+    "JOB_RESULT_KIND",
+    "SERVICE_STATUS_KIND",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JOB_TRANSITIONS",
+    "EVENT_KINDS",
+    "JOB_FIELDS",
+    "EVENT_FIELDS",
+    "Job",
+]
+
+#: Schema version stamped on every record the service emits (job
+#: records, NDJSON events, result payloads, status).  Bump on any
+#: incompatible layout change.
+SERVICE_SCHEMA_VERSION: int = 1
+
+#: Record discriminators, mirroring the bench/telemetry convention.
+JOB_KIND: str = "pckpt-job"
+JOB_EVENT_KIND: str = "pckpt-job-event"
+JOB_RESULT_KIND: str = "pckpt-job-result"
+SERVICE_STATUS_KIND: str = "pckpt-service-status"
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "done", "failed")
+
+#: States with no outgoing transition.
+TERMINAL_STATES: Tuple[str, ...] = ("done", "failed")
+
+#: The legal state machine: state -> admissible successor states.
+JOB_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "queued": ("running",),
+    "running": ("done", "failed"),
+}
+
+#: Event kinds on the NDJSON stream: one per state entry, plus a
+#: ``telemetry`` event per bridged campaign-progress snapshot.
+EVENT_KINDS: Tuple[str, ...] = (
+    "queued", "running", "telemetry", "done", "failed",
+)
+
+#: Job-record fields: ``{name: (type, nullable)}`` — the shape of
+#: ``GET /v1/jobs/<id>`` and of every entry in ``GET /v1/jobs``.
+JOB_FIELDS: Dict[str, tuple] = {
+    "kind": (str, False),
+    "schema_version": (int, False),
+    "id": (str, False),
+    "tenant": (str, False),
+    "state": (str, False),
+    "spec_hash": (str, False),
+    "spec_name": (str, True),
+    "cells": (int, False),
+    "replications": (int, False),
+    "submitted_at": (float, False),
+    "started_at": (float, True),
+    "finished_at": (float, True),
+    "error": (str, True),
+    "replications_executed": (int, True),
+    "cache_hit_rate": (float, True),
+    "events": (int, False),
+}
+
+#: NDJSON event fields: ``{name: (type, nullable)}``.  ``data`` carries
+#: the event payload: the full telemetry snapshot for ``telemetry``
+#: events, the completion summary for ``done``, the error for
+#: ``failed``, null otherwise.
+EVENT_FIELDS: Dict[str, tuple] = {
+    "kind": (str, False),
+    "schema_version": (int, False),
+    "job_id": (str, False),
+    "seq": (int, False),
+    "ts": (float, False),
+    "event": (str, False),
+    "state": (str, False),
+    "data": (dict, True),
+}
+
+
+class Job:
+    """In-memory job: spec + state + event history.
+
+    All mutation happens on the server's event loop thread (worker
+    threads bridge through ``call_soon_threadsafe``), so no lock is
+    needed; streaming readers wake on :attr:`turnstile`, an
+    ``asyncio.Event`` rotated on every append.
+    """
+
+    def __init__(self, job_id: str, tenant: str, spec,
+                 spec_hash: str, cells: int,
+                 submitted_at: Optional[float] = None) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.spec = spec                      # validated ExperimentSpec
+        self.spec_hash = spec_hash
+        self.cells = int(cells)
+        self.state = "queued"
+        self.submitted_at = (time.time() if submitted_at is None
+                             else float(submitted_at))
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.error: Optional[str] = None
+        self.replications_executed: Optional[int] = None
+        self.cache_hit_rate: Optional[float] = None
+        #: ``{(model, column) -> SimulationResult}`` once done.
+        self.results: Optional[Dict[tuple, Any]] = None
+        #: Store keys aligned with ``results`` (grid order).
+        self.store_keys: Optional[List[str]] = None
+        self.events: List[Dict[str, Any]] = []
+        self.turnstile: Any = None            # asyncio.Event, set by server
+        self.record_event("queued")
+
+    # -- state machine -------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str,
+                   data: Optional[Dict[str, Any]] = None) -> None:
+        """Move to *state* (validated against :data:`JOB_TRANSITIONS`)."""
+        allowed = JOB_TRANSITIONS.get(self.state, ())
+        if state not in allowed:
+            raise ValueError(
+                f"job {self.id}: illegal transition "
+                f"{self.state!r} -> {state!r} (allowed: {list(allowed)})"
+            )
+        self.state = state
+        now = time.time()
+        if state == "running":
+            self.started_at = now
+        if state in TERMINAL_STATES:
+            self.finished_at = now
+        self.record_event(state, data)
+
+    def record_event(self, event: str,
+                     data: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Append one event record and wake streaming readers."""
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {event!r}")
+        record = {
+            "kind": JOB_EVENT_KIND,
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "job_id": self.id,
+            "seq": len(self.events),
+            "ts": time.time(),
+            "event": event,
+            "state": self.state,
+            "data": data,
+        }
+        self.events.append(record)
+        turnstile = self.turnstile
+        if turnstile is not None:
+            # Rotate: wake everyone blocked on the old event, give new
+            # waiters a fresh one.
+            import asyncio
+
+            self.turnstile = asyncio.Event()
+            turnstile.set()
+        return record
+
+    # -- serialization -------------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """The job as a :data:`JOB_FIELDS`-shaped JSON-ready dict."""
+        return {
+            "kind": JOB_KIND,
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "spec_hash": self.spec_hash,
+            "spec_name": self.spec.name,
+            "cells": self.cells,
+            "replications": self.cells * self.spec.replications,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "replications_executed": self.replications_executed,
+            "cache_hit_rate": self.cache_hit_rate,
+            "events": len(self.events),
+        }
+
+    def result_payload(self) -> Dict[str, Any]:
+        """The ``GET /v1/jobs/<id>/result`` body (job must be done)."""
+        from ..campaign.store import result_to_dict
+
+        if self.state != "done" or self.results is None:
+            raise ValueError(f"job {self.id} is {self.state}, not done")
+        keys = self.store_keys or [None] * len(self.results)
+        return {
+            "kind": JOB_RESULT_KIND,
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "job_id": self.id,
+            "spec_hash": self.spec_hash,
+            "cells": [
+                {
+                    "key": list(cell_key),
+                    "store_key": store_key,
+                    "result": result_to_dict(result),
+                }
+                for (cell_key, result), store_key
+                in zip(self.results.items(), keys)
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Job {self.id} tenant={self.tenant} state={self.state} "
+                f"hash={self.spec_hash[:12]}>")

@@ -1,0 +1,371 @@
+"""Closed-loop load generator for the campaign service.
+
+Drives a running (or self-hosted) service with N concurrent client
+threads submitting waves of distinct quick specs, and measures what the
+service promises: bounded submit latency, coalescing/dedup behaviour,
+and warm-wave cache hits.  The committed benchmark
+``benchmarks/test_service_load.py`` asserts on the resulting payload;
+``python -m repro.service.loadgen --quick`` is the CI smoke entry.
+
+The workload is two (or more) **waves** over the same K distinct
+single-cell specs: wave 1 is cold (every replication simulated), later
+waves re-submit the same documents — new jobs, but every cell is served
+from the shared store, so their ``replications_executed`` is 0.  Each
+client thread is closed-loop (submit → wait done → next), and 429
+backpressure is handled by honouring ``Retry-After``.
+
+Results are written schema-versioned (``SERVICE_LOAD_<git-sha>.json``
+under ``benchmarks/service/``) following the ``BENCH_*.json``
+convention; ``tools/check_service_schema.py --load`` validates committed
+files in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .client import ServiceClient
+from .jobs import SERVICE_SCHEMA_VERSION
+
+__all__ = [
+    "LOAD_KIND",
+    "quick_specs",
+    "run_load",
+    "validate_load_payload",
+    "write_load_payload",
+    "load_filename",
+    "format_load_payload",
+]
+
+#: Marker distinguishing service-load payloads from other artifacts.
+LOAD_KIND = "pckpt-service-load"
+
+#: Latency summary keys every ``*_latency`` block must carry.
+LATENCY_KEYS = ("p50", "p99", "mean", "max")
+
+
+def quick_specs(n: int, replications: int = 1) -> List[Dict[str, Any]]:
+    """*n* distinct single-cell spec documents (seed-varied).
+
+    Each is the smallest useful campaign — one XGC × P2 cell, no
+    baseline — so a load run measures the service, not the simulator.
+    Distinct seeds give distinct ``spec_hash``es *and* distinct store
+    keys, so wave 1 genuinely computes ``n`` cells.
+    """
+    return [
+        {
+            "schema_version": 1,
+            "name": f"loadgen-{i}",
+            "apps": ["XGC"],
+            "models": ["P2"],
+            "include_base": False,
+            "replications": replications,
+            "seed": 90_000 + i,
+        }
+        for i in range(n)
+    ]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of *values*."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+def _latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "p50": _percentile(values, 50.0),
+        "p99": _percentile(values, 99.0),
+        "mean": (sum(values) / len(values)) if values else 0.0,
+        "max": max(values) if values else 0.0,
+    }
+
+
+class _ClientWorker(threading.Thread):
+    """One closed-loop client: submit → wait terminal → next spec."""
+
+    def __init__(self, host: str, port: int, token: str,
+                 specs: Sequence[Dict[str, Any]], timeout: float) -> None:
+        super().__init__(name=f"loadgen-{token}", daemon=True)
+        self.client = ServiceClient(host, port, token=token)
+        self.specs = specs
+        self.timeout = timeout
+        self.submit_latencies: List[float] = []
+        self.completion_latencies: List[float] = []
+        self.job_ids: List[str] = []
+        self.deduped = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            for spec in self.specs:
+                start = time.perf_counter()
+                envelope = self.client.submit(spec, retries=50)
+                self.submit_latencies.append(time.perf_counter() - start)
+                if envelope["deduped"]:
+                    self.deduped += 1
+                job_id = envelope["job"]["id"]
+                self.job_ids.append(job_id)
+                self.client.wait(job_id, timeout=self.timeout)
+                self.completion_latencies.append(
+                    time.perf_counter() - start
+                )
+        except BaseException as exc:
+            self.error = exc
+
+
+def run_load(host: str, port: int, clients: int = 8, specs: int = 6,
+             waves: int = 2, replications: int = 1,
+             timeout: float = 600.0, quick: bool = False,
+             progress: Optional[Any] = None) -> Dict[str, Any]:
+    """Run the load workload against the service at ``host:port``.
+
+    Each wave submits every one of the *specs* distinct documents once,
+    the submissions spread round-robin over *clients* concurrent client
+    threads (each its own tenant).  Waves are separated by a barrier, so
+    wave ≥ 2 is guaranteed warm: same documents, fully cached cells.
+
+    Returns the schema-versioned payload (not yet written to disk).
+    """
+    if clients < 1 or specs < 1 or waves < 1:
+        raise ValueError("clients, specs and waves must all be >= 1")
+    documents = quick_specs(specs, replications)
+    probe = ServiceClient(host, port, token="loadgen-probe")
+    probe.wait_ready(timeout=30.0)
+
+    submit_latencies: List[float] = []
+    completion_latencies: List[float] = []
+    all_job_ids: List[str] = []
+    deduped = 0
+    started = time.perf_counter()
+    for wave in range(waves):
+        if progress is not None:
+            progress(f"wave {wave + 1}/{waves}: {specs} specs over "
+                     f"{clients} clients")
+        shares: List[List[Dict[str, Any]]] = [[] for _ in range(clients)]
+        for i, document in enumerate(documents):
+            shares[i % clients].append(document)
+        workers = [
+            _ClientWorker(host, port, f"tenant-{i}", share, timeout)
+            for i, share in enumerate(shares)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        for worker in workers:
+            if worker.error is not None:
+                raise RuntimeError(
+                    f"load client {worker.name} failed"
+                ) from worker.error
+            submit_latencies.extend(worker.submit_latencies)
+            completion_latencies.extend(worker.completion_latencies)
+            all_job_ids.extend(worker.job_ids)
+            deduped += worker.deduped
+    wall = time.perf_counter() - started
+
+    # Totals come from the job records themselves (the service's own
+    # accounting), keyed by the unique job ids the clients collected.
+    executed = 0
+    total = 0
+    warm_executed = 0
+    warm_jobs = 0
+    records = {jid: probe.job(jid) for jid in set(all_job_ids)}
+    wave_size = specs  # job ids per wave, pre-dedup
+    warm_ids = set(all_job_ids[wave_size:])  # waves >= 2
+    cold_ids = set(all_job_ids[:wave_size])
+    for jid, record in records.items():
+        executed += record["replications_executed"] or 0
+        total += record["replications"]
+        if jid in warm_ids and jid not in cold_ids:
+            warm_jobs += 1
+            warm_executed += record["replications_executed"] or 0
+
+    from ..bench import git_sha
+
+    sha, dirty = git_sha()
+    return {
+        "kind": LOAD_KIND,
+        "schema_version": SERVICE_SCHEMA_VERSION,
+        "git_sha": sha,
+        "dirty": dirty,
+        "quick": quick,
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "clients": clients,
+        "specs": specs,
+        "waves": waves,
+        "replications_per_cell": replications,
+        "submissions": len(all_job_ids),
+        "jobs": len(records),
+        "deduped": deduped,
+        "wall_seconds": wall,
+        "submit_latency": _latency_summary(submit_latencies),
+        "completion_latency": _latency_summary(completion_latencies),
+        "replications_total": total,
+        "replications_executed": executed,
+        "cache_hit_rate": (
+            (total - executed) / total if total else 0.0
+        ),
+        "warm_jobs": warm_jobs,
+        "warm_replications_executed": warm_executed,
+    }
+
+
+def validate_load_payload(payload: Dict[str, Any]) -> List[str]:
+    """Every schema violation in *payload* (empty = valid).
+
+    Mirrored dependency-free by ``tools/check_service_schema.py
+    --load`` so CI validates committed artifacts without importing this
+    package.
+    """
+    problems: List[str] = []
+    if payload.get("kind") != LOAD_KIND:
+        problems.append(f"kind is {payload.get('kind')!r}, not {LOAD_KIND!r}")
+    if payload.get("schema_version") != SERVICE_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {payload.get('schema_version')!r}, "
+            f"code declares {SERVICE_SCHEMA_VERSION}"
+        )
+    for key in ("git_sha", "python"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"{key} must be a string")
+    for key in ("clients", "specs", "waves", "submissions", "jobs",
+                "deduped", "replications_total", "replications_executed",
+                "warm_jobs", "warm_replications_executed"):
+        value = payload.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{key} must be a non-negative integer")
+    for key in ("wall_seconds", "cache_hit_rate"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(f"{key} must be a non-negative number")
+    for block in ("submit_latency", "completion_latency"):
+        summary = payload.get(block)
+        if not isinstance(summary, dict):
+            problems.append(f"{block} must be an object")
+            continue
+        for key in LATENCY_KEYS:
+            value = summary.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value < 0:
+                problems.append(
+                    f"{block}.{key} must be a non-negative number"
+                )
+    return problems
+
+
+def load_filename(sha: str) -> str:
+    """Canonical artifact name for a given (short) git sha."""
+    return f"SERVICE_LOAD_{sha}.json"
+
+
+def write_load_payload(payload: Dict[str, Any], directory: Path) -> Path:
+    """Write ``SERVICE_LOAD_<sha>.json`` under *directory* (validated)."""
+    problems = validate_load_payload(payload)
+    if problems:
+        raise ValueError("refusing to write invalid payload: "
+                         + "; ".join(problems))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / load_filename(payload["git_sha"])
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def format_load_payload(payload: Dict[str, Any]) -> str:
+    """Human summary of a load payload (printed by the CLI entry)."""
+    submit = payload["submit_latency"]
+    completion = payload["completion_latency"]
+    return "\n".join([
+        f"service load @ {payload['git_sha']}"
+        + ("+dirty" if payload.get("dirty") else "")
+        + (" (quick)" if payload.get("quick") else ""),
+        f"  {payload['clients']} clients x {payload['waves']} waves over "
+        f"{payload['specs']} specs -> {payload['submissions']} submissions, "
+        f"{payload['jobs']} jobs, {payload['deduped']} deduped "
+        f"({payload['wall_seconds']:.2f}s)",
+        f"  submit latency     p50 {submit['p50'] * 1e3:8.1f} ms   "
+        f"p99 {submit['p99'] * 1e3:8.1f} ms",
+        f"  completion latency p50 {completion['p50']:8.3f} s    "
+        f"p99 {completion['p99']:8.3f} s",
+        f"  cache hit rate {payload['cache_hit_rate']:.1%} "
+        f"({payload['replications_executed']}/"
+        f"{payload['replications_total']} replications executed; "
+        f"warm waves executed {payload['warm_replications_executed']})",
+    ])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.service.loadgen`` — self-hosted load smoke.
+
+    Without ``--host``/``--port`` a throwaway service (temp store) is
+    started in-process, loaded, and shut down.  ``--out DIR`` writes the
+    schema-versioned artifact.
+    """
+    import argparse
+    import sys
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        prog="repro.service.loadgen",
+        description="drive a pckpt service with concurrent load clients",
+    )
+    parser.add_argument("--host", default=None,
+                        help="attach to a running service (default: "
+                        "self-host a throwaway one)")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--specs", type=int, default=6)
+    parser.add_argument("--waves", type=int, default=2)
+    parser.add_argument("--replications", type=int, default=1,
+                        help="replications per generated spec")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker width for the self-hosted service")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale (4 clients, 3 specs)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write SERVICE_LOAD_<sha>.json under DIR")
+    args = parser.parse_args(argv)
+
+    clients, specs = args.clients, args.specs
+    if args.quick:
+        clients, specs = min(clients, 4), min(specs, 3)
+
+    def _run_against(host: str, port: int) -> Dict[str, Any]:
+        return run_load(
+            host, port, clients=clients, specs=specs, waves=args.waves,
+            replications=args.replications, quick=args.quick,
+            progress=lambda line: print(f"loadgen: {line}",
+                                        file=sys.stderr),
+        )
+
+    if args.host is not None:
+        payload = _run_against(args.host, args.port or 8787)
+    else:
+        from .server import ServiceThread
+
+        with tempfile.TemporaryDirectory(prefix="pckpt-loadgen-") as tmp:
+            with ServiceThread(Path(tmp) / "store", jobs=args.jobs) as svc:
+                payload = _run_against(svc.host, svc.port)
+
+    print(format_load_payload(payload))
+    if args.out:
+        path = write_load_payload(payload, Path(args.out))
+        print(f"loadgen: wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,792 @@
+"""The campaign service: an asyncio HTTP job-queue server.
+
+``pckpt serve --store DIR --jobs N --port P`` turns the campaign engine
+into a shared, multi-tenant facility.  One process owns one
+content-addressed :class:`~repro.campaign.store.ResultStore`; many
+clients submit canonical :class:`~repro.spec.schema.ExperimentSpec`
+documents over HTTP and stream progress back.  Identical work is never
+done twice:
+
+* **in-flight dedup** — a submission whose
+  :func:`~repro.spec.loader.spec_hash` matches a queued or running job
+  coalesces onto it (any tenant; the response carries
+  ``"deduped": true`` and the original job's record);
+* **completed-work dedup** — every job runs the campaign scheduler
+  with ``resume=True`` against the shared store, so cells another job
+  (or a local ``pckpt run --store``) already computed are served from
+  cache by :func:`~repro.campaign.plan.content_key` and execute zero
+  replications.
+
+Scheduling is **fair-share**, not FIFO: admitted jobs wait in
+per-tenant lanes and a weighted round-robin dispatcher feeds the shared
+worker pool (:mod:`repro.service.queue`).  Admission is bounded —
+``429`` + ``Retry-After`` once ``queue_limit`` jobs wait.  Each job
+executes its campaign with ``workers=1`` (jobs are the unit of
+parallelism), so every result set is **bit-identical** to a local
+``pckpt run --spec`` of the same document.
+
+Transport is deliberately minimal: HTTP/1.1 over ``asyncio`` streams,
+``Connection: close``, JSON bodies, NDJSON event streaming — stdlib
+only.  Endpoints (full reference in ``docs/SERVICE.md``)::
+
+    POST /v1/jobs                submit a spec          -> job record
+    GET  /v1/jobs                list jobs
+    GET  /v1/jobs/<id>           one job record
+    GET  /v1/jobs/<id>/events    NDJSON event stream (live until terminal)
+    GET  /v1/jobs/<id>/result    per-cell SimulationResults (done jobs)
+    GET  /v1/status              service + campaign-store status
+    GET  /metrics                OpenMetrics exposition
+    POST /v1/shutdown            graceful drain + exit
+
+Graceful shutdown (signal or ``/v1/shutdown``) drains running jobs,
+persists the waiting queue to ``<store>/service/queue.json``, and a
+restarted ``pckpt serve`` re-enqueues it — combined with store-level
+resume, an interrupted service loses no completed cell.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..campaign.plan import content_key
+from ..campaign.progress import CampaignProgress
+from ..campaign.scheduler import run_campaign
+from ..campaign.store import ResultStore, status_payload
+from ..des.metrics import MetricsRegistry
+from ..obs.telemetry import CampaignTelemetry
+from ..spec import SpecError, build_cells, resolve, spec_from_dict, spec_hash
+from .jobs import (
+    JOB_STATES,
+    SERVICE_SCHEMA_VERSION,
+    SERVICE_STATUS_KIND,
+    Job,
+)
+from .queue import FairShareQueue, QueueFull
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PckptService",
+    "ServiceThread",
+    "load_tokens",
+    "serve",
+]
+
+#: Default TCP port for ``pckpt serve`` / the client.
+DEFAULT_PORT: int = 8787
+
+#: Directory (under the store root) holding service state.
+SERVICE_DIRNAME: str = "service"
+
+#: Persisted-queue file name inside the service directory.
+QUEUE_FILENAME: str = "queue.json"
+
+_MAX_BODY = 8 * 1024 * 1024  # spec documents are small; 8 MiB is generous
+
+_STATUS_TEXT = {
+    200: "OK", 201: "Created", 400: "Bad Request", 401: "Unauthorized",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _write_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    """Temp-file + ``os.replace`` write (same discipline as the store)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def load_tokens(path: Union[str, Path]) -> Dict[str, Tuple[str, int]]:
+    """Parse a tokens file into ``{token: (tenant, weight)}``.
+
+    The file maps each bearer token to either a tenant name or an
+    object ``{"tenant": ..., "weight": N}`` (weight defaults to 1)::
+
+        {"tok-alice": "alice",
+         "tok-batch": {"tenant": "batch", "weight": 4}}
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"tokens file {path} must hold a JSON object")
+    out: Dict[str, Tuple[str, int]] = {}
+    for token, entry in data.items():
+        if isinstance(entry, str):
+            out[token] = (entry, 1)
+        elif isinstance(entry, dict) and isinstance(entry.get("tenant"), str):
+            weight = entry.get("weight", 1)
+            if not isinstance(weight, int) or weight < 1:
+                raise ValueError(
+                    f"tokens file {path}: weight for {entry['tenant']!r} "
+                    f"must be a positive integer, got {weight!r}"
+                )
+            out[token] = (entry["tenant"], weight)
+        else:
+            raise ValueError(
+                f"tokens file {path}: entry for token {token!r} must be "
+                "a tenant name or {'tenant': ..., 'weight': N}"
+            )
+    return out
+
+
+class _BridgedTelemetry:
+    """Telemetry sink tee: per-job ``telemetry.jsonl`` + live job events.
+
+    Runs in the job's worker thread; event appends hop to the server's
+    loop thread via ``call_soon_threadsafe`` so all job mutation stays
+    single-threaded.
+    """
+
+    def __init__(self, inner: CampaignTelemetry,
+                 loop: asyncio.AbstractEventLoop, job: Job) -> None:
+        self._inner = inner
+        self._loop = loop
+        self._job = job
+
+    def write(self, snapshot: Dict[str, object]) -> Dict[str, object]:
+        record = self._inner.write(snapshot)
+        self._loop.call_soon_threadsafe(
+            self._job.record_event, "telemetry", record
+        )
+        return record
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class PckptService:
+    """The service: store + queue + worker pool + HTTP front end.
+
+    Parameters
+    ----------
+    store:
+        Result-store directory (created if missing); service state lives
+        under ``<store>/service/``.
+    jobs:
+        Worker-pool width — how many jobs execute concurrently.
+    queue_limit:
+        Maximum jobs waiting for a worker (backpressure bound).
+    tokens:
+        ``{token: (tenant, weight)}`` for closed-mode auth, or ``None``
+        for open mode (the bearer token itself names the tenant;
+        unauthenticated requests map to tenant ``"anonymous"``).
+    retry_after:
+        ``Retry-After`` seconds suggested on 429 responses.
+    """
+
+    def __init__(self, store: Union[str, Path], jobs: int = 2,
+                 queue_limit: int = 64,
+                 tokens: Optional[Dict[str, Tuple[str, int]]] = None,
+                 retry_after: float = 2.0) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.store = ResultStore(store)
+        self.service_dir = self.store.root / SERVICE_DIRNAME
+        self.jobs_dir = self.service_dir / "jobs"
+        self.workers = int(jobs)
+        self.tokens = tokens
+        self.queue = FairShareQueue(queue_limit, retry_after)
+        self.metrics = MetricsRegistry()
+        self.jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}   # spec_hash -> job id
+        self._next_seq = 1
+        self._started_at = time.time()
+        self._closing = False
+        self._stopped = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_tasks: List[asyncio.Task] = []
+        self._pool = None                     # ThreadPoolExecutor
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = DEFAULT_PORT) -> None:
+        """Bind the listener, restore the persisted queue, start workers."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="pckpt-job"
+        )
+        self._restore_queue()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker()) for _ in range(self.workers)
+        ]
+
+    async def run(self, host: str = "127.0.0.1",
+                  port: int = DEFAULT_PORT) -> None:
+        """Start and serve until :meth:`shutdown` completes."""
+        await self.start(host, port)
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: finish running jobs, persist the waiting queue.
+
+        New submissions are refused (503) immediately; jobs already on a
+        worker run to completion (their cells persist to the store
+        either way); jobs still waiting stay ``queued`` on disk and a
+        restarted service re-enqueues them.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        pending = self.queue.drain()
+        self.queue.close()
+        self._persist_queue(pending)
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._stopped.set()
+
+    # -- queue persistence ---------------------------------------------------
+    def _queue_path(self) -> Path:
+        return self.service_dir / QUEUE_FILENAME
+
+    def _persist_queue(self, pending: Optional[List[Job]] = None) -> None:
+        """Write the waiting jobs (submit order) + id counter to disk."""
+        from ..spec import spec_to_dict
+
+        if pending is None:
+            pending = [
+                job for job in self.jobs.values() if job.state == "queued"
+            ]
+        pending = sorted(pending, key=lambda j: j.submitted_at)
+        _write_atomic(self._queue_path(), {
+            "kind": "pckpt-service-queue",
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "next_seq": self._next_seq,
+            "pending": [
+                {
+                    "id": job.id,
+                    "tenant": job.tenant,
+                    "submitted_at": job.submitted_at,
+                    "spec": spec_to_dict(job.spec),
+                }
+                for job in pending
+            ],
+        })
+
+    def _restore_queue(self) -> None:
+        """Re-enqueue jobs persisted by a previous (interrupted) serve."""
+        path = self._queue_path()
+        if not path.exists():
+            return
+        data = json.loads(path.read_text(encoding="utf-8"))
+        self._next_seq = int(data.get("next_seq", 1))
+        for entry in data.get("pending", []):
+            spec = spec_from_dict(entry["spec"])
+            job = self._register_job(
+                spec, entry["tenant"], submitted_at=entry["submitted_at"],
+                job_id=entry["id"],
+            )
+            self.queue.push(job)
+        if data.get("pending"):
+            self._persist_queue()
+
+    # -- job admission -------------------------------------------------------
+    def _register_job(self, spec, tenant: str,
+                      submitted_at: Optional[float] = None,
+                      job_id: Optional[str] = None) -> Job:
+        digest = spec_hash(spec)
+        if job_id is None:
+            job_id = f"j{self._next_seq:05d}-{digest[:8]}"
+            self._next_seq += 1
+        job = Job(job_id, tenant, spec, digest,
+                  cells=len(build_cells(spec)), submitted_at=submitted_at)
+        job.turnstile = asyncio.Event()
+        self.jobs[job.id] = job
+        self._inflight[digest] = job.id
+        return job
+
+    def submit(self, spec, tenant: str, weight: int = 1) -> Tuple[Job, bool]:
+        """Admit *spec* for *tenant*; returns ``(job, deduped)``.
+
+        Raises :class:`~repro.service.queue.QueueFull` on backpressure
+        and ``RuntimeError`` once the service is shutting down.
+        """
+        if self._closing:
+            raise RuntimeError("service is shutting down")
+        digest = spec_hash(spec)
+        existing = self._inflight.get(digest)
+        if existing is not None and not self.jobs[existing].terminal:
+            self.metrics.counter("service.jobs.deduped").inc()
+            return self.jobs[existing], True
+        if weight > 1:
+            self.queue.set_weight(tenant, weight)
+        job = self._register_job(spec, tenant)
+        try:
+            self.queue.push(job)
+        except QueueFull:
+            del self.jobs[job.id]
+            self._inflight.pop(digest, None)
+            self.metrics.counter("service.jobs.rejected").inc()
+            raise
+        self.metrics.counter("service.jobs.submitted").inc()
+        self.metrics.counter(f"service.tenant.{tenant}.submitted").inc()
+        self._persist_queue()
+        return job, False
+
+    # -- execution -----------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            job = await self.queue.pop()
+            if job is None:
+                return
+            job.transition("running")
+            self._persist_queue()
+            try:
+                summary = await self._loop.run_in_executor(
+                    self._pool, self._execute, job
+                )
+                job.replications_executed = summary["replications_executed"]
+                job.cache_hit_rate = summary["cache_hit_rate"]
+                job.transition("done", summary)
+                self.metrics.counter("service.jobs.completed").inc()
+            except Exception as exc:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.transition("failed", {"error": job.error})
+                self.metrics.counter("service.jobs.failed").inc()
+            finally:
+                if self._inflight.get(job.spec_hash) == job.id:
+                    del self._inflight[job.spec_hash]
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Worker thread: run the job's campaign against the shared store."""
+        job_dir = self.jobs_dir / job.id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        telemetry = _BridgedTelemetry(
+            CampaignTelemetry(job_dir / "telemetry.jsonl"), self._loop, job
+        )
+        progress = CampaignProgress(telemetry=telemetry)
+        cells = build_cells(resolve(job.spec))
+        # workers=1: the job IS the unit of parallelism; in-process
+        # execution is bit-identical to `pckpt run --spec` by the
+        # campaign scheduler's determinism contract.
+        results = run_campaign(cells, store=self.store, workers=1,
+                               progress=progress, resume=True)
+        job.results = results
+        job.store_keys = [content_key(c) for c in cells]
+        executed = int(
+            progress.metrics.counter("campaign.replications.executed").value
+        )
+        cached = int(
+            progress.metrics.counter("campaign.replications.cached").value
+        )
+        total = executed + cached
+        return {
+            "cells": len(cells),
+            "replications_executed": executed,
+            "replications_cached": cached,
+            "cache_hit_rate": (cached / total) if total else 0.0,
+        }
+
+    # -- status / metrics ----------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        states = {state: 0 for state in JOB_STATES}
+        tenants: Dict[str, Dict[str, Any]] = {}
+        for job in self.jobs.values():
+            states[job.state] += 1
+            per = tenants.setdefault(job.tenant, {"jobs": 0})
+            per["jobs"] += 1
+        payload = status_payload(self.store)
+        return {
+            "kind": SERVICE_STATUS_KIND,
+            "schema_version": SERVICE_SCHEMA_VERSION,
+            "uptime_seconds": time.time() - self._started_at,
+            "workers": self.workers,
+            "closing": self._closing,
+            "queue": {
+                "depth": len(self.queue),
+                "limit": self.queue.limit,
+                "by_tenant": self.queue.depth_by_tenant(),
+            },
+            "jobs": dict(states, total=len(self.jobs)),
+            "tenants": tenants,
+            "store": payload["store"],
+            "store_telemetry": payload["telemetry"],
+        }
+
+    def render_metrics(self) -> str:
+        """Service-level OpenMetrics exposition (``GET /metrics``)."""
+        states = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            states[job.state] += 1
+        lines = [
+            "# TYPE pckpt_service_info gauge",
+            f'pckpt_service_info{{schema_version="{SERVICE_SCHEMA_VERSION}"}}'
+            " 1",
+            "# TYPE pckpt_service_jobs gauge",
+        ]
+        for state in JOB_STATES:
+            lines.append(
+                f'pckpt_service_jobs{{state="{state}"}} {states[state]}'
+            )
+        for name in ("submitted", "deduped", "rejected", "completed",
+                     "failed"):
+            metric = f"pckpt_service_jobs_{name}_total"
+            value = self.metrics.counter(f"service.jobs.{name}").value
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {value:g}")
+        for metric, value in (
+            ("pckpt_service_queue_depth", len(self.queue)),
+            ("pckpt_service_queue_limit", self.queue.limit),
+            ("pckpt_service_workers", self.workers),
+            ("pckpt_service_store_cells", len(self.store)),
+            ("pckpt_service_uptime_seconds",
+             time.time() - self._started_at),
+        ):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {float(value):g}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    # -- HTTP front end ------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            await self._route(method, path, headers, body, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response
+        except Exception as exc:  # defensive: one bad request != one crash
+            try:
+                await self._send_json(
+                    writer, 500,
+                    {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", 0) or 0)
+        if length:
+            if length > _MAX_BODY:
+                raise ValueError("request body too large")
+            body = await reader.readexactly(length)
+        return method, target, headers, body
+
+    def _tenant_for(self, headers: Dict[str, str]
+                    ) -> Optional[Tuple[str, int]]:
+        """``(tenant, weight)`` for the request, or ``None`` (401)."""
+        auth = headers.get("authorization", "")
+        token = auth[7:].strip() if auth.lower().startswith("bearer ") else ""
+        if self.tokens is not None:
+            return self.tokens.get(token)
+        return (token, 1) if token else ("anonymous", 1)
+
+    async def _route(self, method: str, path: str, headers: Dict[str, str],
+                     body: bytes, writer: asyncio.StreamWriter) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/metrics" and method == "GET":
+            await self._send_text(
+                writer, 200, self.render_metrics(),
+                content_type="application/openmetrics-text; charset=utf-8",
+            )
+            return
+        if path == "/v1/status" and method == "GET":
+            await self._send_json(writer, 200, self.status())
+            return
+        if path == "/v1/shutdown" and method == "POST":
+            await self._send_json(writer, 200, {"state": "draining"})
+            asyncio.ensure_future(self.shutdown())
+            return
+        if path == "/v1/jobs" and method == "POST":
+            await self._post_job(headers, body, writer)
+            return
+        if path == "/v1/jobs" and method == "GET":
+            jobs = sorted(self.jobs.values(), key=lambda j: j.submitted_at)
+            await self._send_json(
+                writer, 200, {"jobs": [j.to_record() for j in jobs]}
+            )
+            return
+        if path.startswith("/v1/jobs/"):
+            await self._job_route(method, path, writer)
+            return
+        await self._send_json(writer, 404, {"error": f"no such path {path}"})
+
+    async def _post_job(self, headers: Dict[str, str], body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        identity = self._tenant_for(headers)
+        if identity is None:
+            await self._send_json(
+                writer, 401, {"error": "unknown or missing bearer token"}
+            )
+            return
+        if self._closing:
+            await self._send_json(
+                writer, 503, {"error": "service is shutting down"}
+            )
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._send_json(
+                writer, 400, {"error": f"request body is not JSON: {exc}"}
+            )
+            return
+        document = payload.get("spec", payload) \
+            if isinstance(payload, dict) else payload
+        try:
+            spec = spec_from_dict(document)
+        except SpecError as exc:
+            await self._send_json(
+                writer, 400,
+                {"error": "invalid spec", "problems": exc.problems},
+            )
+            return
+        tenant, weight = identity
+        try:
+            job, deduped = self.submit(spec, tenant, weight)
+        except QueueFull as exc:
+            await self._send_json(
+                writer, 429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers={
+                    "Retry-After": str(int(max(exc.retry_after, 1)))
+                },
+            )
+            return
+        except RuntimeError as exc:
+            await self._send_json(writer, 503, {"error": str(exc)})
+            return
+        await self._send_json(
+            writer, 200 if deduped else 201,
+            {"job": job.to_record(), "deduped": deduped},
+        )
+
+    async def _job_route(self, method: str, path: str,
+                         writer: asyncio.StreamWriter) -> None:
+        parts = path.strip("/").split("/")   # v1 jobs <id> [sub]
+        job = self.jobs.get(parts[2]) if len(parts) >= 3 else None
+        if job is None:
+            await self._send_json(writer, 404, {"error": "no such job"})
+            return
+        sub = parts[3] if len(parts) == 4 else None
+        if method != "GET" or len(parts) > 4:
+            await self._send_json(writer, 405, {"error": "method not allowed"})
+            return
+        if sub is None:
+            await self._send_json(writer, 200, job.to_record())
+        elif sub == "events":
+            await self._stream_events(job, writer)
+        elif sub == "result":
+            if job.state == "done":
+                await self._send_json(writer, 200, job.result_payload())
+            elif job.state == "failed":
+                await self._send_json(
+                    writer, 409,
+                    {"error": f"job failed: {job.error}", "state": job.state},
+                )
+            else:
+                await self._send_json(
+                    writer, 409,
+                    {"error": "job not finished", "state": job.state},
+                )
+        else:
+            await self._send_json(writer, 404, {"error": f"no such view {sub}"})
+
+    async def _stream_events(self, job: Job,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON: replay history, then follow live until terminal."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\nConnection: close\r\n\r\n"
+        )
+        sent = 0
+        while True:
+            while sent < len(job.events):
+                line = json.dumps(job.events[sent], sort_keys=True)
+                writer.write(line.encode("utf-8") + b"\n")
+                sent += 1
+            await writer.drain()
+            if job.terminal and sent == len(job.events):
+                return
+            turnstile = job.turnstile
+            await turnstile.wait()
+
+    # -- response helpers ----------------------------------------------------
+    async def _send_json(self, writer: asyncio.StreamWriter, status: int,
+                         payload: Dict[str, Any],
+                         extra_headers: Optional[Dict[str, str]] = None
+                         ) -> None:
+        await self._send_text(
+            writer, status, json.dumps(payload, sort_keys=True) + "\n",
+            content_type="application/json", extra_headers=extra_headers,
+        )
+
+    async def _send_text(self, writer: asyncio.StreamWriter, status: int,
+                         text: str, content_type: str = "text/plain",
+                         extra_headers: Optional[Dict[str, str]] = None
+                         ) -> None:
+        body = text.encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+
+class ServiceThread:
+    """A service on a background thread — tests and the load generator.
+
+    Usage::
+
+        with ServiceThread(store_dir, jobs=4) as svc:
+            client = ServiceClient(port=svc.port)
+            ...
+
+    The context manager waits for the socket to bind on entry (an
+    ephemeral port by default) and performs a full graceful shutdown on
+    exit.
+    """
+
+    def __init__(self, store: Union[str, Path], host: str = "127.0.0.1",
+                 port: int = 0, **kwargs: Any) -> None:
+        import threading
+
+        self.service = PckptService(store, **kwargs)
+        self._host = host
+        self._port = port
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="pckpt-serve", daemon=True
+        )
+
+    @property
+    def host(self) -> str:
+        return self.service.host or self._host
+
+    @property
+    def port(self) -> int:
+        assert self.service.port is not None, "service not started"
+        return self.service.port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures to start()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        await self.service.start(self._host, self._port)
+        self._ready.set()
+        await self.service._stopped.wait()
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        self._ready.wait(30)
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        if self.service.port is None:
+            raise RuntimeError("service did not bind within 30s")
+        return self
+
+    def stop(self, timeout: float = 120.0) -> None:
+        loop = self.service._loop
+        if loop is not None and not self.service._stopped.is_set():
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: asyncio.ensure_future(self.service.shutdown())
+                )
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+        if self._error is not None:
+            raise RuntimeError("service thread crashed") from self._error
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve(store: Union[str, Path], host: str = "127.0.0.1",
+          port: int = DEFAULT_PORT, jobs: int = 2, queue_limit: int = 64,
+          tokens: Optional[Dict[str, Tuple[str, int]]] = None,
+          retry_after: float = 2.0,
+          ready: Optional[Any] = None) -> PckptService:
+    """Run a service until SIGINT/SIGTERM or ``POST /v1/shutdown``.
+
+    Blocking, single-command entry point behind ``pckpt serve``.
+    *ready*, if given, is called with the service once the socket is
+    bound (tests use it to learn the ephemeral port).  Returns the
+    (stopped) service.
+    """
+    import signal
+
+    service = PckptService(store, jobs=jobs, queue_limit=queue_limit,
+                           tokens=tokens, retry_after=retry_after)
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(service.shutdown())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / platform without signal support
+        await service.start(host, port)
+        if ready is not None:
+            ready(service)
+        await service._stopped.wait()
+
+    asyncio.run(_main())
+    return service
