@@ -1,0 +1,195 @@
+"""Vectorized evaluation of the closed-form models over whole sweeps.
+
+The scalar functions in :mod:`repro.analysis.young` and
+:mod:`repro.analysis.breakeven` answer one configuration at a time; a
+campaign sweep asks for hundreds.  This module evaluates an entire batch
+of **analytical cells** in one numpy pass per model kind — the fast path
+:func:`repro.campaign.scheduler.run_campaign` takes so analytical cells
+never enter the DES at all.
+
+Bitwise contract
+----------------
+The vectorized evaluators reproduce the scalar functions **bit for
+bit**: every arithmetic expression keeps the scalar operand order, and
+``+``/``-``/``*``/``/``/``sqrt`` are all correctly rounded in IEEE-754
+double precision, so elementwise numpy evaluation cannot diverge from
+the ``math``-module path.  ``tests/test_analytical_sweep.py`` pins this
+down with ``float.hex`` comparisons across wide parameter grids; the
+campaign layer relies on it so a store entry written by the batched
+path is byte-identical to one written cell-by-cell.
+
+Supported kinds (the ``kind`` field of an analytical cell):
+
+``young-oci``
+    Eq. (1) — params ``t_ckpt_bb``, ``per_node_rate``, ``nodes``;
+    output ``oci``.
+``sigma-oci``
+    Eq. (2) — params as above plus ``sigma``; outputs ``oci`` and
+    ``elongation_percent`` (Observation 6).
+``breakeven``
+    Eqs. (6)–(8) — param ``sigma``; outputs ``alpha`` (published Eq. 8)
+    and ``alpha_exact`` (the consistent derivation, ``inf`` past the
+    golden-ratio bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .breakeven import SIGMA_UPPER_BOUND
+
+__all__ = [
+    "ANALYTICAL_KINDS",
+    "AnalyticalResult",
+    "analytical_params",
+    "evaluate_analytical_batch",
+]
+
+
+@dataclass(frozen=True)
+class AnalyticalResult:
+    """Outcome of one analytical cell — the closed form's in- and outputs.
+
+    The analytical counterpart of
+    :class:`~repro.experiments.runner.SimulationResult`: what the
+    campaign scheduler returns (and the result store persists) for a
+    cell evaluated in closed form.  ``replications`` is always 0 —
+    analytical cells never run the DES — which lets the store's
+    replication accounting treat both result types uniformly.
+    """
+
+    kind: str
+    params: Dict[str, float] = field(default_factory=dict)
+    outputs: Dict[str, float] = field(default_factory=dict)
+
+    #: Analytical cells execute zero DES replications, by construction.
+    replications: int = 0
+
+
+#: Parameter names (in canonical order) required by each analytical kind.
+ANALYTICAL_KINDS: Dict[str, Tuple[str, ...]] = {
+    "young-oci": ("t_ckpt_bb", "per_node_rate", "nodes"),
+    "sigma-oci": ("t_ckpt_bb", "per_node_rate", "nodes", "sigma"),
+    "breakeven": ("sigma",),
+}
+
+
+def analytical_params(kind: str, params: Mapping[str, float]) -> Dict[str, float]:
+    """Validate and normalize *params* for *kind* (floats, exact key set)."""
+    try:
+        names = ANALYTICAL_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown analytical kind {kind!r}; "
+            f"expected one of {sorted(ANALYTICAL_KINDS)}"
+        ) from None
+    if set(params) != set(names):
+        raise ValueError(
+            f"analytical kind {kind!r} takes parameters {list(names)}, "
+            f"got {sorted(params)}"
+        )
+    return {name: float(params[name]) for name in names}
+
+
+def _columns(kind: str, batch: Sequence[Mapping[str, float]]) -> List[np.ndarray]:
+    """Stack the batch's parameters into one float64 column per name."""
+    names = ANALYTICAL_KINDS[kind]
+    return [
+        np.array([p[name] for p in batch], dtype=np.float64)
+        for name in names
+    ]
+
+
+def _eval_young_oci(batch: Sequence[Mapping[str, float]]) -> List[Dict[str, float]]:
+    # Mirrors analysis.young.young_oci, including its validation.
+    t_bb, rate, nodes = _columns("young-oci", batch)
+    if np.any(t_bb <= 0):
+        raise ValueError("t_ckpt_bb must be positive")
+    if np.any(rate <= 0):
+        raise ValueError("failure rate must be positive")
+    if np.any(nodes < 1):
+        raise ValueError("nodes must be >= 1")
+    oci = np.sqrt(2.0 * t_bb / (rate * nodes))
+    return [{"oci": v} for v in oci.tolist()]
+
+
+def _eval_sigma_oci(batch: Sequence[Mapping[str, float]]) -> List[Dict[str, float]]:
+    # Mirrors sigma_adjusted_oci (Eq. 2) and oci_elongation_percent:
+    # the discounted rate is formed first, exactly like the scalar call
+    # chain young_oci(t, rate * (1 - sigma), nodes).
+    t_bb, rate, nodes, sigma = _columns("sigma-oci", batch)
+    if np.any(sigma < 0.0) or np.any(sigma >= 1.0):
+        raise ValueError("sigma must be in [0, 1)")
+    discounted = rate * (1.0 - sigma)
+    if np.any(t_bb <= 0):
+        raise ValueError("t_ckpt_bb must be positive")
+    if np.any(discounted <= 0):
+        raise ValueError("failure rate must be positive")
+    if np.any(nodes < 1):
+        raise ValueError("nodes must be >= 1")
+    oci = np.sqrt(2.0 * t_bb / (discounted * nodes))
+    elongation = (1.0 / np.sqrt(1.0 - sigma) - 1.0) * 100.0
+    return [
+        {"oci": o, "elongation_percent": e}
+        for o, e in zip(oci.tolist(), elongation.tolist())
+    ]
+
+
+def _eval_breakeven(batch: Sequence[Mapping[str, float]]) -> List[Dict[str, float]]:
+    # Mirrors alpha_breakeven (published Eq. 8, valid below
+    # SIGMA_UPPER_BOUND) and alpha_breakeven_exact (inf at and past the
+    # golden-ratio denominator zero).
+    (sigma,) = _columns("breakeven", batch)
+    if np.any(sigma < 0.0) or np.any(sigma >= SIGMA_UPPER_BOUND):
+        raise ValueError(f"sigma must be in [0, {SIGMA_UPPER_BOUND})")
+    root = np.sqrt(1.0 - sigma)
+    alpha = (sigma + 1.0) / (sigma + root)
+    denom = root - sigma
+    exact = np.full_like(sigma, np.inf)
+    positive = denom > 0.0
+    np.divide(1.0 - sigma, denom, out=exact, where=positive)
+    return [
+        {"alpha": a, "alpha_exact": x}
+        for a, x in zip(alpha.tolist(), exact.tolist())
+    ]
+
+
+_EVALUATORS = {
+    "young-oci": _eval_young_oci,
+    "sigma-oci": _eval_sigma_oci,
+    "breakeven": _eval_breakeven,
+}
+
+
+def evaluate_analytical_batch(
+    cells: Sequence,
+) -> List[AnalyticalResult]:
+    """Evaluate a batch of analytical cells, one numpy pass per kind.
+
+    *cells* is any sequence of objects with ``kind`` and ``params``
+    attributes (the campaign layer passes
+    :class:`~repro.campaign.plan.AnalyticalCellSpec`).  Results come
+    back in input order regardless of how the kinds interleave.  A
+    single invalid parameter fails the whole batch — the same
+    ``ValueError`` the scalar function would raise for that cell.
+    """
+    by_kind: Dict[str, List[int]] = {}
+    for i, cell in enumerate(cells):
+        if cell.kind not in _EVALUATORS:
+            raise ValueError(
+                f"unknown analytical kind {cell.kind!r}; "
+                f"expected one of {sorted(ANALYTICAL_KINDS)}"
+            )
+        by_kind.setdefault(cell.kind, []).append(i)
+
+    results: List[AnalyticalResult] = [None] * len(cells)  # type: ignore[list-item]
+    for kind, indices in by_kind.items():
+        outputs = _EVALUATORS[kind]([cells[i].params for i in indices])
+        for i, out in zip(indices, outputs):
+            results[i] = AnalyticalResult(
+                kind=kind, params=dict(cells[i].params), outputs=out
+            )
+    return results

@@ -54,6 +54,7 @@ __all__ = [
     "write_payload",
     "bench_filename",
     "compare_payloads",
+    "kernel_geomean",
     "format_payload",
     "format_comparison",
     "git_sha",
@@ -122,9 +123,11 @@ def _ping_pong(n: int) -> Environment:
     """Two processes signalling each other through bare events.
 
     Exercises Event.succeed, callback subscription, and the processed-event
-    fast path in Process._resume (no heap time advance).
+    fast path in Process._resume (no heap time advance).  The workload is
+    one long same-time cascade, so it opts into the calendar queue
+    (``delay_grid``) and runs on the batched bucket-drain dispatch loop.
     """
-    env = Environment()
+    env = Environment(delay_grid=1.0)
     box: List[Any] = [env.event(), env.event()]
 
     def player(env: Environment, me: int):
@@ -164,9 +167,11 @@ def _store_traffic(n: int) -> Environment:
     """A producer/consumer pair through a priority store.
 
     Exercises the put/get dispatcher and the priority-ordered retrieval
-    path (the node-local queue primitive of the p-ckpt protocol).
+    path (the node-local queue primitive of the p-ckpt protocol).  All
+    traffic happens at t=0, so the builder opts into the calendar queue
+    and the whole run is one batched bucket drain.
     """
-    env = Environment()
+    env = Environment(delay_grid=1.0)
     store = PriorityStore(env)
 
     def producer(env: Environment):
@@ -212,9 +217,10 @@ def _store_backlog(n: int) -> Environment:
     Exercises ordered retrieval at depth, where maintaining the
     retrieval order costs O(log n) per operation in the current kernel
     (an earlier revision rebuilt the sorted view on every put/get,
-    which makes exactly this workload quadratic).
+    which makes exactly this workload quadratic).  Same-time cascade
+    workload: opts into the calendar queue like ping_pong.
     """
-    env = Environment()
+    env = Environment(delay_grid=1.0)
     store = PriorityStore(env)
     backlog = 512
     cycles = max(n // (2 * backlog), 1)
@@ -602,6 +608,24 @@ def format_payload(payload: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def kernel_geomean(cmp: Dict[str, Dict[str, float]]) -> Optional[float]:
+    """Geometric-mean kernel speedup of a :func:`compare_payloads` result.
+
+    Only ``kernel.*`` rows with matching workloads participate; returns
+    ``None`` when the comparison has no such row (e.g. disjoint suites).
+    This is the number the CI regression gate (``pckpt bench
+    --fail-below``) and the committed-baseline acceptance check read.
+    """
+    kernel = [r["speedup"] for n, r in cmp.items()
+              if n.startswith("kernel.") and r["comparable"]]
+    if not kernel:
+        return None
+    geo = 1.0
+    for s in kernel:
+        geo *= s
+    return geo ** (1.0 / len(kernel))
+
+
 def format_comparison(cmp: Dict[str, Dict[str, float]]) -> str:
     """Render :func:`compare_payloads` output as an aligned table."""
     lines = [
@@ -614,16 +638,10 @@ def format_comparison(cmp: Dict[str, Dict[str, float]]) -> str:
             f"{name:<26s} {row['old_events_per_sec']:>12.0f} "
             f"{row['new_events_per_sec']:>12.0f} {row['speedup']:>7.2f}x{flag}"
         )
-    if cmp:
-        kernel = [r["speedup"] for n, r in cmp.items()
-                  if n.startswith("kernel.") and r["comparable"]]
-        if kernel:
-            geo = 1.0
-            for s in kernel:
-                geo *= s
-            geo **= 1.0 / len(kernel)
-            lines.append(f"{'kernel geomean':<26s} {'':>12s} {'':>12s} "
-                         f"{geo:>7.2f}x")
+    geo = kernel_geomean(cmp)
+    if geo is not None:
+        lines.append(f"{'kernel geomean':<26s} {'':>12s} {'':>12s} "
+                     f"{geo:>7.2f}x")
     return "\n".join(lines)
 
 

@@ -11,12 +11,20 @@ interrupted one resumes from the last completed cell.  See
 ``docs/CAMPAIGN.md``.
 """
 
-from .plan import CampaignPlan, CellSpec, WorkUnit, canonical_config, content_key
+from .plan import (
+    AnalyticalCellSpec,
+    CampaignPlan,
+    CellSpec,
+    WorkUnit,
+    canonical_config,
+    content_key,
+)
 from .progress import CampaignProgress
 from .scheduler import CampaignExecutionError, run_campaign
 from .store import (
     SCHEMA_VERSION,
     ResultStore,
+    StoredResult,
     StoreSchemaError,
     result_from_dict,
     result_to_dict,
@@ -24,6 +32,7 @@ from .store import (
 )
 
 __all__ = [
+    "AnalyticalCellSpec",
     "CampaignPlan",
     "CellSpec",
     "WorkUnit",
@@ -34,6 +43,7 @@ __all__ = [
     "run_campaign",
     "SCHEMA_VERSION",
     "ResultStore",
+    "StoredResult",
     "StoreSchemaError",
     "result_to_dict",
     "result_from_dict",

@@ -26,10 +26,11 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..analysis.sweeps import analytical_params
 from ..failures.leadtime import LeadTimeModel
 from ..failures.predictor import PredictorSpec
 from ..failures.weibull import WeibullParams
@@ -39,6 +40,7 @@ from ..workloads.applications import ApplicationSpec
 from .store import SCHEMA_VERSION
 
 __all__ = [
+    "AnalyticalCellSpec",
     "CellSpec",
     "WorkUnit",
     "CampaignPlan",
@@ -130,8 +132,59 @@ class CellSpec:
             raise ValueError("replications must be >= 1")
 
 
-def canonical_config(cell: CellSpec) -> Dict[str, object]:
-    """The cell's full configuration in canonical (hash-input) form."""
+@dataclass(frozen=True, eq=False)
+class AnalyticalCellSpec:
+    """One closed-form grid point: evaluated analytically, never simulated.
+
+    The campaign scheduler recognizes these cells and routes them
+    through :func:`repro.analysis.sweeps.evaluate_analytical_batch` —
+    one vectorized pass per model kind, zero DES replications — while
+    caching the outcome in the same result store as simulated cells.
+
+    Attributes
+    ----------
+    key:
+        Caller-facing grid key (e.g. ``("breakeven", 0.25)``); names the
+        slot, not the computation, exactly like :attr:`CellSpec.key`.
+    kind:
+        Which closed form applies — one of
+        :data:`repro.analysis.sweeps.ANALYTICAL_KINDS`.
+    params:
+        The closed form's inputs, normalized to floats on construction
+        (the full parameter set of *kind*; anything missing or extra is
+        rejected immediately rather than at evaluation time).
+    """
+
+    key: tuple
+    kind: str
+    params: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params", analytical_params(self.kind, self.params)
+        )
+
+    @property
+    def replications(self) -> int:
+        """Analytical cells run zero DES replications, by definition."""
+        return 0
+
+
+def canonical_config(cell: "Union[CellSpec, AnalyticalCellSpec]",
+                     ) -> Dict[str, object]:
+    """The cell's full configuration in canonical (hash-input) form.
+
+    Analytical cells hash ``{schema_version, analytical kind, params}``
+    — a disjoint shape from simulation cells, so the two families can
+    never collide on a store key, and simulation-cell keys are exactly
+    what they were before analytical cells existed.
+    """
+    if isinstance(cell, AnalyticalCellSpec):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "analytical": cell.kind,
+            "params": _canonical(cell.params),
+        }
     return {
         "schema_version": SCHEMA_VERSION,
         "app": _canonical(cell.app),
@@ -146,7 +199,7 @@ def canonical_config(cell: CellSpec) -> Dict[str, object]:
     }
 
 
-def content_key(cell: CellSpec) -> str:
+def content_key(cell: "Union[CellSpec, AnalyticalCellSpec]") -> str:
     """Stable SHA-256 content hash of the cell configuration (64 hex)."""
     blob = json.dumps(canonical_config(cell), sort_keys=True,
                       separators=(",", ":"))
@@ -173,12 +226,17 @@ class CampaignPlan:
     ----------
     cells:
         Grid cells in the order the caller's result dict should present
-        them.  Duplicate cache keys are rejected — two cells with the
-        same full configuration would race on one store entry.
+        them — simulated (:class:`CellSpec`) and analytical
+        (:class:`AnalyticalCellSpec`) cells may be freely mixed.
+        Duplicate cache keys are rejected — two cells with the same full
+        configuration would race on one store entry.
     """
 
-    def __init__(self, cells: Sequence[CellSpec]) -> None:
-        self.cells: Tuple[CellSpec, ...] = tuple(cells)
+    def __init__(
+        self, cells: "Sequence[Union[CellSpec, AnalyticalCellSpec]]"
+    ) -> None:
+        self.cells: "Tuple[Union[CellSpec, AnalyticalCellSpec], ...]" = \
+            tuple(cells)
         self.keys: Tuple[str, ...] = tuple(content_key(c) for c in self.cells)
         seen: Dict[str, int] = {}
         for i, k in enumerate(self.keys):

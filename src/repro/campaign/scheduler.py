@@ -32,11 +32,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.sweeps import evaluate_analytical_batch
 from ..experiments.runner import SimulationResult, _aggregate, _run_once
 from ..obs.telemetry import TELEMETRY_FILENAME, CampaignTelemetry
-from .plan import CampaignPlan, CellSpec, WorkUnit
+from .plan import AnalyticalCellSpec, CampaignPlan, CellSpec, WorkUnit
 from .progress import CampaignProgress
-from .store import ResultStore
+from .store import ResultStore, StoredResult
 
 __all__ = ["CampaignExecutionError", "run_campaign"]
 
@@ -102,14 +103,21 @@ def run_campaign(
     resume: bool = True,
     progress: Optional[CampaignProgress] = None,
     max_shard: Optional[int] = None,
-) -> Dict[tuple, SimulationResult]:
-    """Execute a campaign; returns ``{cell.key: SimulationResult}``.
+) -> Dict[tuple, StoredResult]:
+    """Execute a campaign; returns ``{cell.key: result}``.
+
+    Simulated cells yield :class:`SimulationResult` aggregates;
+    analytical cells (:class:`~repro.campaign.plan.AnalyticalCellSpec`)
+    yield :class:`~repro.analysis.sweeps.AnalyticalResult` objects,
+    evaluated in one vectorized closed-form pass with zero DES
+    replications.
 
     Parameters
     ----------
     cells:
-        Grid cells in presentation order (duplicate configurations are
-        rejected — see :class:`~repro.campaign.plan.CampaignPlan`).
+        Grid cells in presentation order, simulated and analytical
+        freely mixed (duplicate configurations are rejected — see
+        :class:`~repro.campaign.plan.CampaignPlan`).
     store:
         Result store for cache hits and persistence (``None`` = compute
         everything, persist nothing).
@@ -136,16 +144,42 @@ def run_campaign(
             store.root / TELEMETRY_FILENAME
         )
 
-    results: Dict[int, SimulationResult] = {}
+    results: Dict[int, StoredResult] = {}
     pending: List[int] = []
+    analytical: List[int] = []
     progress.campaign_begin(len(plan.cells), plan.total_replications)
     for i, cell in enumerate(plan.cells):
         cached = store.get(plan.keys[i]) if (store and resume) else None
         if cached is not None:
             results[i] = cached
             progress.cell_cached(cell, plan.keys[i])
+        elif isinstance(cell, AnalyticalCellSpec):
+            analytical.append(i)
         else:
             pending.append(i)
+
+    # Analytical fast path: closed-form cells never reach the DES or the
+    # pool — the whole batch is evaluated in one vectorized pass (per
+    # model kind) and persisted like any other cell.
+    if analytical:
+        for i in analytical:
+            progress.cell_started(plan.cells[i], i)
+        for i, result in zip(
+            analytical,
+            evaluate_analytical_batch([plan.cells[i] for i in analytical]),
+        ):
+            cell = plan.cells[i]
+            if store is not None:
+                store.put(
+                    plan.keys[i], result,
+                    meta={
+                        "cell": [str(part) for part in cell.key],
+                        "analytical": cell.kind,
+                        "replications": 0,
+                    },
+                )
+            results[i] = result
+            progress.cell_done(cell, i)
 
     pending_reps = sum(plan.cells[i].replications for i in pending)
     if workers is None:

@@ -47,12 +47,18 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
 from ..analysis.metrics import FTStats, OverheadBreakdown
+from ..analysis.sweeps import AnalyticalResult
 from ..des.metrics import MetricsRegistry
 from ..experiments.runner import SimulationResult
+
+#: What a store entry can hold: a Monte-Carlo aggregate or a closed-form
+#: analytical evaluation (the two cell families of a campaign plan).
+StoredResult = Union[SimulationResult, AnalyticalResult]
 
 __all__ = [
     "SCHEMA_VERSION",
     "StoreSchemaError",
+    "StoredResult",
     "ResultStore",
     "result_to_dict",
     "result_from_dict",
@@ -71,8 +77,22 @@ class StoreSchemaError(RuntimeError):
     """An on-disk store's schema version does not match the code's."""
 
 
-def result_to_dict(result: SimulationResult) -> Dict:
-    """Serialize a :class:`SimulationResult` to a JSON-friendly dict."""
+def result_to_dict(result: StoredResult) -> Dict:
+    """Serialize a result to a JSON-friendly dict.
+
+    Analytical results carry an ``"analytical": True`` marker so
+    :func:`result_from_dict` can reconstruct the right type; the
+    simulation-result layout is exactly what it always was, so existing
+    store entries keep their bytes (and their keys).
+    """
+    if isinstance(result, AnalyticalResult):
+        return {
+            "analytical": True,
+            "kind": result.kind,
+            "params": result.params,
+            "outputs": result.outputs,
+            "replications": 0,
+        }
     return {
         "app_name": result.app_name,
         "model_name": result.model_name,
@@ -87,8 +107,18 @@ def result_to_dict(result: SimulationResult) -> Dict:
     }
 
 
-def result_from_dict(payload: Dict) -> SimulationResult:
-    """Reconstruct a :class:`SimulationResult` from :func:`result_to_dict`."""
+def result_from_dict(payload: Dict) -> StoredResult:
+    """Reconstruct a result from its :func:`result_to_dict` form.
+
+    JSON round-trips every float exactly (shortest-repr serialization),
+    so the reconstructed result is bit-identical for both families.
+    """
+    if payload.get("analytical"):
+        return AnalyticalResult(
+            kind=payload["kind"],
+            params=dict(payload["params"]),
+            outputs=dict(payload["outputs"]),
+        )
     metrics = payload.get("metrics")
     return SimulationResult(
         app_name=payload["app_name"],
@@ -148,7 +178,7 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
-    def get(self, key: str) -> Optional[SimulationResult]:
+    def get(self, key: str) -> Optional[StoredResult]:
         """The stored result for *key*, or ``None`` on a cache miss.
 
         A concurrent ``clear`` may unlink the entry between the
@@ -171,7 +201,7 @@ class ResultStore:
             return None
         return payload.get("meta", {})
 
-    def put(self, key: str, result: SimulationResult,
+    def put(self, key: str, result: StoredResult,
             meta: Optional[Dict] = None) -> Path:
         """Persist *result* under *key* atomically; returns the entry path.
 

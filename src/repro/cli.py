@@ -799,15 +799,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"[wrote {path}]")
 
     if args.baseline is not None:
-        with open(args.baseline, "r", encoding="utf-8") as fh:
-            base = json.load(fh)
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                base = json.load(fh)
+        except FileNotFoundError:
+            parent = Path(args.baseline).parent
+            search_dir = parent if str(parent) != "." else Path(args.out)
+            available = sorted(p.name for p in search_dir.glob("BENCH_*.json"))
+            listing = (
+                f"available baselines in {search_dir}: "
+                + ", ".join(available)
+                if available
+                else f"no BENCH_*.json files in {search_dir} — run "
+                     "`pckpt bench` once to create one"
+            )
+            print(
+                f"error: baseline {args.baseline} not found; expected a "
+                "committed payload matching benchmarks/kernel/"
+                f"BENCH_<git-sha>.json ({listing})",
+                file=sys.stderr,
+            )
+            return 2
         problems = bench.validate_payload(base)
         if problems:
             print(f"error: baseline {args.baseline} is not a valid bench "
                   "payload: " + "; ".join(problems), file=sys.stderr)
             return 2
         print(f"vs baseline {args.baseline} (@{base.get('git_sha')}):")
-        print(bench.format_comparison(bench.compare_payloads(base, payload)))
+        comparison = bench.compare_payloads(base, payload)
+        print(bench.format_comparison(comparison))
+        if args.fail_below is not None:
+            geo = bench.kernel_geomean(comparison)
+            if geo is None:
+                print("error: --fail-below given but the baseline shares no "
+                      "comparable kernel.* benchmarks", file=sys.stderr)
+                return 2
+            if geo < args.fail_below:
+                print(
+                    f"error: kernel geomean {geo:.3f}x is below the "
+                    f"--fail-below {args.fail_below:g}x regression gate",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 
@@ -1173,6 +1206,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="existing BENCH_*.json to print per-benchmark speedups against",
     )
+    p_bench.add_argument(
+        "--fail-below",
+        metavar="RATIO",
+        type=float,
+        default=None,
+        help="with --baseline: exit 1 if the kernel geomean speedup falls "
+             "below RATIO (CI regression gate, e.g. 0.8 = allow 20%% loss)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_prof = sub.add_parser(
@@ -1274,7 +1315,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_val.add_argument(
         "--backend", nargs="+", default=["all"],
-        choices=["all", "fast", "step", "simpy"],
+        choices=["all", "fast", "step", "calendar", "simpy"],
         help="backends to cross-check (default: every available one)",
     )
     p_val.add_argument(

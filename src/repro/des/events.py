@@ -60,13 +60,19 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
+    # ``_defused`` is deliberately NOT initialized here (or in any of the
+    # inlined event constructors): it is only ever read after a failure,
+    # and :meth:`fail` / :meth:`trigger` set it on that path.  Event
+    # construction is the kernel's hottest allocation site, so each
+    # constructor saves one attribute store per event.  The ``defused``
+    # property tolerates the unset slot for never-failed events.
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         #: Callbacks invoked (in order) when the event is processed.
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: bool = True
-        self._defused: bool = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -102,7 +108,7 @@ class Event:
     @property
     def defused(self) -> bool:
         """True if a failed event's exception has been marked as handled."""
-        return self._defused
+        return getattr(self, "_defused", False)
 
     def defuse(self) -> None:
         """Mark a failed event as handled, suppressing kernel re-raise."""
@@ -127,9 +133,19 @@ class Event:
         self._value = value
         # Inlined Environment.schedule with delay=0 (the only case here);
         # keep the key tuple in sync with core.Environment.schedule.  The
-        # heap high-water mark is sampled at pop time by the run loop.
+        # queue high-water mark is sampled at pop time by the run loop.
+        # Heap mode pushes straight onto the heap (cheaper than any
+        # indirection); in calendar mode NORMAL-priority entries at the
+        # current time go through env._push_now, which a draining bucket
+        # rebinds to its raw deque.append, and anything else takes the
+        # general env._push (the queue's binning method).
         env = self.env
-        heappush(env._queue, (env._now, priority, env._eid, self))
+        if env._cal is None:
+            heappush(env._queue, (env._now, priority, env._eid, self))
+        elif priority == 1:
+            env._push_now((env._now, priority, env._eid, self))
+        else:
+            env._push((env._now, priority, env._eid, self))
         env._eid += 1
         return self
 
@@ -152,9 +168,15 @@ class Event:
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
+        self._defused = False
         self._value = exception
         env = self.env
-        heappush(env._queue, (env._now, priority, env._eid, self))
+        if env._cal is None:
+            heappush(env._queue, (env._now, priority, env._eid, self))
+        elif priority == 1:
+            env._push_now((env._now, priority, env._eid, self))
+        else:
+            env._push((env._now, priority, env._eid, self))
         env._eid += 1
         return self
 
@@ -166,6 +188,7 @@ class Event:
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = event._ok
+        self._defused = False
         self._value = event._value
         self.env.schedule(self, priority=NORMAL)
 
@@ -204,12 +227,13 @@ class Timeout(Event):
     -----
     Timeouts dominate event traffic in every simulation, so ``__init__``
     is a fast path: it sets the :class:`Event` fields and pushes the
-    ``(time, priority, sequence)`` heap entry directly instead of going
+    ``(time, priority, sequence)`` queue entry directly instead of going
     through ``Event.__init__`` + :meth:`Environment.schedule` — one
-    attribute-store sequence and one ``heappush`` per timeout, with
-    identical scheduling semantics (same key tuple, same sequence
-    numbering; the heap high-water mark is sampled at pop time by the
-    run loop).
+    attribute-store sequence and one push (a direct ``heappush`` in heap
+    mode, the calendar queue's binning method otherwise) per timeout,
+    with identical
+    scheduling semantics (same key tuple, same sequence numbering; the
+    queue high-water mark is sampled at pop time by the run loop).
     """
 
     __slots__ = ("_delay",)
@@ -221,11 +245,14 @@ class Timeout(Event):
         self.callbacks = []
         self._ok = True
         self._value = value
-        self._defused = False
         if type(delay) is not float:
             delay = float(delay)
         self._delay = delay
-        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        cal = env._cal
+        if cal is None:
+            heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
+        else:
+            cal.push((env._now + delay, NORMAL, env._eid, self))
         env._eid += 1
 
     @property
@@ -359,7 +386,6 @@ class Condition(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
         self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
@@ -468,8 +494,11 @@ class AllOf(Condition):
             self.fail(event._value)
             self._remove_check_callbacks()
         elif self._count == len(self._events):
+            # No pruning needed on success: all-of can only fire once
+            # every composed event has been *processed*, so there are no
+            # live callback lists left to remove this check from (and any
+            # fired sub-condition already pruned its own sub-events).
             self.succeed(None)
-            self._remove_check_callbacks()
 
 
 class AnyOf(Condition):

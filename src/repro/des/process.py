@@ -32,7 +32,7 @@ class Process(Event):
     this directly.
     """
 
-    __slots__ = ("_generator", "_target", "_cb", "name")
+    __slots__ = ("_generator", "_send", "_target", "_cb", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: Optional[str] = None) -> None:
@@ -40,6 +40,9 @@ class Process(Event):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
+        #: Bound ``generator.send``, resolved once — every resume of the
+        #: process calls it, so the attribute lookup must not repeat.
+        self._send = generator.send
         #: The bound _resume callback, created once — subscribing to a new
         #: target on every yield must not allocate a fresh bound method.
         self._cb = self._resume
@@ -72,36 +75,37 @@ class Process(Event):
         """Advance the generator with the value/exception of *event*."""
         env = self.env
         env._active_proc = self
-        generator = self._generator
+        send = self._send
 
         while True:
             try:
                 if event._ok:
-                    next_event = generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed: mark the exception as handled (the
                     # process is dealing with it now) and throw it in.
                     event._defused = True
                     exc = type(event._value)(*event._value.args)
                     exc.__cause__ = event._value
-                    next_event = generator.throw(exc)
+                    next_event = self._generator.throw(exc)
             except StopIteration as exc:
                 # Generator returned: the process event succeeds.
                 self._ok = True
                 self._value = exc.value
-                env.schedule(self, priority=NORMAL)
+                env.schedule(self, NORMAL)
                 break
             except StopProcess as exc:
                 self._ok = True
                 self._value = exc.value
-                env.schedule(self, priority=NORMAL)
+                env.schedule(self, NORMAL)
                 break
             except BaseException as exc:
                 # Unhandled exception inside the process: the process event
                 # fails; if nobody waits for it, the kernel will re-raise.
                 self._ok = False
+                self._defused = False
                 self._value = exc
-                env.schedule(self, priority=NORMAL)
+                env.schedule(self, NORMAL)
                 break
 
             # The generator yielded a new event to wait for.  Assume an
@@ -113,11 +117,12 @@ class Process(Event):
                 msg = f"process {self.name!r} yielded non-event {next_event!r}"
                 error = SimulationError(msg)
                 try:
-                    generator.throw(error)
+                    self._generator.throw(error)
                 except (SimulationError, StopIteration):
                     self._ok = False
+                    self._defused = False
                     self._value = error
-                    env.schedule(self, priority=NORMAL)
+                    env.schedule(self, NORMAL)
                     break
                 raise error  # pragma: no cover - generator swallowed it
 

@@ -14,6 +14,7 @@ manager).
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Deque, List, Tuple
 
@@ -44,7 +45,6 @@ class Request(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
         self.resource = resource
         resource._do_request(self)
 
@@ -92,7 +92,6 @@ class Release(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
         self.resource = resource
         self.request = request
         resource._do_release(self)
@@ -120,9 +119,15 @@ class Resource:
     turn follows the deterministic event order of the environment.  The
     wait queue is a :class:`collections.deque` so the grant path pops
     from the left in O(1) (cancellation, the rare path, stays O(n)).
+
+    ``request()`` and ``release(request)`` — acquire a slot (possibly
+    immediately) / release a held one; each returns an event.  Both are
+    bound as :func:`functools.partial` instance attributes rather than
+    methods (the ``Environment.timeout`` hot-path pattern): the p-ckpt
+    drain loops acquire and release once per checkpoint segment.
     """
 
-    __slots__ = ("env", "_capacity", "users", "queue")
+    __slots__ = ("env", "_capacity", "users", "queue", "request", "release")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
@@ -133,6 +138,10 @@ class Resource:
         self.users: List[Request] = []
         #: Requests waiting for a slot, in grant order.
         self.queue: Deque[Request] = deque()
+        #: Acquire: ``resource.request()`` -> Request (see class docs).
+        self.request = partial(Request, self)
+        #: Release: ``resource.release(request)`` -> Release.
+        self.release = partial(Release, self)
 
     @property
     def capacity(self) -> int:
@@ -143,14 +152,6 @@ class Resource:
     def count(self) -> int:
         """Number of slots currently held."""
         return len(self.users)
-
-    def request(self) -> Request:
-        """Create (and possibly immediately grant) a slot request."""
-        return Request(self)
-
-    def release(self, request: Request) -> Release:
-        """Release the slot held by *request*."""
-        return Release(self, request)
 
     # -- internals ---------------------------------------------------------
     def _do_request(self, request: Request) -> None:
@@ -207,10 +208,9 @@ class PriorityResource(Resource):
         super().__init__(env, capacity)
         self._heap: List[Tuple[float, float, int, PriorityRequest]] = []
         self._seq = 0
-
-    def request(self, priority: float = 0.0) -> PriorityRequest:  # type: ignore[override]
-        """Request a slot with the given *priority* (lower = sooner)."""
-        return PriorityRequest(self, priority)
+        #: Acquire with a priority (lower = sooner):
+        #: ``resource.request(priority=...)`` -> PriorityRequest.
+        self.request = partial(PriorityRequest, self)
 
     def _do_request(self, request: Request) -> None:
         assert isinstance(request, PriorityRequest)

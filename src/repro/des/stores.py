@@ -11,7 +11,8 @@ continuous capacity (bytes in a burst buffer).
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappop, heappush
+from functools import partial
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Any, Deque, List, NamedTuple
 
 from .events import PENDING, Event
@@ -43,10 +44,26 @@ class StorePut(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
         self.item = item
-        store._put_waiters.append(self)
-        store._dispatch()
+        # Fast path for the overwhelmingly common case: no put is queued
+        # ahead of us and the store has room.  Accept in place, then serve
+        # any waiting gets directly — a successful get cannot unblock a
+        # put here (none are waiting, and succeed() never runs callbacks
+        # synchronously), so the _dispatch fixpoint is unnecessary.
+        if store._put_waiters or not store._do_put(self):
+            store._put_waiters.append(self)
+            store._dispatch()
+            return
+        get_waiters = store._get_waiters
+        while get_waiters:
+            get = get_waiters[0]
+            if get._value is not PENDING:
+                get_waiters.popleft()
+                continue
+            if store._do_get(get):
+                get_waiters.popleft()
+            else:
+                break
 
 
 class StoreGet(Event):
@@ -59,9 +76,23 @@ class StoreGet(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
-        store._get_waiters.append(self)
-        store._dispatch()
+        # Mirror image of the StorePut fast path: take in place, then let
+        # waiting puts refill the freed capacity (their items cannot serve
+        # further gets — none are waiting).
+        if store._get_waiters or not store._do_get(self):
+            store._get_waiters.append(self)
+            store._dispatch()
+            return
+        put_waiters = store._put_waiters
+        while put_waiters:
+            put = put_waiters[0]
+            if put._value is not PENDING:
+                put_waiters.popleft()
+                continue
+            if store._do_put(put):
+                put_waiters.popleft()
+            else:
+                break
 
     def cancel(self) -> None:
         """Withdraw the get request if it has not been fulfilled yet."""
@@ -98,9 +129,17 @@ class Store:
     store traffic is deterministic given the environment's event order.
     Items live in a :class:`collections.deque` (FIFO take is O(1));
     :attr:`items` exposes it directly and may be mutated in place.
+
+    ``put(item)`` and ``get()`` — offer an item / request one; each
+    returns an event that fires when served.  Both are bound as
+    :func:`functools.partial` instance attributes rather than methods
+    (the same C-call-path pattern as ``Environment.timeout``): store
+    traffic is a kernel hot path and the trivial wrapper frame showed up
+    in profiles.
     """
 
-    __slots__ = ("env", "_capacity", "_items", "_put_waiters", "_get_waiters")
+    __slots__ = ("env", "_capacity", "_items", "_put_waiters", "_get_waiters",
+                 "put", "get")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         if capacity <= 0:
@@ -110,6 +149,10 @@ class Store:
         self._items: Deque[Any] = deque()
         self._put_waiters: Deque[StorePut] = deque()
         self._get_waiters: Deque[StoreGet] = deque()
+        #: Offer an item: ``store.put(item)`` -> StorePut (see class docs).
+        self.put = partial(StorePut, self)
+        #: Request one item: ``store.get()`` -> StoreGet (see class docs).
+        self.get = partial(StoreGet, self)
 
     @property
     def capacity(self) -> float:
@@ -120,14 +163,6 @@ class Store:
     def items(self):
         """The stored items, oldest first (live view, mutable in place)."""
         return self._items
-
-    def put(self, item: Any) -> StorePut:
-        """Offer *item*; the returned event fires once it is stored."""
-        return StorePut(self, item)
-
-    def get(self) -> StoreGet:
-        """Request one item; the returned event fires with the item."""
-        return StoreGet(self)
 
     def __len__(self) -> int:
         return self._size()
@@ -237,26 +272,59 @@ class PriorityStore(Store):
     :attr:`items` view is assembled on demand — earlier revisions rebuilt
     the sorted list on *every* put/get, making store traffic O(n log n)
     per operation; only diagnostics pay for the sort now.
+
+    While every stored item is a :class:`PriorityItem` with a numeric,
+    non-NaN priority, heap nodes are plain ``(priority, seq, item)``
+    tuples whose comparisons never leave C — ``seq`` is unique, so the
+    payload is never compared and the ordering is exactly the
+    priority-then-insertion-order contract.  The first item that does
+    not fit that shape rebuilds the heap onto :class:`_HeapEntry` nodes
+    (general orderable items, Python-level comparison) and the store
+    stays in that mode.
     """
 
-    __slots__ = ("_seq", "_heap")
+    __slots__ = ("_seq", "_heap", "_fast")
 
     def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
         super().__init__(env, capacity)
         self._seq = 0
-        self._heap: List[_HeapEntry] = []
+        self._heap: List[Any] = []
+        self._fast = True
 
     @property
     def items(self):
         """Snapshot of the stored items in retrieval order (a new list)."""
+        if self._fast:
+            return [entry[2] for entry in sorted(self._heap)]
         return [entry.item for entry in sorted(self._heap)]
 
     def _size(self) -> int:
         return len(self._heap)
 
+    def _go_slow(self) -> None:
+        # Rebuild (priority, seq, item) tuples into _HeapEntry nodes.
+        # Tuple ordering and _HeapEntry ordering agree for the items the
+        # fast path admits (numeric non-NaN priorities: a == b exactly
+        # when neither a < b nor b < a), so the rebuilt heap pops in the
+        # same order the tuple heap would have.
+        self._heap = [_HeapEntry(entry[2], entry[1]) for entry in self._heap]
+        heapify(self._heap)
+        self._fast = False
+
     def _do_put(self, event: StorePut) -> bool:
         if len(self._heap) < self._capacity:
-            heappush(self._heap, _HeapEntry(event.item, self._seq))
+            item = event.item
+            if self._fast:
+                if type(item) is PriorityItem:
+                    priority = item.priority
+                    kind = type(priority)
+                    if (kind is float or kind is int) and priority == priority:
+                        heappush(self._heap, (priority, self._seq, item))
+                        self._seq += 1
+                        event.succeed(None)
+                        return True
+                self._go_slow()
+            heappush(self._heap, _HeapEntry(item, self._seq))
             self._seq += 1
             event.succeed(None)
             return True
@@ -264,7 +332,10 @@ class PriorityStore(Store):
 
     def _do_get(self, event: StoreGet) -> bool:
         if self._heap:
-            event.succeed(heappop(self._heap).item)
+            if self._fast:
+                event.succeed(heappop(self._heap)[2])
+            else:
+                event.succeed(heappop(self._heap).item)
             return True
         return False
 
@@ -281,7 +352,6 @@ class ContainerPut(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
         self.amount = float(amount)
         container._put_waiters.append(self)
         container._dispatch()
@@ -299,7 +369,6 @@ class ContainerGet(Event):
         self.callbacks = []
         self._value = PENDING
         self._ok = True
-        self._defused = False
         self.amount = float(amount)
         container._get_waiters.append(self)
         container._dispatch()
@@ -328,9 +397,15 @@ class Container:
     Deposits and withdrawals are served strictly in request order (no
     reordering to fit smaller requests first), which keeps container
     traffic deterministic.
+
+    ``put(amount)`` and ``get(amount)`` — deposit / withdraw; each
+    returns an event that fires when served.  Bound as
+    :func:`functools.partial` instance attributes for the same hot-path
+    reason as :class:`Store`.
     """
 
-    __slots__ = ("env", "_capacity", "_level", "_put_waiters", "_get_waiters")
+    __slots__ = ("env", "_capacity", "_level", "_put_waiters", "_get_waiters",
+                 "put", "get")
 
     def __init__(
         self,
@@ -347,6 +422,10 @@ class Container:
         self._level = float(init)
         self._put_waiters: Deque[ContainerPut] = deque()
         self._get_waiters: Deque[ContainerGet] = deque()
+        #: Deposit: ``container.put(amount)`` -> ContainerPut.
+        self.put = partial(ContainerPut, self)
+        #: Withdraw: ``container.get(amount)`` -> ContainerGet.
+        self.get = partial(ContainerGet, self)
 
     @property
     def capacity(self) -> float:
@@ -357,14 +436,6 @@ class Container:
     def level(self) -> float:
         """Current level."""
         return self._level
-
-    def put(self, amount: float) -> ContainerPut:
-        """Deposit *amount*; fires once there is room."""
-        return ContainerPut(self, amount)
-
-    def get(self, amount: float) -> ContainerGet:
-        """Withdraw *amount*; fires once enough is available."""
-        return ContainerGet(self, amount)
 
     def _dispatch(self) -> None:
         put_waiters = self._put_waiters

@@ -12,6 +12,14 @@ exist:
     exclusively on :meth:`Environment.step` (the documented reference
     semantics).  Any fast-path/reference divergence is a kernel bug by
     definition (``docs/PERFORMANCE.md``, "Determinism contract").
+``calendar``
+    The production kernel with the :class:`~repro.des.core.CalendarQueue`
+    selected (``delay_grid`` = the scenario generator's delay quantum),
+    driven through :meth:`Environment.run`.  Scenario delays are grid
+    multiples by construction, so generated programs exercise the
+    bucket-queue dispatch loop; scenarios that schedule off-grid exercise
+    the runtime demotion path.  Kernel stats are compared bit-exactly
+    against the heap backends.
 ``simpy``
     Real SimPy, when installed (the ROADMAP's multi-backend direction).
     Our kernel is SimPy-compatible by design, so the same interpreter
@@ -79,8 +87,10 @@ def run_reference(env: Environment, until: Any = None) -> Any:
             raise ValueError(f"until ({at}) must be greater than now ({env._now})")
         stop_event = None
 
+    # queue_size/peek() instead of env._queue directly: the reference
+    # loop must drive a calendar-queue environment identically.
     if stop_event is not None:
-        while env._queue:
+        while env.queue_size:
             env.step()
             if stop_event.callbacks is None:
                 if stop_event._ok:
@@ -89,8 +99,8 @@ def run_reference(env: Environment, until: Any = None) -> Any:
         raise SimulationError(
             f"simulation ended before the until-event {stop_event!r} was triggered"
         )
-    while env._queue:
-        if env._queue[0][0] > at:
+    while env.queue_size:
+        if env.peek() > at:
             env._now = at
             break
         env.step()
@@ -120,7 +130,7 @@ class Backend:
     Attributes
     ----------
     name:
-        ``"fast"``, ``"step"``, or ``"simpy"``.
+        ``"fast"``, ``"step"``, ``"calendar"``, or ``"simpy"``.
     kernel:
         True for the in-repo kernel (enables kernel-stat comparison and
         strict exception-message comparison).
@@ -166,6 +176,24 @@ STEP_BACKEND = Backend(
 )
 
 
+def _calendar_environment() -> Environment:
+    # The scenario generator quantizes every delay to DELAY_QUANTUM
+    # (a power of two), so this grid qualifies and generated programs
+    # run on the calendar dispatch loop unless they demote themselves.
+    from .scenarios import DELAY_QUANTUM
+
+    return Environment(delay_grid=DELAY_QUANTUM)
+
+
+CALENDAR_BACKEND = Backend(
+    name="calendar",
+    kernel=True,
+    env_factory=_calendar_environment,
+    drive=lambda env, until: env.run(until=until),
+    classes=_KERNEL_CLASSES,
+)
+
+
 def _make_simpy_backend() -> Optional[Backend]:
     """Build the SimPy backend, or ``None`` when SimPy is not installed."""
     try:
@@ -192,7 +220,11 @@ def _make_simpy_backend() -> Optional[Backend]:
 
 def available_backends() -> Dict[str, Backend]:
     """All backends runnable in this interpreter, keyed by name."""
-    backends = {"fast": FAST_BACKEND, "step": STEP_BACKEND}
+    backends = {
+        "fast": FAST_BACKEND,
+        "step": STEP_BACKEND,
+        "calendar": CALENDAR_BACKEND,
+    }
     simpy_backend = _make_simpy_backend()
     if simpy_backend is not None:
         backends["simpy"] = simpy_backend
@@ -212,7 +244,7 @@ def resolve_backends(names) -> Dict[str, Backend]:
         return have
     chosen: Dict[str, Backend] = {}
     for name in names:
-        if name not in ("fast", "step", "simpy"):
+        if name not in ("fast", "step", "calendar", "simpy"):
             raise ValueError(f"unknown backend {name!r}")
         if name not in have:
             raise ValueError("backend 'simpy' requires SimPy to be installed")

@@ -20,6 +20,12 @@ via :class:`random.Random` — no global state, no wall clock — so case
 Delays are drawn from a coarse grid (multiples of 0.25) on purpose:
 same-time event collisions are where tie-break and ordering bugs live,
 and a fuzzer drawing continuous delays would almost never produce one.
+A minority of scenarios (:data:`OFF_GRID_SCENARIO_RATE`) additionally
+jitter some delays *off* the grid: on the ``calendar`` backend those
+programs start on the bucket queue and demote to the heap mid-run at the
+first off-grid push, so the fuzzer exercises both queue implementations
+**and** the live demotion hand-off between them, not just the pure
+bucket path.
 """
 
 from __future__ import annotations
@@ -42,6 +48,16 @@ __all__ = [
 DELAY_QUANTUM = 0.25
 #: Largest generated delay (seconds).
 MAX_DELAY = 3.0
+#: Fraction of scenarios that draw *some* delays off the grid (the rest
+#: stay pure-grid so the calendar backend's bucket path gets dense
+#: coverage too).
+OFF_GRID_SCENARIO_RATE = 0.25
+#: Per-delay probability of leaving the grid within an off-grid scenario.
+OFF_GRID_DELAY_RATE = 0.2
+#: Off-grid offset: DELAY_QUANTUM/3 is representable but never a grid
+#: multiple, so one jittered delay is guaranteed to demote a calendar
+#: queue the moment it is scheduled.
+OFF_GRID_JITTER = DELAY_QUANTUM / 3.0
 #: Priorities are drawn from this small set so that ties are common.
 PRIORITY_CHOICES = (0.0, 1.0, 2.0)
 
@@ -219,6 +235,43 @@ class Scenario:
         return Scenario.from_dict(json.loads(text))
 
     # -- classification ----------------------------------------------------
+    def on_grid(self) -> bool:
+        """Whether every delay is an exact :data:`DELAY_QUANTUM` multiple.
+
+        On-grid scenarios run the ``calendar`` backend entirely on the
+        bucket queue; any off-grid delay demotes it to the heap the
+        moment that delay is scheduled.  The fuzz coverage test asserts
+        both classes appear in a default run.
+        """
+
+        def scan(ops) -> bool:
+            for op in ops:
+                kind = op[0]
+                if kind in ("timeout", "sleep_catch"):
+                    delays = (op[1],)
+                elif kind == "cancel_get":
+                    delays = (op[2],)
+                elif kind == "acquire":
+                    delays = (op[3],)
+                elif kind in ("allof", "anyof"):
+                    delays = tuple(op[1])
+                elif kind == "spawn":
+                    if op[1].start_delay % DELAY_QUANTUM != 0.0:
+                        return False
+                    if not scan(op[1].ops):
+                        return False
+                    continue
+                else:
+                    continue
+                if any(d % DELAY_QUANTUM != 0.0 for d in delays):
+                    return False
+            return True
+
+        return all(
+            p.start_delay % DELAY_QUANTUM == 0.0 and scan(p.ops)
+            for p in self.processes
+        )
+
     def simpy_compatible(self) -> bool:
         """Whether real SimPy can replay this scenario faithfully.
 
@@ -247,17 +300,24 @@ class Scenario:
 class _Gen:
     """Stateful helper threading the RNG and fresh-name counters."""
 
-    def __init__(self, rng: random.Random, scenario_depth: int, max_ops: int) -> None:
+    def __init__(self, rng: random.Random, scenario_depth: int, max_ops: int,
+                 off_grid_rate: float = 0.0) -> None:
         self.rng = rng
         self.max_depth = scenario_depth
         self.max_ops = max_ops
+        #: Per-delay probability of adding :data:`OFF_GRID_JITTER` (0 in
+        #: pure-grid scenarios).
+        self.off_grid_rate = off_grid_rate
         self.next_token = 0
         self.next_pid = 0
         #: pids generated so far — interrupt/join targets.
         self.known_pids: List[str] = []
 
     def delay(self) -> float:
-        return self.rng.randint(0, int(MAX_DELAY / DELAY_QUANTUM)) * DELAY_QUANTUM
+        d = self.rng.randint(0, int(MAX_DELAY / DELAY_QUANTUM)) * DELAY_QUANTUM
+        if self.off_grid_rate and self.rng.random() < self.off_grid_rate:
+            d += OFF_GRID_JITTER
+        return d
 
     def token(self) -> int:
         self.next_token += 1
@@ -371,7 +431,10 @@ def generate_scenario(
         ``raise`` — exercising exception propagation out of ``run()``.
     """
     rng = random.Random(f"pckpt-validate-{seed}")
-    g = _Gen(rng, max_depth, max_ops)
+    off_grid_rate = (
+        OFF_GRID_DELAY_RATE if rng.random() < OFF_GRID_SCENARIO_RATE else 0.0
+    )
+    g = _Gen(rng, max_depth, max_ops, off_grid_rate)
 
     stores: List[StoreSpec] = []
     for i in range(rng.randint(0, 2)):

@@ -1,0 +1,274 @@
+"""Analytical-cell fast path: vectorized sweeps that never enter the DES.
+
+Pins the acceptance properties of the campaign-level vectorization:
+
+* the vectorized evaluators are **bitwise** identical to the scalar
+  closed forms (``float.hex`` comparisons over wide grids);
+* analytical cells execute zero DES replications — the simulation
+  worker is unreachable and the campaign metrics confirm it;
+* the store entry written by the batched path is **byte-identical** to
+  one written cell-by-cell from the scalar functions, and round-trips
+  bit-exactly;
+* analytical keys are stable, disjoint from simulation-cell keys, and
+  cached like any other cell on a warm re-run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakeven import alpha_breakeven, alpha_breakeven_exact
+from repro.analysis.sweeps import (
+    ANALYTICAL_KINDS,
+    AnalyticalResult,
+    evaluate_analytical_batch,
+)
+from repro.analysis.young import (
+    oci_elongation_percent,
+    sigma_adjusted_oci,
+    young_oci,
+)
+from repro.campaign import (
+    AnalyticalCellSpec,
+    CampaignPlan,
+    CampaignProgress,
+    CellSpec,
+    ResultStore,
+    content_key,
+    run_campaign,
+)
+from repro.campaign import scheduler as scheduler_mod
+from repro.failures.leadtime import PAPER_LEAD_TIME_MODEL
+from repro.failures.predictor import DEFAULT_PREDICTOR
+from repro.models.registry import get_model
+from repro.platform.system import SUMMIT
+from repro.spec.build import build_breakeven_cells, build_oci_cells
+
+
+def _young_cell(t_bb=42.5, rate=3.2e-7, nodes=4096.0, key=None):
+    return AnalyticalCellSpec(
+        key=key or ("young-oci", t_bb),
+        kind="young-oci",
+        params={"t_ckpt_bb": t_bb, "per_node_rate": rate, "nodes": nodes},
+    )
+
+
+def _breakeven_cell(sigma, key=None):
+    return AnalyticalCellSpec(
+        key=key or ("breakeven", sigma),
+        kind="breakeven",
+        params={"sigma": sigma},
+    )
+
+
+class TestBitwiseParity:
+    """Vectorized batch == scalar closed form, to the last bit."""
+
+    def test_young_oci_grid(self):
+        grid = [
+            (t, r, float(n))
+            for t in (1e-3, 0.5, 42.5, 9000.0)
+            for r in (1e-9, 3.177e-7, 0.011)
+            for n in (1, 37, 4608, 100_000)
+        ]
+        cells = [
+            _young_cell(t, r, n, key=("young-oci", i))
+            for i, (t, r, n) in enumerate(grid)
+        ]
+        batch = evaluate_analytical_batch(cells)
+        for (t, r, n), result in zip(grid, batch):
+            assert result.outputs["oci"].hex() == young_oci(t, r, int(n)).hex()
+
+    def test_sigma_oci_grid(self):
+        sigmas = [0.0, 0.09, 0.25, 1.0 / 3.0, 0.58, 0.999]
+        cells = [
+            AnalyticalCellSpec(
+                key=("sigma-oci", s),
+                kind="sigma-oci",
+                params={"t_ckpt_bb": 42.5, "per_node_rate": 3.177e-7,
+                        "nodes": 4608.0, "sigma": s},
+            )
+            for s in sigmas
+        ]
+        batch = evaluate_analytical_batch(cells)
+        for s, result in zip(sigmas, batch):
+            expect = sigma_adjusted_oci(42.5, 3.177e-7, 4608, s)
+            assert result.outputs["oci"].hex() == expect.hex()
+            assert (result.outputs["elongation_percent"].hex()
+                    == oci_elongation_percent(s).hex())
+
+    def test_breakeven_grid(self):
+        sigmas = np.linspace(0.0, 0.6099, 211).tolist()
+        batch = evaluate_analytical_batch(
+            [_breakeven_cell(s, key=("breakeven", i))
+             for i, s in enumerate(sigmas)]
+        )
+        for s, result in zip(sigmas, batch):
+            assert result.outputs["alpha"].hex() == alpha_breakeven(s).hex()
+            assert (result.outputs["alpha_exact"].hex()
+                    == alpha_breakeven_exact(s).hex())
+
+    def test_mixed_kinds_return_in_input_order(self):
+        cells = [
+            _breakeven_cell(0.5),
+            _young_cell(),
+            _breakeven_cell(0.1),
+        ]
+        batch = evaluate_analytical_batch(cells)
+        assert [r.kind for r in batch] == ["breakeven", "young-oci", "breakeven"]
+        assert batch[0].params["sigma"] == 0.5
+        assert batch[2].params["sigma"] == 0.1
+
+    def test_scalar_validation_mirrored(self):
+        with pytest.raises(ValueError, match="t_ckpt_bb"):
+            evaluate_analytical_batch([_young_cell(t_bb=0.0)])
+        with pytest.raises(ValueError, match="sigma"):
+            evaluate_analytical_batch([_breakeven_cell(0.61)])
+
+
+class TestCellSpec:
+    def test_params_validated_on_construction(self):
+        with pytest.raises(ValueError, match="unknown analytical kind"):
+            AnalyticalCellSpec(key=("x",), kind="daly", params={})
+        with pytest.raises(ValueError, match="takes parameters"):
+            AnalyticalCellSpec(key=("x",), kind="breakeven",
+                               params={"sigma": 0.1, "alpha": 2.0})
+
+    def test_zero_replications(self):
+        assert _breakeven_cell(0.2).replications == 0
+
+    def test_keys_stable_and_param_sensitive(self):
+        a = content_key(_breakeven_cell(0.25))
+        assert a == content_key(_breakeven_cell(0.25, key=("other", 1)))
+        assert a != content_key(_breakeven_cell(0.25000000000000006))
+        assert a != content_key(
+            AnalyticalCellSpec(key=("sigma-oci", 0),
+                               kind="sigma-oci",
+                               params={"t_ckpt_bb": 1.0, "per_node_rate": 1e-6,
+                                       "nodes": 8.0, "sigma": 0.25})
+        )
+
+    def test_plan_mixes_families_and_rejects_duplicates(self, tiny_app,
+                                                        hot_weibull):
+        sim = CellSpec(
+            key=("B", "TINY"), app=tiny_app, model=get_model("B"),
+            platform=SUMMIT, weibull=hot_weibull,
+            lead_model=PAPER_LEAD_TIME_MODEL, predictor=DEFAULT_PREDICTOR,
+            seed=3, replications=2,
+        )
+        plan = CampaignPlan([sim, _breakeven_cell(0.3)])
+        assert plan.total_replications == 2
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignPlan([_breakeven_cell(0.3),
+                          _breakeven_cell(0.3, key=("dup",))])
+
+
+class TestCampaignFastPath:
+    def test_zero_des_replications(self, tmp_path, monkeypatch):
+        """Analytical cells never reach the simulation worker."""
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("analytical cell entered the DES path")
+
+        monkeypatch.setattr(scheduler_mod, "_run_shard", _boom)
+        monkeypatch.setattr(scheduler_mod, "_run_once", _boom)
+        progress = CampaignProgress()
+        store = ResultStore(tmp_path / "store")
+        cells = build_breakeven_cells([0.1, 0.2, 0.3]) + [_young_cell()]
+        results = run_campaign(cells, store=store, progress=progress)
+        assert len(results) == 4
+        assert progress.metrics.counter(
+            "campaign.replications.executed").value == 0
+        assert progress.metrics.counter(
+            "campaign.cells.executed").value == 4
+
+    def test_store_entry_byte_identical_to_scalar_path(self, tmp_path):
+        """Batched store bytes == scalar-function store bytes."""
+        sigmas = [0.0, 0.125, 0.25, 0.5, 0.6]
+        cells = build_breakeven_cells(sigmas)
+
+        vec_store = ResultStore(tmp_path / "vec")
+        run_campaign(cells, store=vec_store)
+
+        ref_store = ResultStore(tmp_path / "ref")
+        for cell in cells:
+            scalar = AnalyticalResult(
+                kind=cell.kind,
+                params=dict(cell.params),
+                outputs={
+                    "alpha": alpha_breakeven(cell.params["sigma"]),
+                    "alpha_exact": alpha_breakeven_exact(cell.params["sigma"]),
+                },
+            )
+            ref_store.put(
+                content_key(cell), scalar,
+                meta={"cell": [str(part) for part in cell.key],
+                      "analytical": cell.kind, "replications": 0},
+            )
+
+        for cell in cells:
+            key = content_key(cell)
+            assert (vec_store.path_for(key).read_bytes()
+                    == ref_store.path_for(key).read_bytes())
+
+    def test_round_trip_and_warm_rerun(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cells = build_breakeven_cells([0.15, 0.45])
+        first = run_campaign(cells, store=store)
+        for cell in cells:
+            stored = store.get(content_key(cell))
+            assert isinstance(stored, AnalyticalResult)
+            assert stored == first[cell.key]
+
+        progress = CampaignProgress()
+        second = run_campaign(cells, store=store, progress=progress)
+        assert second == first
+        assert progress.metrics.counter("campaign.cells.cached").value == 2
+        assert progress.metrics.counter("campaign.cells.executed").value == 0
+
+    def test_mixed_campaign(self, tmp_path, tiny_app, hot_weibull):
+        sim = CellSpec(
+            key=("B", "TINY"), app=tiny_app, model=get_model("B"),
+            platform=SUMMIT, weibull=hot_weibull,
+            lead_model=PAPER_LEAD_TIME_MODEL, predictor=DEFAULT_PREDICTOR,
+            seed=3, replications=2,
+        )
+        results = run_campaign([sim, _breakeven_cell(0.2)],
+                               store=ResultStore(tmp_path / "store"),
+                               workers=1)
+        assert results[("B", "TINY")].replications == 2
+        assert results[("breakeven", 0.2)].replications == 0
+        assert results[("breakeven", 0.2)].outputs["alpha"] == \
+            alpha_breakeven(0.2)
+
+
+class TestSpecBuildWiring:
+    def test_build_oci_cells_matches_expected_formula(self, tiny_app,
+                                                      hot_weibull):
+        from repro.spec.build import ResolvedExperiment
+
+        exp = ResolvedExperiment(
+            apps=(tiny_app,), models=(get_model("B"),), platform=SUMMIT,
+            weibull=hot_weibull, lead_model=PAPER_LEAD_TIME_MODEL,
+            predictor=DEFAULT_PREDICTOR,
+        )
+        (cell,) = build_oci_cells(exp)
+        assert cell.key == ("young-oci", tiny_app.name)
+        (result,) = evaluate_analytical_batch([cell])
+        bb = SUMMIT.node.burst_buffer
+        expect = young_oci(
+            bb.write_time(tiny_app.checkpoint_bytes_per_node),
+            hot_weibull.per_node_rate(), tiny_app.nodes,
+        )
+        assert result.outputs["oci"].hex() == expect.hex()
+
+    def test_kind_registry_covers_builders(self):
+        assert {"young-oci", "sigma-oci", "breakeven"} <= set(ANALYTICAL_KINDS)
+        assert all(
+            math.isfinite(v)
+            for c in build_breakeven_cells([0.1])
+            for v in c.params.values()
+        )

@@ -60,6 +60,25 @@ class TestFuzzerDeterminism:
             else:
                 assert sc.until is None
 
+    def test_both_queue_implementations_are_exercised(self):
+        """The fuzz stream must cover the calendar queue AND its demotion.
+
+        On-grid scenarios run the ``calendar`` backend entirely on the
+        bucket queue; off-grid ones demote it to the heap mid-run.  Both
+        classes must appear well inside the default case budget, and the
+        off-grid (demoting) ones must still agree with the heap backends
+        bit-exactly.
+        """
+        scenarios = [generate_scenario(s) for s in range(60)]
+        on_grid = [sc for sc in scenarios if sc.on_grid()]
+        off_grid = [sc for sc in scenarios if not sc.on_grid()]
+        assert len(on_grid) >= 10, "pure bucket-queue coverage collapsed"
+        assert len(off_grid) >= 5, "demotion-path coverage collapsed"
+
+        backends = resolve_backends(["fast", "step", "calendar"])
+        for sc in off_grid[:5]:
+            assert validate_scenario(sc, backends) == []
+
 
 class TestScenarioSerialization:
     @pytest.mark.parametrize("seed", range(25))

@@ -18,6 +18,13 @@ mutants, one per bug family the validator exists for:
     Driven through ``step()`` (the fast loops inline their own dispatch,
     so the mutation lives in a step-driven backend) and diffed against
     the correct fast kernel.
+
+``MisBucketedEnvironment``
+    Breaks the calendar queue's exact-binning invariant: events landing
+    in odd-indexed buckets are shifted one bucket early, so the bucket
+    drain dispatches them at the wrong simulated time.  Diffed against
+    the heap-driven fast kernel, proving the fuzzer guards the bucket
+    queue's time/order contract — not just the heap's.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from heapq import heappop, heappush
 import pytest
 
 from repro.des import Environment, PriorityStore
+from repro.des.core import CalendarQueue
 from repro.validate import (
     generate_scenario,
     scenario_size,
@@ -35,6 +43,7 @@ from repro.validate import (
     validate_scenario,
 )
 from repro.validate.backends import FAST_BACKEND, STEP_BACKEND, run_reference
+from repro.validate.scenarios import DELAY_QUANTUM
 
 #: Default ``pckpt validate`` budget; both mutants must die within it.
 CASE_BUDGET = 200
@@ -83,6 +92,36 @@ class TieReversingEnvironment(Environment):
         return super().step()
 
 
+class MisBucketedCalendarQueue(CalendarQueue):
+    """Bins odd-indexed buckets one slot early — the mis-bucketing bug."""
+
+    __slots__ = ()
+
+    def push(self, entry):
+        t = entry[0]
+        i = t * self.inv
+        idx = int(i)
+        if idx == i and idx % 2 == 1:
+            # Shift the entry a full grid step early; its own timestamp
+            # is untouched, so only the bucket math is wrong — exactly
+            # what a broken qualification/index computation would do.
+            entry = (t - self.grid, entry[1], entry[2], entry[3])
+        super().push(entry)
+
+
+class MisBucketedEnvironment(Environment):
+    """An Environment wired to the mis-bucketing calendar queue."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(delay_grid=DELAY_QUANTUM)
+        assert self._cal is not None, "calendar queue must have qualified"
+        self._cal = MisBucketedCalendarQueue(self, DELAY_QUANTUM)
+        self._push = self._cal.push
+        self._push_now = self._push
+
+
 BUGGY_STORE_BACKEND = dataclasses.replace(
     FAST_BACKEND,
     name="mutant-store",
@@ -94,6 +133,12 @@ TIE_REVERSING_BACKEND = dataclasses.replace(
     name="mutant-ties",
     env_factory=TieReversingEnvironment,
     drive=run_reference,
+)
+
+MISBUCKETED_BACKEND = dataclasses.replace(
+    FAST_BACKEND,
+    name="mutant-calendar",
+    env_factory=MisBucketedEnvironment,
 )
 
 
@@ -109,7 +154,8 @@ def _hunt(mutant_backend):
 
 
 @pytest.mark.parametrize(
-    "mutant", [BUGGY_STORE_BACKEND, TIE_REVERSING_BACKEND],
+    "mutant",
+    [BUGGY_STORE_BACKEND, TIE_REVERSING_BACKEND, MISBUCKETED_BACKEND],
     ids=lambda b: b.name,
 )
 def test_mutant_caught_and_shrunk_within_budget(mutant):
