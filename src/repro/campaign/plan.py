@@ -42,6 +42,7 @@ from .store import SCHEMA_VERSION
 __all__ = [
     "AnalyticalCellSpec",
     "CellSpec",
+    "SchedCellSpec",
     "WorkUnit",
     "CampaignPlan",
     "canonical_config",
@@ -170,20 +171,87 @@ class AnalyticalCellSpec:
         return 0
 
 
-def canonical_config(cell: "Union[CellSpec, AnalyticalCellSpec]",
-                     ) -> Dict[str, object]:
+@dataclass(frozen=True, eq=False)
+class SchedCellSpec:
+    """One batch-queue grid point: a workload × policy schedule.
+
+    The campaign scheduler routes these through
+    :func:`repro.sched.engine.run_sched_once` — replication *k* runs the
+    whole workload once from ``SeedSequence(seed)``'s *k*-th spawned
+    child — and aggregates with
+    :func:`repro.sched.engine.aggregate_sched`, caching the
+    :class:`~repro.sched.engine.SchedResult` in the same store as
+    simulated cells.
+
+    Attributes
+    ----------
+    key:
+        Caller-facing grid key, e.g. ``("sched", "easy")``; names the
+        slot, not the computation, exactly like :attr:`CellSpec.key`.
+    workload:
+        The :class:`~repro.sched.jobs.SchedJob` tuple to schedule.
+    policy:
+        Placement policy name (``repro.sched.jobs.POLICY_NAMES``).
+    platform / weibull / lead_model / predictor:
+        Machine and failure physics shared by every job.
+    drain_lanes / background_load:
+        Shared-storage contention parameters.
+    seed / replications / collect_metrics:
+        As on :class:`CellSpec`.
+    """
+
+    key: tuple
+    workload: tuple
+    policy: str
+    platform: PlatformSpec
+    weibull: WeibullParams
+    lead_model: LeadTimeModel
+    predictor: PredictorSpec
+    seed: int
+    replications: int
+    drain_lanes: int = 2
+    background_load: float = 0.0
+    collect_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+        if not self.workload:
+            raise ValueError("workload cannot be empty")
+
+
+def canonical_config(
+    cell: "Union[CellSpec, AnalyticalCellSpec, SchedCellSpec]",
+) -> Dict[str, object]:
     """The cell's full configuration in canonical (hash-input) form.
 
     Analytical cells hash ``{schema_version, analytical kind, params}``
-    — a disjoint shape from simulation cells, so the two families can
-    never collide on a store key, and simulation-cell keys are exactly
-    what they were before analytical cells existed.
+    and sched cells ``{schema_version, sched policy, workload, ...}`` —
+    shapes disjoint from simulation cells and from each other, so the
+    three families can never collide on a store key, and
+    simulation-cell keys are exactly what they were before the other
+    families existed.
     """
     if isinstance(cell, AnalyticalCellSpec):
         return {
             "schema_version": SCHEMA_VERSION,
             "analytical": cell.kind,
             "params": _canonical(cell.params),
+        }
+    if isinstance(cell, SchedCellSpec):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "sched": cell.policy,
+            "workload": _canonical(cell.workload),
+            "platform": _canonical(cell.platform),
+            "weibull": _canonical(cell.weibull),
+            "lead_model": _canonical(cell.lead_model),
+            "predictor": _canonical(cell.predictor),
+            "drain_lanes": int(cell.drain_lanes),
+            "background_load": _canonical(float(cell.background_load)),
+            "seed": int(cell.seed),
+            "replications": int(cell.replications),
+            "collect_metrics": bool(cell.collect_metrics),
         }
     return {
         "schema_version": SCHEMA_VERSION,
@@ -199,7 +267,9 @@ def canonical_config(cell: "Union[CellSpec, AnalyticalCellSpec]",
     }
 
 
-def content_key(cell: "Union[CellSpec, AnalyticalCellSpec]") -> str:
+def content_key(
+    cell: "Union[CellSpec, AnalyticalCellSpec, SchedCellSpec]",
+) -> str:
     """Stable SHA-256 content hash of the cell configuration (64 hex)."""
     blob = json.dumps(canonical_config(cell), sort_keys=True,
                       separators=(",", ":"))
@@ -226,16 +296,19 @@ class CampaignPlan:
     ----------
     cells:
         Grid cells in the order the caller's result dict should present
-        them — simulated (:class:`CellSpec`) and analytical
-        (:class:`AnalyticalCellSpec`) cells may be freely mixed.
+        them — simulated (:class:`CellSpec`), analytical
+        (:class:`AnalyticalCellSpec`) and batch-queue
+        (:class:`SchedCellSpec`) cells may be freely mixed.
         Duplicate cache keys are rejected — two cells with the same full
         configuration would race on one store entry.
     """
 
     def __init__(
-        self, cells: "Sequence[Union[CellSpec, AnalyticalCellSpec]]"
+        self, cells:
+            "Sequence[Union[CellSpec, AnalyticalCellSpec, SchedCellSpec]]"
     ) -> None:
-        self.cells: "Tuple[Union[CellSpec, AnalyticalCellSpec], ...]" = \
+        self.cells: \
+            "Tuple[Union[CellSpec, AnalyticalCellSpec, SchedCellSpec], ...]" = \
             tuple(cells)
         self.keys: Tuple[str, ...] = tuple(content_key(c) for c in self.cells)
         seen: Dict[str, int] = {}

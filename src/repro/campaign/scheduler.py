@@ -35,7 +35,8 @@ import numpy as np
 from ..analysis.sweeps import evaluate_analytical_batch
 from ..experiments.runner import SimulationResult, _aggregate, _run_once
 from ..obs.telemetry import TELEMETRY_FILENAME, CampaignTelemetry
-from .plan import AnalyticalCellSpec, CampaignPlan, CellSpec, WorkUnit
+from ..sched.engine import aggregate_sched, run_sched_once
+from .plan import AnalyticalCellSpec, CampaignPlan, CellSpec, SchedCellSpec, WorkUnit
 from .progress import CampaignProgress
 from .store import ResultStore, StoredResult
 
@@ -51,20 +52,30 @@ def _spawn_child(seed: int, index: int) -> np.random.SeedSequence:
     return np.random.SeedSequence(entropy=seed, spawn_key=(index,))
 
 
+def _run_one(cell, k: int):
+    """Replication *k* of one cell, dispatched by cell family."""
+    if isinstance(cell, SchedCellSpec):
+        return run_sched_once(
+            cell.workload, cell.policy, cell.platform, cell.weibull,
+            cell.lead_model, cell.predictor, _spawn_child(cell.seed, k),
+            drain_lanes=cell.drain_lanes,
+            background_load=cell.background_load,
+            collect_metrics=cell.collect_metrics,
+        )
+    return _run_once(
+        cell.app, cell.model, cell.platform, cell.weibull,
+        cell.lead_model, cell.predictor,
+        _spawn_child(cell.seed, k), cell.collect_metrics,
+    )
+
+
 def _run_shard(cell: CellSpec, rep_start: int, rep_stop: int) -> List:
     """Worker: replications [rep_start, rep_stop) of one cell.
 
     Top-level for pickling.  Ships one ``CellSpec`` instead of a child
     seed per replication, so IPC cost is per-shard, not per-replication.
     """
-    return [
-        _run_once(
-            cell.app, cell.model, cell.platform, cell.weibull,
-            cell.lead_model, cell.predictor,
-            _spawn_child(cell.seed, k), cell.collect_metrics,
-        )
-        for k in range(rep_start, rep_stop)
-    ]
+    return [_run_one(cell, k) for k in range(rep_start, rep_stop)]
 
 
 def _rerun_serially(cell: CellSpec, unit: WorkUnit,
@@ -73,13 +84,7 @@ def _rerun_serially(cell: CellSpec, unit: WorkUnit,
     outputs = []
     for k in range(unit.rep_start, unit.rep_stop):
         try:
-            outputs.append(
-                _run_once(
-                    cell.app, cell.model, cell.platform, cell.weibull,
-                    cell.lead_model, cell.predictor,
-                    _spawn_child(cell.seed, k), cell.collect_metrics,
-                )
-            )
+            outputs.append(_run_one(cell, k))
         except Exception as exc:
             raise CampaignExecutionError(
                 f"cell {cell.key!r}: replication {k} "
@@ -200,18 +205,26 @@ def run_campaign(
         ordered = []
         for start in sorted(shard_outputs[i]):
             ordered.extend(shard_outputs[i][start])
-        result = _aggregate(cell.app, cell.model, ordered)
+        if isinstance(cell, SchedCellSpec):
+            result = aggregate_sched(cell.policy, ordered)
+            meta = {
+                "cell": [str(part) for part in cell.key],
+                "sched": cell.policy,
+                "jobs": len(cell.workload),
+                "seed": cell.seed,
+                "replications": cell.replications,
+            }
+        else:
+            result = _aggregate(cell.app, cell.model, ordered)
+            meta = {
+                "cell": [str(part) for part in cell.key],
+                "app": cell.app.name,
+                "model": cell.model.name,
+                "seed": cell.seed,
+                "replications": cell.replications,
+            }
         if store is not None:
-            store.put(
-                plan.keys[i], result,
-                meta={
-                    "cell": [str(part) for part in cell.key],
-                    "app": cell.app.name,
-                    "model": cell.model.name,
-                    "seed": cell.seed,
-                    "replications": cell.replications,
-                },
-            )
+            store.put(plan.keys[i], result, meta=meta)
         results[i] = result
         del shard_outputs[i]
         progress.cell_done(cell, i)

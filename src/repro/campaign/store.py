@@ -44,16 +44,18 @@ import os
 import tempfile
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from ..analysis.metrics import FTStats, OverheadBreakdown
 from ..analysis.sweeps import AnalyticalResult
 from ..des.metrics import MetricsRegistry
 from ..experiments.runner import SimulationResult
+from ..sched.engine import SchedResult
 
-#: What a store entry can hold: a Monte-Carlo aggregate or a closed-form
-#: analytical evaluation (the two cell families of a campaign plan).
-StoredResult = Union[SimulationResult, AnalyticalResult]
+#: What a store entry can hold: a Monte-Carlo aggregate, a closed-form
+#: analytical evaluation, or a batch-queue schedule aggregate (the three
+#: cell families of a campaign plan).
+StoredResult = Union[SimulationResult, AnalyticalResult, SchedResult]
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -80,10 +82,11 @@ class StoreSchemaError(RuntimeError):
 def result_to_dict(result: StoredResult) -> Dict:
     """Serialize a result to a JSON-friendly dict.
 
-    Analytical results carry an ``"analytical": True`` marker so
-    :func:`result_from_dict` can reconstruct the right type; the
-    simulation-result layout is exactly what it always was, so existing
-    store entries keep their bytes (and their keys).
+    Analytical results carry an ``"analytical": True`` marker and sched
+    results a ``"sched": True`` marker so :func:`result_from_dict` can
+    reconstruct the right type; the simulation-result layout is exactly
+    what it always was, so existing store entries keep their bytes (and
+    their keys).
     """
     if isinstance(result, AnalyticalResult):
         return {
@@ -92,6 +95,21 @@ def result_to_dict(result: StoredResult) -> Dict:
             "params": result.params,
             "outputs": result.outputs,
             "replications": 0,
+        }
+    if isinstance(result, SchedResult):
+        return {
+            "sched": True,
+            "policy": result.policy,
+            "jobs": result.jobs,
+            "replications": result.replications,
+            "makespan_seconds": result.makespan_seconds,
+            "utilization": result.utilization,
+            "wait_mean_seconds": result.wait_mean_seconds,
+            "wait_p95_seconds": result.wait_p95_seconds,
+            "wait_max_seconds": result.wait_max_seconds,
+            "starved": result.starved,
+            "ft": asdict(result.ft),
+            "per_job": list(result.per_job),
         }
     return {
         "app_name": result.app_name,
@@ -118,6 +136,20 @@ def result_from_dict(payload: Dict) -> StoredResult:
             kind=payload["kind"],
             params=dict(payload["params"]),
             outputs=dict(payload["outputs"]),
+        )
+    if payload.get("sched"):
+        return SchedResult(
+            policy=payload["policy"],
+            jobs=payload["jobs"],
+            replications=payload["replications"],
+            makespan_seconds=payload["makespan_seconds"],
+            utilization=payload["utilization"],
+            wait_mean_seconds=payload["wait_mean_seconds"],
+            wait_p95_seconds=payload["wait_p95_seconds"],
+            wait_max_seconds=payload["wait_max_seconds"],
+            starved=payload["starved"],
+            ft=FTStats(**payload["ft"]),
+            per_job=tuple(dict(e) for e in payload["per_job"]),
         )
     metrics = payload.get("metrics")
     return SimulationResult(
@@ -254,9 +286,24 @@ class ResultStore:
         return self.root / TELEMETRY_FILENAME
 
     # -- maintenance ---------------------------------------------------------
+    @staticmethod
+    def _scan(root: Path, pattern: str) -> List[Path]:
+        """Snapshot of ``root.glob(pattern)`` that survives a concurrent
+        ``clear``: pathlib's lazy glob scandirs each fan-out directory
+        after listing it, and only suppresses PermissionError — a
+        directory rmdir'd in that window raises FileNotFoundError out of
+        the iterator.  A vanished directory is an empty one.
+        """
+        for _ in range(3):
+            try:
+                return list(root.glob(pattern))
+            except FileNotFoundError:
+                continue
+        return []
+
     def keys(self) -> Iterator[str]:
         """All cached cell keys (sorted for stable iteration)."""
-        for path in sorted(self.root.glob("??/*.json")):
+        for path in sorted(self._scan(self.root, "??/*.json")):
             yield path.stem
 
     def stats(self) -> Dict[str, object]:
@@ -267,7 +314,7 @@ class ResultStore:
         cells = 0
         size = 0
         replications = 0
-        for path in self.root.glob("??/*.json"):
+        for path in self._scan(self.root, "??/*.json"):
             try:
                 size += path.stat().st_size
                 payload = json.loads(path.read_text(encoding="utf-8"))
@@ -291,18 +338,18 @@ class ResultStore:
         the emptiness check and ``rmdir`` is left alone.
         """
         removed = 0
-        for path in list(self.root.glob("??/*.json")):
+        for path in self._scan(self.root, "??/*.json"):
             try:
                 path.unlink()
             except FileNotFoundError:
                 continue
             removed += 1
-        for stray in list(self.root.glob("??/*.tmp")):
+        for stray in self._scan(self.root, "??/*.tmp"):
             try:  # staging files left behind by killed writers
                 stray.unlink()
             except FileNotFoundError:
                 continue
-        for sub in list(self.root.glob("??")):
+        for sub in self._scan(self.root, "??"):
             try:
                 sub.rmdir()  # only succeeds when (still) empty
             except OSError:
@@ -332,7 +379,7 @@ class ResultStore:
         return removed
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return len(self._scan(self.root, "??/*.json"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ResultStore {self.root} cells={len(self)}>"

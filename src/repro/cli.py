@@ -22,12 +22,21 @@ Subcommands
     result store (``--store``), incremental re-runs (``--resume``, the
     default), and ``--jobs N`` pool width.  ``campaign run`` takes a
     named sweep or ``--spec FILE``.  See ``docs/CAMPAIGN.md``.
+``pckpt sched run|status``
+    Batch-queue workload runs (``repro.sched``): a job stream placed on
+    the machine under FCFS, EASY backfill or fair share, every job
+    running its own C/R model against shared burst-buffer/PFS lanes.
+    ``sched run`` executes the reference baseline workload (``--policy``,
+    ``--njobs``, ``--quick``) or a spec document with a ``sched`` block
+    (``--spec``, optionally cached in ``--store``); ``sched status``
+    summarizes such a store.  See ``docs/SCHEDULER.md``.
 ``pckpt validate``
     Differential fuzzing of the DES kernel: random scenarios executed on
     the inlined fast-path loops, the ``step()`` reference, and real
     SimPy when installed, cross-checked event for event plus invariant
-    oracles; failing cases are shrunk to minimal reproducers (see
-    ``docs/TESTING.md``).
+    oracles, whole-simulation C/R differentials, and batch-queue
+    scheduling oracles; failing cases are shrunk to minimal reproducers
+    (see ``docs/TESTING.md``).
 ``pckpt profile APP MODEL``
     Attribution-profile one traced replication: per-process and
     per-event-kind simulated + wall time inside the DES kernel, with
@@ -68,6 +77,8 @@ Examples
     pckpt campaign run model-comparison --store .pckpt-store --jobs 8
     pckpt campaign run --spec examples/specs/fig6a-model-comparison.json
     pckpt campaign status --store .pckpt-store --json
+    pckpt sched run --quick
+    pckpt sched run --spec examples/specs/sched-backfill.json --store .pckpt-store
     pckpt top --store .pckpt-store
     pckpt serve --store .pckpt-store --jobs 4 --port 8787
     pckpt submit --spec examples/specs/quickstart.json --wait
@@ -109,6 +120,7 @@ from .failures.weibull import (
     TITAN_WEIBULL,
 )
 from .models.registry import PAPER_MODELS, get_model
+from .sched.jobs import POLICY_NAMES as _SCHED_POLICIES
 from .workloads.applications import APPLICATION_ORDER, APPLICATIONS
 
 __all__ = ["main", "build_parser"]
@@ -523,13 +535,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cells = false_negative_sweep(args.app.upper(), models, **common)
         title = f"campaign {args.sweep} ({weibull.name})"
 
-    headers = ["model", "column", "total_overhead_h", "makespan_h", "ft_ratio"]
-    rows = [
-        [model, col, r.total_overhead_hours, r.makespan_seconds / 3600.0,
-         r.ft_ratio]
-        for (model, col), r in cells.items()
-    ]
-    print(format_table(headers, rows, title=title))
+    if cells and all(hasattr(r, "policy") for r in cells.values()):
+        # A sched spec: batch-queue cells aggregate to SchedResult.
+        print(format_table(*_sched_table(cells), title=title))
+    else:
+        headers = ["model", "column", "total_overhead_h", "makespan_h",
+                   "ft_ratio"]
+        rows = [
+            [model, col, r.total_overhead_hours, r.makespan_seconds / 3600.0,
+             r.ft_ratio]
+            for (model, col), r in cells.items()
+        ]
+        print(format_table(headers, rows, title=title))
     print()
     print("campaign counters:")
     print(progress.metrics.format())
@@ -718,6 +735,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         args.cases,
         backends,
         cr_cases=args.cr_cases,
+        sched_cases=args.sched_cases,
         corpus_dir=Path(args.corpus) if args.corpus else None,
         shrink=not args.no_shrink,
         progress=lambda msg: print(f"[validate] {msg}", file=sys.stderr),
@@ -728,6 +746,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 "backends": ", ".join(report.backends),
                 "scenario cases": report.scenario_cases,
                 "C/R differential cases": report.cr_cases,
+                "sched oracle cases": report.sched_cases,
                 "simpy-incompatible (kernel-only) cases": report.simpy_skipped,
                 "failures": len(report.failures),
             },
@@ -742,14 +761,101 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         if len(failure.violations) > 8:
             print(f"  ... and {len(failure.violations) - 8} more")
         if failure.shrunk is not None:
+            shrunk = failure.shrunk
+            rendered = (shrunk.to_json() if hasattr(shrunk, "to_json")
+                        else json.dumps(shrunk.to_dict(), indent=2))
             print("  minimal reproducer:")
-            for line in failure.shrunk.to_json().splitlines():
+            for line in rendered.splitlines():
                 print(f"    {line}")
         if failure.corpus_path is not None:
             print(f"  saved to {failure.corpus_path}")
     if report.ok:
         print("\nno divergences, no invariant violations")
     return 0 if report.ok else 1
+
+
+def _sched_table(cells):
+    """(headers, rows) for a dict of ``SchedResult`` values."""
+    headers = ["policy", "jobs", "makespan_h", "utilization",
+               "wait_mean_s", "wait_p95_s", "starved", "ft_ratio"]
+    rows = [
+        [r.policy, r.jobs, r.makespan_seconds / 3600.0, r.utilization,
+         r.wait_mean_seconds, r.wait_p95_seconds, r.starved, r.ft_ratio]
+        for r in cells.values()
+    ]
+    return headers, rows
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    """Batch-queue workload runs (``pckpt sched run|status``)."""
+    from .campaign import ResultStore, StoreSchemaError
+    from .experiments.report import format_table
+    from .sched import bench as sched_bench
+
+    try:
+        store = ResultStore(args.store) if getattr(args, "store", None) \
+            else None
+    except StoreSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "status":
+        if store is None:
+            print("error: status requires --store PATH", file=sys.stderr)
+            return 2
+        if args.json:
+            from .campaign import status_payload
+
+            print(json.dumps(status_payload(store), indent=2,
+                             sort_keys=True))
+            return 0
+        print(format_kv(store.stats(), title=f"sched store {store.root}"))
+        return 0
+
+    # action == "run"
+    if args.spec is not None:
+        from . import spec as espec
+        from .campaign import CampaignProgress
+
+        try:
+            sp = espec.load_spec(args.spec)
+        except FileNotFoundError:
+            print(f"error: no such spec file: {args.spec}", file=sys.stderr)
+            return 2
+        except espec.SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if sp.sched is None:
+            print("error: spec has no sched block "
+                  "(see docs/SCHEDULER.md)", file=sys.stderr)
+            return 2
+        progress = CampaignProgress(stream=sys.stderr)
+        cells = espec.run_spec(sp, store=store, workers=args.workers,
+                               progress=progress)
+        if args.json:
+            payloads = [
+                sched_bench.result_payload(r, seed=sp.seed)
+                for r in cells.values()
+            ]
+            print(json.dumps(payloads, indent=2, sort_keys=True))
+            return 0
+        title = f"sched spec {sp.name or os.path.basename(args.spec)}"
+        print(format_table(*_sched_table(cells), title=title))
+        return 0
+
+    n_jobs = 8 if args.quick else args.njobs
+    reps = 1 if args.quick else args.replications
+    result = sched_bench.run_baseline(
+        policy=args.policy, n_jobs=n_jobs, seed=args.seed,
+        replications=reps,
+    )
+    payload = sched_bench.result_payload(result, seed=args.seed,
+                                         quick=args.quick)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(sched_bench.format_sched_payload(payload))
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -1168,6 +1274,45 @@ def build_parser() -> argparse.ArgumentParser:
     c_clear.add_argument("--store", metavar="PATH", required=True)
     c_clear.set_defaults(func=_cmd_campaign)
 
+    p_sched = sub.add_parser(
+        "sched",
+        help="run a batch-queue workload under a placement policy",
+    )
+    sched_sub = p_sched.add_subparsers(dest="action", required=True)
+
+    s_run = sched_sub.add_parser(
+        "run", help="schedule a workload (baseline or --spec FILE)"
+    )
+    s_run.add_argument("--spec", metavar="FILE", default=None,
+                       help="experiment spec JSON with a sched block "
+                            "(docs/SCHEDULER.md)")
+    s_run.add_argument("--policy", choices=sorted(_SCHED_POLICIES),
+                       default="easy",
+                       help="placement policy for the baseline workload")
+    s_run.add_argument("--njobs", type=int, default=16, metavar="N",
+                       help="baseline workload size (default 16)")
+    s_run.add_argument("--seed", type=int, default=0)
+    s_run.add_argument("--replications", type=int, default=3, metavar="N")
+    s_run.add_argument("--quick", action="store_true",
+                       help="8 jobs, one replication (CI smoke)")
+    s_run.add_argument("--store", metavar="PATH", default=None,
+                       help="result store for --spec runs")
+    s_run.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool width for --spec runs")
+    s_run.add_argument("--json", action="store_true",
+                       help="print the schema-versioned payload(s) as JSON")
+    s_run.set_defaults(func=_cmd_sched)
+
+    s_status = sched_sub.add_parser(
+        "status", help="summarize a sched result store"
+    )
+    s_status.add_argument("--store", metavar="PATH", required=True)
+    s_status.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable status payload",
+    )
+    s_status.set_defaults(func=_cmd_sched)
+
     p_bench = sub.add_parser(
         "bench",
         help="run the kernel/simulation benchmark suite "
@@ -1321,6 +1466,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument(
         "--cr-cases", type=int, default=None, metavar="N",
         help="full C/R differential simulations (default cases//10, min 2)",
+    )
+    p_val.add_argument(
+        "--sched-cases", type=int, default=None, metavar="N",
+        help="fuzzed scheduler workloads (default cases//10, min 2)",
     )
     p_val.add_argument(
         "--corpus", metavar="DIR", default=None,

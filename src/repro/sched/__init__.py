@@ -1,0 +1,68 @@
+"""Cluster-scheduler workload layer: a batch queue over the C/R physics.
+
+The paper's experiments give one application the whole machine; this
+package runs a *queue* of Table-I applications instead — Poisson or
+trace-driven arrivals, node-count placement under a pluggable policy
+(FCFS, EASY backfill, fair share), a per-job C/R model, and
+machine-wide storage contention where every running job's checkpoint
+drains compete for the same PFS lanes.  See ``docs/SCHEDULER.md``.
+"""
+
+from .contention import SharedStorage
+from .engine import (
+    SchedResult,
+    SchedRunOutput,
+    SchedSimulation,
+    aggregate_sched,
+    run_sched_once,
+)
+from .jobs import (
+    JOB_FIELDS,
+    POLICY_NAMES,
+    RESULT_FIELDS,
+    SCHED_BASELINE_KIND,
+    SCHED_SCHEMA_VERSION,
+    JobRecord,
+    SchedJob,
+)
+from .policy import (
+    ESTIMATE_FACTOR,
+    POLICIES,
+    EasyBackfillPolicy,
+    FairSharePolicy,
+    FCFSPolicy,
+    PendingJob,
+    RunningJob,
+    SchedulingPolicy,
+    make_policy,
+)
+from .queue import WeightedRoundRobinOrder
+from .workload import poisson_workload, trace_workload
+
+__all__ = [
+    "SCHED_SCHEMA_VERSION",
+    "SCHED_BASELINE_KIND",
+    "POLICY_NAMES",
+    "JOB_FIELDS",
+    "RESULT_FIELDS",
+    "SchedJob",
+    "JobRecord",
+    "WeightedRoundRobinOrder",
+    "ESTIMATE_FACTOR",
+    "PendingJob",
+    "RunningJob",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "EasyBackfillPolicy",
+    "FairSharePolicy",
+    "POLICIES",
+    "make_policy",
+    "SharedStorage",
+    "SchedSimulation",
+    "SchedRunOutput",
+    "SchedResult",
+    "run_sched_once",
+    "aggregate_sched",
+    "poisson_workload",
+    "trace_workload",
+]

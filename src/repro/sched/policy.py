@@ -1,0 +1,222 @@
+"""Pluggable placement policies: FCFS, EASY backfill, fair share.
+
+A policy owns the wait queue: the engine calls :meth:`~SchedulingPolicy.admit`
+when a job arrives and :meth:`~SchedulingPolicy.select` whenever capacity
+changes (an arrival or a completion); ``select`` removes and returns the
+jobs to start *now*.  Policies see only scheduler-facing views —
+:class:`PendingJob` (the job plus its advisory walltime estimate) and
+:class:`RunningJob` (width plus estimated end) — never engine internals,
+so a new policy is one small class, not an engine change.
+
+Walltime estimates are **advisory**: they derive deterministically from
+the job's compute demand (:data:`ESTIMATE_FACTOR` headroom for C/R
+overhead) and a job whose failures push it past its estimate simply
+overruns.  Estimate inaccuracy degrades backfill *quality* (a reserved
+head job may start later than its shadow time promised), never
+*correctness* — the no-starvation oracle holds regardless, because on a
+finite workload the machine eventually drains and the blocked head
+always fits an empty machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from .jobs import POLICY_NAMES, SchedJob
+from .queue import WeightedRoundRobinOrder
+
+__all__ = [
+    "ESTIMATE_FACTOR",
+    "PendingJob",
+    "RunningJob",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "EasyBackfillPolicy",
+    "FairSharePolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+#: Headroom multiplier turning compute demand into a walltime estimate
+#: (checkpoints, recomputation and recovery inflate the real runtime).
+ESTIMATE_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """A waiting job as the policy sees it."""
+
+    job: SchedJob
+    estimate_seconds: float
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """A placed job as the policy sees it: width and estimated end."""
+
+    nodes: int
+    estimated_end: float
+
+
+class SchedulingPolicy:
+    """Base: a FIFO wait queue with greedy head-blocking placement."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._pending: List[PendingJob] = []
+
+    def admit(self, pending: PendingJob) -> None:
+        """Add an arriving job to the wait queue."""
+        self._pending.append(pending)
+
+    @property
+    def waiting(self) -> List[PendingJob]:
+        """Jobs still queued, in the policy's dispatch order."""
+        return list(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def select(self, free_nodes: int, running: Sequence[RunningJob],
+               now: float) -> List[PendingJob]:
+        """Remove and return the jobs to start now (head-blocking FCFS)."""
+        started: List[PendingJob] = []
+        free = free_nodes
+        while self._pending and self._pending[0].job.nodes <= free:
+            pj = self._pending.pop(0)
+            free -= pj.job.nodes
+            started.append(pj)
+        return started
+
+
+class FCFSPolicy(SchedulingPolicy):
+    """Strict arrival order; the head job blocks everything behind it."""
+
+    name = "fcfs"
+
+
+class EasyBackfillPolicy(SchedulingPolicy):
+    """FCFS + EASY backfill (Feitelson's aggressive variant).
+
+    When the head job does not fit, it gets a **reservation**: the
+    shadow time at which enough nodes free up (assuming running jobs end
+    at their estimates) plus the ``extra`` nodes left over at that
+    moment.  Later jobs may jump the queue only if they fit now and
+    either finish before the shadow time or use no more than the extra
+    nodes — so backfilling never delays the head job's reservation
+    (under truthful estimates).
+    """
+
+    name = "easy"
+
+    def select(self, free_nodes: int, running: Sequence[RunningJob],
+               now: float) -> List[PendingJob]:
+        started: List[PendingJob] = []
+        free = free_nodes
+        occupied = [(r.estimated_end, r.nodes) for r in running]
+        while self._pending and self._pending[0].job.nodes <= free:
+            pj = self._pending.pop(0)
+            free -= pj.job.nodes
+            occupied.append((now + pj.estimate_seconds, pj.job.nodes))
+            started.append(pj)
+        if not self._pending:
+            return started
+
+        # Reservation for the blocked head: walk releases in estimate
+        # order until it fits.
+        head = self._pending[0]
+        shadow = math.inf
+        extra = free
+        avail = free
+        for end, nodes in sorted(occupied):
+            avail += nodes
+            if avail >= head.job.nodes:
+                shadow = end
+                extra = avail - head.job.nodes
+                break
+
+        i = 1
+        while i < len(self._pending):
+            pj = self._pending[i]
+            fits_now = pj.job.nodes <= free
+            ends_before_shadow = now + pj.estimate_seconds <= shadow
+            within_extra = pj.job.nodes <= extra
+            if fits_now and (ends_before_shadow or within_extra):
+                del self._pending[i]
+                free -= pj.job.nodes
+                if not ends_before_shadow:
+                    # Runs past the shadow time: it must keep fitting
+                    # beside the head, so it consumes the extra nodes.
+                    extra -= pj.job.nodes
+                started.append(pj)
+                continue
+            i += 1
+        return started
+
+
+class FairSharePolicy(SchedulingPolicy):
+    """Weighted round-robin across tenants, head-blocking within it.
+
+    Dispatch order is exactly the service queue's discipline
+    (:class:`~repro.sched.queue.WeightedRoundRobinOrder`): tenants in
+    first-seen order, ``weight`` consecutive grants per visit, FIFO
+    within a tenant.  Placement is head-blocking on the WRR head, which
+    keeps the policy starvation-free on finite workloads.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order = WeightedRoundRobinOrder()
+
+    def admit(self, pending: PendingJob) -> None:
+        self._order.push(pending.job.user, pending)
+
+    def set_weight(self, tenant: str, weight: int) -> None:
+        """Grant *tenant* up to *weight* consecutive placements per round."""
+        self._order.set_weight(tenant, weight)
+
+    @property
+    def waiting(self) -> List[PendingJob]:
+        return self._order.items()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def select(self, free_nodes: int, running: Sequence[RunningJob],
+               now: float) -> List[PendingJob]:
+        started: List[PendingJob] = []
+        free = free_nodes
+        while len(self._order):
+            pj = self._order.peek()
+            if pj.job.nodes > free:
+                break
+            self._order.pop()
+            free -= pj.job.nodes
+            started.append(pj)
+        return started
+
+
+#: Policy registry: name -> zero-argument factory.
+POLICIES: Dict[str, Callable[[], SchedulingPolicy]] = {
+    "fcfs": FCFSPolicy,
+    "easy": EasyBackfillPolicy,
+    "fair": FairSharePolicy,
+}
+
+assert tuple(POLICIES) == POLICY_NAMES, "POLICIES drifted from POLICY_NAMES"
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r} (expected one of {list(POLICIES)})"
+        ) from None
+    return factory()

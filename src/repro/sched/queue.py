@@ -1,0 +1,100 @@
+"""Weighted round-robin dispatch order for the batch queue.
+
+:class:`WeightedRoundRobinOrder` is the synchronous twin of the service
+layer's :class:`repro.service.queue.FairShareQueue`: per-tenant FIFO
+lanes visited in first-seen order, each granted up to ``weight``
+consecutive dispatches per visit, with a drained lane yielding its
+remaining credit.  The two implementations are property-tested against
+one shared model (``tests/test_queue_properties.py``), so the fairness
+discipline a tenant sees from ``pckpt submit`` is exactly the one the
+``fair`` placement policy applies to batch jobs.
+
+Unlike the service queue this one is a pure data structure — no
+admission bound, no asyncio, no close/drain lifecycle — because the
+scheduler engine owns the surrounding control flow.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["WeightedRoundRobinOrder"]
+
+
+class WeightedRoundRobinOrder:
+    """Per-tenant FIFO lanes + weighted round-robin, synchronous.
+
+    ``push``/``pop`` mirror the service queue's admission and
+    ``_pop_now`` dispatch exactly; :meth:`peek` previews the next
+    dispatch without consuming cursor credit, which is what the ``fair``
+    policy's head-blocking placement loop needs.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: "OrderedDict[str, Deque[object]]" = OrderedDict()
+        self._weights: Dict[str, int] = {}
+        self._cursor: Optional[str] = None
+        self._credit = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def items(self) -> list:
+        """Every queued item, lanes in first-seen order (for inspection)."""
+        return [item for lane in self._lanes.values() for item in lane]
+
+    def set_weight(self, tenant: str, weight: int) -> None:
+        """Grant *tenant* up to *weight* consecutive dispatches per round."""
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        self._weights[tenant] = int(weight)
+
+    def push(self, tenant: str, item: object) -> int:
+        """Append *item* to *tenant*'s lane; returns its lane position."""
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+            self._weights.setdefault(tenant, 1)
+        lane.append(item)
+        self._size += 1
+        return len(lane) - 1
+
+    def _next_cursor(self) -> str:
+        """The tenant the next pop will serve (pure — no state change)."""
+        assert self._size, "peek/pop on empty order"
+        if self._cursor is not None and self._credit > 0 \
+                and self._lanes.get(self._cursor):
+            return self._cursor
+        order = list(self._lanes)
+        if self._cursor in order:
+            start = order.index(self._cursor) + (
+                1 if self._credit <= 0 else 0
+            )
+        else:
+            start = 0
+        for i in range(len(order)):
+            candidate = order[(start + i) % len(order)]
+            if self._lanes[candidate]:
+                return candidate
+        raise AssertionError("unreachable: size > 0 but no non-empty lane")
+
+    def peek(self) -> object:
+        """The item the next :meth:`pop` will return, without consuming."""
+        return self._lanes[self._next_cursor()][0]
+
+    def pop(self) -> object:
+        """Next item under WRR (same discipline as ``FairShareQueue``)."""
+        tenant = self._next_cursor()
+        if tenant != self._cursor or self._credit <= 0:
+            self._cursor = tenant
+            self._credit = self._weights.get(tenant, 1)
+        item = self._lanes[tenant].popleft()
+        self._size -= 1
+        self._credit -= 1
+        if not self._lanes[tenant]:
+            # Lane drained: yield remaining credit, matching the service
+            # queue's round-reset behaviour.
+            self._credit = 0
+        return item

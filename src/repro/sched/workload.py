@@ -1,0 +1,121 @@
+"""Workload synthesis: Poisson and trace-driven job streams.
+
+Two ways to populate the batch queue, both producing the same
+:class:`~repro.sched.jobs.SchedJob` tuples:
+
+* :func:`poisson_workload` — *n* jobs with exponential interarrivals,
+  applications drawn from a mix, C/R models cycled from a pool, and
+  tenants assigned round-robin.  Fully deterministic in its seed (the
+  generator stream is disjoint from every replication's seed stream by
+  construction, so the workload never perturbs the failure draws).
+* :func:`trace_workload` — explicit ``(app, arrival, ...)`` entries, the
+  form a spec document's ``sched.arrival`` list (and every shrunk fuzz
+  reproducer) uses.
+
+``hours_scale`` shrinks each application's Table-I compute hours so
+quick runs and fuzz cases stay fast; it scales demand, not the physics —
+checkpoint sizes, OCIs and failure rates are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..workloads.applications import APPLICATION_ORDER, APPLICATIONS
+from .jobs import SchedJob
+
+__all__ = ["poisson_workload", "trace_workload"]
+
+#: Spawn key reserving the workload generator's seed stream.  Campaign
+#: replication *k* runs from ``SeedSequence(seed, spawn_key=(k,))``, so
+#: any key far above realistic replication counts is disjoint.
+_WORKLOAD_SPAWN_KEY = 1_000_003
+
+
+def poisson_workload(
+    apps: Sequence[str],
+    models: Sequence[str],
+    n_jobs: int,
+    seed: int,
+    interarrival_seconds: float = 900.0,
+    users: int = 4,
+    hours_scale: float = 1.0,
+    max_nodes: Optional[int] = None,
+) -> Tuple[SchedJob, ...]:
+    """Synthesize *n_jobs* jobs with Poisson arrivals.
+
+    Applications are drawn uniformly from *apps*; models cycle through
+    *models* in submission order (so every model of the pool protects a
+    share of the workload); tenants are assigned round-robin over
+    ``users`` synthetic users.  Node requests are the application's
+    Table-I width, capped at *max_nodes* when given.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if interarrival_seconds <= 0:
+        raise ValueError("interarrival_seconds must be positive")
+    if users < 1:
+        raise ValueError("users must be >= 1")
+    if hours_scale <= 0:
+        raise ValueError("hours_scale must be positive")
+    if not apps:
+        apps = APPLICATION_ORDER
+    if not models:
+        raise ValueError("models pool cannot be empty")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(_WORKLOAD_SPAWN_KEY,))
+    )
+    jobs: List[SchedJob] = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(interarrival_seconds))
+        app = APPLICATIONS[apps[int(rng.integers(len(apps)))]]
+        nodes = app.nodes if max_nodes is None else min(app.nodes, max_nodes)
+        jobs.append(SchedJob(
+            id=i,
+            app=app.name,
+            model=models[i % len(models)],
+            user=f"u{i % users}",
+            arrival=t,
+            nodes=nodes,
+            compute_seconds=app.compute_seconds * hours_scale,
+        ))
+    return tuple(jobs)
+
+
+def trace_workload(
+    entries: Sequence[dict],
+    models: Sequence[str],
+    users: int = 4,
+    hours_scale: float = 1.0,
+    max_nodes: Optional[int] = None,
+) -> Tuple[SchedJob, ...]:
+    """Build jobs from explicit trace entries.
+
+    Each entry is ``{"app": NAME, "at": SECONDS}`` plus optional
+    ``"model"``, ``"user"`` and ``"nodes"`` overrides; omitted values
+    fall back to the Poisson defaults (model-pool cycling, round-robin
+    users, Table-I width).
+    """
+    if hours_scale <= 0:
+        raise ValueError("hours_scale must be positive")
+    if not models:
+        raise ValueError("models pool cannot be empty")
+    jobs: List[SchedJob] = []
+    for i, entry in enumerate(entries):
+        app = APPLICATIONS[str(entry["app"]).upper()]
+        nodes = int(entry.get("nodes", app.nodes))
+        if max_nodes is not None:
+            nodes = min(nodes, max_nodes)
+        jobs.append(SchedJob(
+            id=i,
+            app=app.name,
+            model=str(entry.get("model", models[i % len(models)])),
+            user=str(entry.get("user", f"u{i % users}")),
+            arrival=float(entry["at"]),
+            nodes=nodes,
+            compute_seconds=app.compute_seconds * hours_scale,
+        ))
+    return tuple(jobs)

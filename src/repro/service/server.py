@@ -60,7 +60,7 @@ from ..campaign.scheduler import run_campaign
 from ..campaign.store import ResultStore, status_payload
 from ..des.metrics import MetricsRegistry
 from ..obs.telemetry import CampaignTelemetry
-from ..spec import SpecError, build_cells, resolve, spec_from_dict, spec_hash
+from ..spec import SpecError, build_cells, spec_from_dict, spec_hash
 from .jobs import (
     JOB_STATES,
     SERVICE_SCHEMA_VERSION,
@@ -380,7 +380,9 @@ class PckptService:
             CampaignTelemetry(job_dir / "telemetry.jsonl"), self._loop, job
         )
         progress = CampaignProgress(telemetry=telemetry)
-        cells = build_cells(resolve(job.spec))
+        # build_cells resolves on the fly and routes sched specs to
+        # build_sched_cells (a resolved experiment has no sched block).
+        cells = build_cells(job.spec)
         # workers=1: the job IS the unit of parallelism; in-process
         # execution is bit-identical to `pckpt run --spec` by the
         # campaign scheduler's determinism contract.

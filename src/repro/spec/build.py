@@ -60,6 +60,7 @@ __all__ = [
     "build_cells",
     "build_oci_cells",
     "build_breakeven_cells",
+    "build_sched_cells",
     "cell_keys",
     "run_spec",
     "run_resolved",
@@ -122,7 +123,8 @@ def resolve(spec: ExperimentSpec) -> ResolvedExperiment:
     platform = SUMMIT
     overrides = {
         k: v
-        for k, v in (("restart_delay", spec.platform.restart_delay),
+        for k, v in (("total_nodes", spec.platform.total_nodes),
+                     ("restart_delay", spec.platform.restart_delay),
                      ("lm_slowdown", spec.platform.lm_slowdown))
         if v is not None
     }
@@ -194,6 +196,8 @@ def build_cells(experiment: Union[ExperimentSpec, ResolvedExperiment],
     from ..campaign.plan import CellSpec  # deferred: campaign ⇄ experiments
 
     if isinstance(experiment, ExperimentSpec):
+        if experiment.sched is not None:
+            return build_sched_cells(experiment)
         experiment = resolve(experiment)
 
     grid: List[tuple] = []
@@ -263,6 +267,68 @@ def build_oci_cells(experiment: Union[ExperimentSpec, ResolvedExperiment],
     ]
 
 
+def build_sched_cells(spec: ExperimentSpec) -> "List":
+    """Batch-queue cells for a sched spec, keyed ``("sched", policy)``.
+
+    The workload is synthesized **once** — every policy cell schedules
+    the identical job tuple, so differences between cells are purely the
+    placement discipline.  A ``sched-policy`` sweep yields one cell per
+    policy value; without a sweep the single cell runs ``sched.policy``.
+    """
+    from ..campaign.plan import SchedCellSpec
+    from ..sched.workload import poisson_workload, trace_workload
+
+    if spec.sched is None:
+        raise ValueError("build_sched_cells needs a spec with a sched block")
+    resolved = resolve(spec)
+    model_names = tuple(m.name for m in resolved.models)
+    sched = spec.sched
+    if isinstance(sched.arrival, str):
+        workload = poisson_workload(
+            spec.apps, model_names, sched.jobs, seed=spec.seed,
+            interarrival_seconds=sched.interarrival_seconds,
+            users=sched.users, hours_scale=sched.hours_scale,
+            max_nodes=resolved.platform.total_nodes,
+        )
+    else:
+        entries = []
+        for e in sched.arrival:
+            entry = {"app": e.app, "at": e.at}
+            if e.model is not None:
+                entry["model"] = e.model
+            if e.user is not None:
+                entry["user"] = e.user
+            if e.nodes is not None:
+                entry["nodes"] = e.nodes
+            entries.append(entry)
+        workload = trace_workload(
+            entries, model_names, users=sched.users,
+            hours_scale=sched.hours_scale,
+            max_nodes=resolved.platform.total_nodes,
+        )
+    policies = (
+        tuple(spec.sweep.values) if spec.sweep is not None
+        else (sched.policy,)
+    )
+    return [
+        SchedCellSpec(
+            key=("sched", policy),
+            workload=workload,
+            policy=policy,
+            platform=resolved.platform,
+            weibull=resolved.weibull,
+            lead_model=resolved.lead_model,
+            predictor=resolved.predictor,
+            seed=spec.seed,
+            replications=spec.replications,
+            drain_lanes=sched.drain_lanes,
+            background_load=sched.background_load,
+            collect_metrics=spec.collect_metrics,
+        )
+        for policy in policies
+    ]
+
+
 def build_breakeven_cells(sigmas: Sequence[float]) -> "List":
     """Break-even cells for a σ sweep, keyed ``("breakeven", σ)``.
 
@@ -320,6 +386,17 @@ def run_spec(
     progress: "Optional[CampaignProgress]" = None,
     resume: bool = True,
 ) -> "Dict[tuple, SimulationResult]":
-    """Execute a validated spec end to end (resolve → cells → campaign)."""
+    """Execute a validated spec end to end (resolve → cells → campaign).
+
+    A spec with a ``sched`` block builds batch-queue cells
+    (:func:`build_sched_cells`) instead of the (app × model) grid; the
+    campaign machinery — store, workers, resume — is identical.
+    """
+    if spec.sched is not None:
+        from ..campaign.scheduler import run_campaign  # deferred cycle
+
+        return run_campaign(build_sched_cells(spec), store=store,
+                            workers=workers, progress=progress,
+                            resume=resume)
     return run_resolved(resolve(spec), store=store, workers=workers,
                         progress=progress, resume=resume)

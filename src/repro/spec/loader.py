@@ -39,6 +39,8 @@ from .schema import (
     FAILURES_FIELDS,
     PLATFORM_FIELDS,
     PREDICTOR_FIELDS,
+    SCHED_FIELDS,
+    SCHED_JOB_FIELDS,
     SEQUENCE_FIELDS,
     SPEC_FIELDS,
     SPEC_SCHEMA_VERSION,
@@ -48,6 +50,8 @@ from .schema import (
     FailureRef,
     PlatformRef,
     PredictorRef,
+    SchedJobRef,
+    SchedRef,
     SequenceRef,
     SweepAxis,
 )
@@ -154,8 +158,12 @@ def _parse_platform(value: Any, problems: List[str]) -> PlatformRef:
     lm = value.get("lm_slowdown")
     if lm is not None and lm >= 1.0:
         problems.append(f"platform: lm_slowdown must be < 1, got {lm}")
+    nodes = value.get("total_nodes")
+    if nodes is not None and (isinstance(nodes, bool) or nodes < 1):
+        problems.append(f"platform: total_nodes must be >= 1, got {nodes}")
     return PlatformRef(
         base=base,
+        total_nodes=None if nodes is None else int(nodes),
         restart_delay=_as_float(value.get("restart_delay")),
         lm_slowdown=_as_float(value.get("lm_slowdown")),
     )
@@ -261,8 +269,101 @@ def _parse_lead_model(value: Any, problems: List[str]):
     return tuple(sequences)
 
 
+def _parse_sched(value: Optional[Dict[str, Any]],
+                 problems: List[str]) -> Optional[SchedRef]:
+    if value is None:
+        return None
+    if not _check_fields(value, SCHED_FIELDS, "sched", problems):
+        return SchedRef()
+    from ..sched.jobs import POLICY_NAMES
+
+    defaults = SchedRef()
+    policy = value.get("policy", defaults.policy)
+    if policy not in POLICY_NAMES:
+        problems.append(
+            f"sched: unknown policy {policy!r} "
+            f"(expected one of {list(POLICY_NAMES)})"
+        )
+    jobs = value.get("jobs", defaults.jobs)
+    if isinstance(jobs, int) and jobs < 1:
+        problems.append(f"sched: jobs must be >= 1, got {jobs}")
+    interarrival = _as_float(value.get("interarrival_seconds",
+                                       defaults.interarrival_seconds))
+    if interarrival is not None and interarrival <= 0:
+        problems.append("sched: interarrival_seconds must be positive")
+    users = value.get("users", defaults.users)
+    if isinstance(users, int) and users < 1:
+        problems.append(f"sched: users must be >= 1, got {users}")
+    hours_scale = _as_float(value.get("hours_scale", defaults.hours_scale))
+    if hours_scale is not None and hours_scale <= 0:
+        problems.append("sched: hours_scale must be positive")
+    lanes = value.get("drain_lanes", defaults.drain_lanes)
+    if isinstance(lanes, int) and lanes < 1:
+        problems.append(f"sched: drain_lanes must be >= 1, got {lanes}")
+    load = _as_float(value.get("background_load", defaults.background_load))
+    if load is not None and not (0.0 <= load < 1.0):
+        problems.append(
+            f"sched: background_load must be in [0, 1), got {load}"
+        )
+
+    arrival_raw = value.get("arrival", "poisson")
+    arrival: object = "poisson"
+    if isinstance(arrival_raw, str):
+        if arrival_raw != "poisson":
+            problems.append(
+                f"sched: unknown arrival {arrival_raw!r} (expected "
+                "'poisson' or an inline trace list)"
+            )
+    elif isinstance(arrival_raw, list):
+        if not arrival_raw:
+            problems.append("sched: an inline arrival trace cannot be empty")
+        entries: List[SchedJobRef] = []
+        for i, entry in enumerate(arrival_raw):
+            where = f"sched.arrival[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: must be an object")
+                continue
+            if not _check_fields(entry, SCHED_JOB_FIELDS, where, problems):
+                continue
+            app = str(entry["app"]).upper()
+            if app not in APPLICATIONS:
+                problems.append(
+                    f"{where}: unknown application {entry['app']!r}"
+                )
+            if entry["at"] < 0:
+                problems.append(f"{where}: at must be non-negative")
+            nodes = entry.get("nodes")
+            if nodes is not None and nodes < 1:
+                problems.append(f"{where}: nodes must be >= 1")
+            model = entry.get("model")
+            if model is not None:
+                try:
+                    get_model(model)
+                except KeyError as exc:
+                    problems.append(f"{where}: {exc.args[0]}")
+            entries.append(SchedJobRef(
+                app=app,
+                at=_as_float(entry["at"]),
+                model=model,
+                user=entry.get("user"),
+                nodes=nodes,
+            ))
+        arrival = tuple(entries)
+    return SchedRef(
+        policy=policy,
+        jobs=jobs,
+        arrival=arrival,
+        interarrival_seconds=interarrival,
+        users=users,
+        hours_scale=hours_scale,
+        drain_lanes=lanes,
+        background_load=load,
+    )
+
+
 def _parse_sweep(value: Optional[Dict[str, Any]], n_apps: int,
-                 problems: List[str]) -> Optional[SweepAxis]:
+                 problems: List[str],
+                 has_sched: bool = False) -> Optional[SweepAxis]:
     if value is None:
         return None
     if not _check_fields(value, SWEEP_FIELDS, "sweep", problems):
@@ -275,6 +376,29 @@ def _parse_sweep(value: Optional[Dict[str, Any]], n_apps: int,
     values = value["values"]
     if not values:
         problems.append("sweep: values cannot be empty")
+    if axis == "sched-policy":
+        from ..sched.jobs import POLICY_NAMES
+
+        if not has_sched:
+            problems.append(
+                "sweep: the sched-policy axis requires a 'sched' block"
+            )
+        bad = [v for v in values
+               if not isinstance(v, str) or v not in POLICY_NAMES]
+        if bad:
+            problems.append(
+                f"sweep: sched-policy values must be policy names "
+                f"({list(POLICY_NAMES)}), got {bad}"
+            )
+        if len(set(values)) != len(values):
+            problems.append("sweep: sched-policy values must be distinct")
+        return SweepAxis(axis=axis, values=tuple(
+            v for v in values if isinstance(v, str)
+        ))
+    if has_sched:
+        problems.append(
+            f"sweep: a sched spec can only sweep sched-policy, got {axis!r}"
+        )
     bad = [v for v in values
            if not isinstance(v, (int, float)) or isinstance(v, bool)]
     if bad:
@@ -390,7 +514,9 @@ def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
     failures = _parse_failures(data.get("failures", "titan"), problems)
     predictor = _parse_predictor(data.get("predictor", {}), problems)
     lead_model = _parse_lead_model(data.get("lead_model", "paper"), problems)
-    sweep = _parse_sweep(data.get("sweep"), len(apps), problems)
+    sched = _parse_sched(data.get("sched"), problems)
+    sweep = _parse_sweep(data.get("sweep"), len(apps), problems,
+                         has_sched=sched is not None)
 
     if problems:
         raise SpecError(problems)
@@ -405,6 +531,7 @@ def spec_from_dict(data: Dict[str, Any]) -> ExperimentSpec:
         predictor=predictor,
         lead_model=lead_model,
         sweep=sweep,
+        sched=sched,
         replications=replications,
         seed=seed,
         collect_metrics=bool(collect_metrics),
@@ -449,6 +576,24 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
     }
     if spec.name is not None:
         data["name"] = spec.name
+    if spec.sched is not None:
+        # Emitted only when present so pre-sched documents (and their
+        # spec hashes) are byte-identical to what version 1 always
+        # produced.
+        data["sched"] = {
+            "policy": spec.sched.policy,
+            "jobs": spec.sched.jobs,
+            "arrival": (
+                spec.sched.arrival
+                if isinstance(spec.sched.arrival, str)
+                else [_ref_to_dict(e) for e in spec.sched.arrival]
+            ),
+            "interarrival_seconds": spec.sched.interarrival_seconds,
+            "users": spec.sched.users,
+            "hours_scale": spec.sched.hours_scale,
+            "drain_lanes": spec.sched.drain_lanes,
+            "background_load": spec.sched.background_load,
+        }
     return data
 
 

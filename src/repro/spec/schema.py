@@ -43,11 +43,15 @@ __all__ = [
     "PLATFORM_FIELDS",
     "FAILURES_FIELDS",
     "SEQUENCE_FIELDS",
+    "SCHED_FIELDS",
+    "SCHED_JOB_FIELDS",
     "SWEEP_AXES",
     "PlatformRef",
     "FailureRef",
     "PredictorRef",
     "SequenceRef",
+    "SchedJobRef",
+    "SchedRef",
     "SweepAxis",
     "ExperimentSpec",
 ]
@@ -73,6 +77,7 @@ SPEC_FIELDS: Dict[str, Tuple[str, bool]] = {
     "predictor": ("object", False),
     "lead_model": ("str_or_list", False),
     "sweep": ("object_or_null", False),
+    "sched": ("object_or_null", False),
     "replications": ("int", False),
     "seed": ("int", False),
     "collect_metrics": ("bool", False),
@@ -97,6 +102,7 @@ PREDICTOR_FIELDS: Dict[str, Tuple[str, bool]] = {
 #: ``{"base": "summit"}``; overrides replace the named base's values).
 PLATFORM_FIELDS: Dict[str, Tuple[str, bool]] = {
     "base": ("str", True),
+    "total_nodes": ("int", False),
     "restart_delay": ("float", False),
     "lm_slowdown": ("float", False),
 }
@@ -122,13 +128,38 @@ SEQUENCE_FIELDS: Dict[str, Tuple[str, bool]] = {
     "sd_lead": ("float", True),
 }
 
+#: ``sched`` sub-object fields (batch-queue experiments; all optional —
+#: a bare ``"sched": {}`` runs the default Poisson workload).
+SCHED_FIELDS: Dict[str, Tuple[str, bool]] = {
+    "policy": ("str", False),
+    "jobs": ("int", False),
+    "arrival": ("str_or_list", False),
+    "interarrival_seconds": ("float", False),
+    "users": ("int", False),
+    "hours_scale": ("float", False),
+    "drain_lanes": ("int", False),
+    "background_load": ("float", False),
+}
+
+#: One entry of an inline ``sched.arrival`` trace list.
+SCHED_JOB_FIELDS: Dict[str, Tuple[str, bool]] = {
+    "app": ("str", True),
+    "at": ("float", True),
+    "model": ("str", False),
+    "user": ("str", False),
+    "nodes": ("int", False),
+}
+
 #: Legal ``sweep.axis`` values and their semantics (documented in
 #: docs/EXPERIMENT_SPEC.md):
 #: ``lead-change-percent`` — each value is a percent change applied to
 #: every prediction lead time (Figs 4/7, Tables II/IV, Fig 8);
 #: ``fn-rate`` — each value is a predictor false-negative rate at fixed
-#: FP = 18% (Observation 9).
-SWEEP_AXES: Tuple[str, ...] = ("lead-change-percent", "fn-rate")
+#: FP = 18% (Observation 9);
+#: ``sched-policy`` — each value is a placement-policy name
+#: (``repro.sched.jobs.POLICY_NAMES``); requires a ``sched`` block and
+#: is the only axis legal with one.
+SWEEP_AXES: Tuple[str, ...] = ("lead-change-percent", "fn-rate", "sched-policy")
 
 
 @dataclass(frozen=True)
@@ -140,6 +171,10 @@ class PlatformRef:
     base:
         Named platform the reference starts from (currently only
         ``"summit"``, the paper's Summit-like machine).
+    total_nodes:
+        Override of the machine's node count — the knob batch-queue
+        (``sched``) experiments use to provoke queueing contention
+        (``None`` keeps the base platform's size).
     restart_delay:
         Override of the fixed job-restart latency in seconds
         (``None`` keeps the base platform's value).
@@ -149,6 +184,7 @@ class PlatformRef:
     """
 
     base: str = "summit"
+    total_nodes: Optional[int] = None
     restart_delay: Optional[float] = None
     lm_slowdown: Optional[float] = None
 
@@ -217,21 +253,82 @@ class SequenceRef:
 
 
 @dataclass(frozen=True)
+class SchedJobRef:
+    """One explicit ``sched.arrival`` trace entry.
+
+    Attributes
+    ----------
+    app:
+        Table-I application name.
+    at:
+        Submission time in simulated seconds.
+    model / user / nodes:
+        Optional overrides; ``None`` falls back to the workload defaults
+        (model-pool cycling, round-robin users, Table-I width).
+    """
+
+    app: str
+    at: float
+    model: Optional[str] = None
+    user: Optional[str] = None
+    nodes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SchedRef:
+    """Batch-queue workload parameters (the ``sched`` block).
+
+    Attributes
+    ----------
+    policy:
+        Placement policy (:data:`repro.sched.jobs.POLICY_NAMES`); a
+        ``sched-policy`` sweep overrides this per column.
+    jobs:
+        Workload size for Poisson arrivals (ignored for a trace).
+    arrival:
+        ``"poisson"`` or an inline tuple of :class:`SchedJobRef` trace
+        entries.
+    interarrival_seconds:
+        Mean of the exponential interarrival gap (Poisson only).
+    users:
+        Synthetic tenants jobs are assigned to round-robin.
+    hours_scale:
+        Multiplier on each application's Table-I compute hours (scales
+        demand, not the checkpoint physics).
+    drain_lanes:
+        Concurrent BB→PFS transfers machine-wide (shared by all jobs).
+    background_load:
+        External PFS utilization in [0, 1); bandwidth derates by 1−load.
+    """
+
+    policy: str = "fcfs"
+    jobs: int = 16
+    arrival: object = "poisson"  # "poisson" | Tuple[SchedJobRef, ...]
+    interarrival_seconds: float = 900.0
+    users: int = 4
+    hours_scale: float = 1.0
+    drain_lanes: int = 2
+    background_load: float = 0.0
+
+
+@dataclass(frozen=True)
 class SweepAxis:
     """One swept parameter axis crossed with the (app × model) grid.
 
     Attributes
     ----------
     axis:
-        One of :data:`SWEEP_AXES` (``"lead-change-percent"`` or
-        ``"fn-rate"``).
+        One of :data:`SWEEP_AXES` (``"lead-change-percent"``,
+        ``"fn-rate"`` or ``"sched-policy"``).
     values:
         The axis points, in presentation order.  Each value produces one
-        grid column; cells are keyed ``(model_name, value)``.
+        grid column; cells are keyed ``(model_name, value)`` — numbers
+        for the predictor axes, policy-name strings for
+        ``sched-policy``.
     """
 
     axis: str
-    values: Tuple[float, ...]
+    values: Tuple[object, ...]
 
 
 @dataclass(frozen=True)
@@ -276,7 +373,13 @@ class ExperimentSpec:
     sweep:
         Optional :class:`SweepAxis`.  Without one, cells are keyed
         ``(model_name, app_name)``; with one, exactly one app is
-        required and cells are keyed ``(model_name, value)``.
+        required (except ``sched-policy``, which consumes the whole app
+        mix) and cells are keyed ``(model_name, value)``.
+    sched:
+        Optional :class:`SchedRef`.  When present the spec describes a
+        batch-queue experiment: ``apps`` is the workload's application
+        mix, ``models`` the C/R pool jobs cycle through, and the only
+        legal sweep axis is ``sched-policy``.
     replications:
         Monte-Carlo runs aggregated per cell (the paper used 1000).
     seed:
@@ -296,6 +399,7 @@ class ExperimentSpec:
     predictor: PredictorRef = field(default_factory=PredictorRef)
     lead_model: object = "paper"  # "paper" | Tuple[SequenceRef, ...]
     sweep: Optional[SweepAxis] = None
+    sched: Optional[SchedRef] = None
     replications: int = 30
     seed: int = 2022
     collect_metrics: bool = False

@@ -5,7 +5,8 @@ a deterministic scenario fuzzer (:mod:`.scenarios`), a differential
 executor running each case on the inlined fast-path kernel, the
 ``step()`` reference, and real SimPy when installed (:mod:`.backends`,
 :mod:`.executor`), an invariant-oracle library (:mod:`.oracles`), a
-whole-simulation C/R differential (:mod:`.crdiff`), and a shrinker +
+whole-simulation C/R differential (:mod:`.crdiff`), a batch-queue
+scheduling-oracle fuzzer (:mod:`.schedval`), and a shrinker +
 regression corpus (:mod:`.shrink`, :mod:`.corpus`) feeding
 ``tests/corpus/``.  :mod:`.runner` orchestrates a campaign; see
 ``docs/TESTING.md`` for the workflow.
@@ -29,6 +30,15 @@ from .oracles import (
 )
 from .runner import CaseFailure, ValidationReport, run_validation, validate_scenario
 from .scenarios import Scenario, generate_scenario
+from .schedval import (
+    SchedCase,
+    check_sched_case,
+    check_sched_output,
+    generate_sched_case,
+    run_sched_case,
+    sched_case_size,
+    shrink_sched_case,
+)
 from .shrink import scenario_size, shrink_scenario
 
 __all__ = [
@@ -38,11 +48,14 @@ __all__ = [
     "ExecutionRecord",
     "ReferenceEnvironment",
     "Scenario",
+    "SchedCase",
     "ValidationReport",
     "available_backends",
     "check_analysis_consistency",
     "check_bandwidth_monotonicity",
     "check_record",
+    "check_sched_case",
+    "check_sched_output",
     "check_statemachine_table",
     "compare_records",
     "default_corpus_dir",
@@ -50,13 +63,17 @@ __all__ = [
     "execute",
     "generate_cr_case",
     "generate_scenario",
+    "generate_sched_case",
     "load_corpus",
     "resolve_backends",
     "run_cr_case",
     "run_reference",
+    "run_sched_case",
     "run_validation",
     "save_case",
     "scenario_size",
+    "sched_case_size",
     "shrink_scenario",
+    "shrink_sched_case",
     "validate_scenario",
 ]

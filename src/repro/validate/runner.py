@@ -10,8 +10,13 @@ One campaign, from a single seed:
 3. fuzzes a bounded number of random **C/R configurations**, running
    each full simulation on the fast and reference kernels and diffing
    the flattened ``RunOutput`` fingerprints;
-4. on any failure, **shrinks** the scenario to a minimal reproducer and
-   (when a corpus directory is given) saves it to ``tests/corpus/``.
+4. fuzzes a bounded number of random **batch-queue schedules**, holding
+   each to the scheduling oracles (liveness, node-hours conservation,
+   placement disjointness, FCFS causality) and to heap/calendar
+   backend equivalence;
+5. on any failure, **shrinks** the case to a minimal reproducer and
+   (for scenarios, when a corpus directory is given) saves it to
+   ``tests/corpus/``.
 
 Everything is deterministic in the seed, so a CI failure's case number
 is sufficient to reproduce it locally.
@@ -34,6 +39,12 @@ from .oracles import (
     check_statemachine_table,
 )
 from .scenarios import Scenario, generate_scenario
+from .schedval import (
+    check_sched_case,
+    generate_sched_case,
+    sched_case_size,
+    shrink_sched_case,
+)
 from .shrink import scenario_size, shrink_scenario
 
 __all__ = ["CaseFailure", "ValidationReport", "validate_scenario", "run_validation"]
@@ -41,13 +52,18 @@ __all__ = ["CaseFailure", "ValidationReport", "validate_scenario", "run_validati
 
 @dataclass
 class CaseFailure:
-    """One failing case: what failed, why, and its minimal reproducer."""
+    """One failing case: what failed, why, and its minimal reproducer.
 
-    kind: str  # "scenario" | "cr" | "model-oracle"
+    ``scenario``/``shrunk`` hold a :class:`~.scenarios.Scenario` for
+    scenario failures and a :class:`~.schedval.SchedCase` for sched
+    failures (both shrink to the same minimal-reproducer contract).
+    """
+
+    kind: str  # "scenario" | "cr" | "sched" | "model-oracle"
     case_index: int
     violations: List[str]
-    scenario: Optional[Scenario] = None
-    shrunk: Optional[Scenario] = None
+    scenario: Optional[object] = None
+    shrunk: Optional[object] = None
     corpus_path: Optional[Path] = None
 
 
@@ -59,6 +75,7 @@ class ValidationReport:
     backends: List[str]
     scenario_cases: int = 0
     cr_cases: int = 0
+    sched_cases: int = 0
     simpy_skipped: int = 0
     failures: List[CaseFailure] = field(default_factory=list)
 
@@ -101,6 +118,7 @@ def run_validation(
     cases: int,
     backends: Dict[str, Backend],
     cr_cases: Optional[int] = None,
+    sched_cases: Optional[int] = None,
     corpus_dir: Optional[Path] = None,
     shrink: bool = True,
     progress: Optional[Callable[[str], None]] = None,
@@ -116,6 +134,9 @@ def run_validation(
     cr_cases:
         Number of C/R differential cases; defaults to ``cases // 10``
         (min 2) — full simulations cost more than scenarios.
+    sched_cases:
+        Number of batch-queue oracle cases; same ``cases // 10``
+        (min 2) default and for the same reason.
     corpus_dir:
         When given, shrunk reproducers are saved there.
     shrink:
@@ -180,4 +201,25 @@ def run_validation(
             report.failures.append(
                 CaseFailure(kind="cr", case_index=i, violations=problems)
             )
+
+    n_sched = sched_cases if sched_cases is not None else max(2, cases // 10)
+    for i in range(n_sched):
+        case = generate_sched_case(seed + i)
+        problems = check_sched_case(case)
+        report.sched_cases += 1
+        if not problems:
+            continue
+        say(f"sched case {i} (seed {seed + i}): {len(problems)} problem(s)")
+        failure = CaseFailure(
+            kind="sched", case_index=i, violations=problems, scenario=case,
+        )
+        if shrink:
+            failure.shrunk = shrink_sched_case(
+                case, lambda c: bool(check_sched_case(c))
+            )
+            say(
+                f"sched case {i}: shrunk {sched_case_size(case)} -> "
+                f"{sched_case_size(failure.shrunk)} jobs"
+            )
+        report.failures.append(failure)
     return report

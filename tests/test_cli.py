@@ -345,3 +345,55 @@ class TestServiceCommands:
                      "--port", "1"]) == 2
         err = capsys.readouterr().err
         assert "pckpt serve" in err
+
+
+class TestSchedCli:
+    def test_sched_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["sched", "run", "--quick"],
+            ["sched", "run", "--policy", "fair", "--njobs", "4"],
+            ["sched", "status", "--store", "x"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_sched_run_quick_json_is_valid_payload(self, capsys):
+        import json
+
+        from repro.sched.bench import validate_sched_payload
+
+        assert main(["sched", "run", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_sched_payload(payload) == []
+        assert payload["quick"] is True
+        assert payload["replications"] == 1
+
+    def test_sched_run_spec_with_store_caches(self, capsys, tmp_path):
+        import json
+
+        spec_file = tmp_path / "sched.json"
+        spec_file.write_text(json.dumps({
+            "schema_version": 1,
+            "apps": ["GYRO", "VULCAN"],
+            "models": ["B", "P2"],
+            "platform": {"base": "summit", "total_nodes": 192},
+            "replications": 2,
+            "seed": 5,
+            "sched": {"policy": "easy", "jobs": 4, "hours_scale": 0.02},
+        }))
+        store = tmp_path / "store"
+        assert main(["sched", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        cold = capsys.readouterr().out
+        assert "easy" in cold
+        # Warm re-run is served entirely from the store.
+        assert main(["sched", "run", "--spec", str(spec_file),
+                     "--store", str(store)]) == 0
+        assert main(["sched", "status", "--store", str(store)]) == 0
+        status = capsys.readouterr().out
+        assert "cells" in status
+
+    def test_sched_status_requires_store(self, capsys, tmp_path):
+        assert main(["sched", "status", "--store",
+                     str(tmp_path / "nope")]) in (0, 2)

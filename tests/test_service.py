@@ -5,7 +5,7 @@ Covers the full promise stack, bottom-up:
 * the fair-share queue's weighted-round-robin dispatch and bounded
   admission (pure unit tests, no sockets);
 * the job state machine and its schema-versioned records/events;
-* full service lifecycle against an in-process server: the four
+* full service lifecycle against an in-process server: the five
   committed ``examples/specs/*.json`` submitted concurrently by
   different tenants, fair-share ordering, the 429 backpressure path,
   duplicate-submit coalescing, warm re-submits executing **zero**
@@ -51,7 +51,7 @@ SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
 
 
 def example_documents():
-    """The four committed example specs, capped to 1 replication."""
+    """The committed example specs, capped to 1 replication."""
     documents = {}
     for path in sorted(SPEC_DIR.glob("*.json")):
         spec = dataclasses.replace(load_spec(path), replications=1)
@@ -196,7 +196,7 @@ class TestJobModel:
 # full lifecycle (in-process server)
 # ---------------------------------------------------------------------------
 class TestServiceLifecycle:
-    def test_four_example_specs_from_four_tenants(self, tmp_path):
+    def test_five_example_specs_from_five_tenants(self, tmp_path):
         """The committed example specs, concurrently, one tenant each.
 
         Asserts every job completes, per-tenant accounting is right,
@@ -204,7 +204,7 @@ class TestServiceLifecycle:
         ``run_spec`` of the same capped document.
         """
         documents = example_documents()
-        assert len(documents) == 4, "expected the four committed specs"
+        assert len(documents) == 5, "expected the five committed specs"
         results = {}
         errors = []
 
@@ -228,7 +228,7 @@ class TestServiceLifecycle:
             for t in threads:
                 t.join(300)
             assert not errors, errors
-            assert len(results) == 4
+            assert len(results) == 5
 
             for name, (record, payload) in results.items():
                 assert record["state"] == "done", name
@@ -257,7 +257,7 @@ class TestServiceLifecycle:
             assert total_executed >= store_cells
 
             status = svc.service.status()
-            assert status["jobs"]["done"] == 4
+            assert status["jobs"]["done"] == 5
             assert set(status["tenants"]) == set(documents)
 
         # Bit-identical parity: the same capped document through the

@@ -178,7 +178,7 @@ class TestExamplesGolden:
 
     @pytest.mark.parametrize("name", [
         "quickstart", "fig6a-model-comparison",
-        "fig7-lead-time-xgc", "obs9-fn-rate-xgc",
+        "fig7-lead-time-xgc", "obs9-fn-rate-xgc", "sched-backfill",
     ])
     def test_example_loads_and_hashes_match(self, name):
         sp = load_spec(EXAMPLES / f"{name}.json")

@@ -25,6 +25,13 @@ mutants, one per bug family the validator exists for:
     drain dispatches them at the wrong simulated time.  Diffed against
     the heap-driven fast kernel, proving the fuzzer guards the bucket
     queue's time/order contract — not just the heap's.
+
+``StarvingBackfillPolicy``
+    Breaks the scheduler layer instead of the kernel: a backfill that
+    never starts jobs wider than half the machine, the classic
+    unreserved-backfill starvation failure.  The sched oracle fuzzer
+    must catch it (starvation oracle) and shrink the workload to the
+    starving job within the same case budget.
 """
 
 from __future__ import annotations
@@ -36,10 +43,15 @@ import pytest
 
 from repro.des import Environment, PriorityStore
 from repro.des.core import CalendarQueue
+from repro.sched.policy import EasyBackfillPolicy
 from repro.validate import (
+    check_sched_case,
     generate_scenario,
+    generate_sched_case,
     scenario_size,
+    sched_case_size,
     shrink_scenario,
+    shrink_sched_case,
     validate_scenario,
 )
 from repro.validate.backends import FAST_BACKEND, STEP_BACKEND, run_reference
@@ -181,6 +193,62 @@ def test_mutant_caught_and_shrunk_within_budget(mutant):
         shrunk, {"fast": FAST_BACKEND, "step": STEP_BACKEND}
     )
     assert clean == []
+
+
+class StarvingBackfillPolicy(EasyBackfillPolicy):
+    """Backfill without the head reservation: wide jobs never start."""
+
+    def __init__(self, half_machine: int) -> None:
+        super().__init__()
+        self._half = half_machine
+
+    def select(self, free_nodes, running, now):
+        started = []
+        free = free_nodes
+        i = 0
+        while i < len(self._pending):
+            pj = self._pending[i]
+            if pj.job.nodes <= self._half and pj.job.nodes <= free:
+                del self._pending[i]
+                free -= pj.job.nodes
+                started.append(pj)
+            else:
+                i += 1
+        return started
+
+
+def _sched_mutant_fails(case):
+    # A fresh mutant per run: policies are stateful (they own the queue).
+    mutant = StarvingBackfillPolicy(case.total_nodes // 2)
+    return bool(check_sched_case(case, policy=mutant))
+
+
+def test_starving_backfill_mutant_caught_and_shrunk_within_budget():
+    hunt = None
+    for seed in range(CASE_BUDGET):
+        case = generate_sched_case(seed)
+        if _sched_mutant_fails(case):
+            hunt = case
+            break
+    assert hunt is not None, (
+        f"the starving backfill survived {CASE_BUDGET} fuzzed workloads — "
+        "the sched oracles have lost their teeth"
+    )
+
+    shrunk = shrink_sched_case(hunt, _sched_mutant_fails)
+    assert _sched_mutant_fails(shrunk), (
+        "shrunk reproducer no longer kills the mutant"
+    )
+    assert sched_case_size(shrunk) <= sched_case_size(hunt)
+    # Minimal means readable: the starving job, possibly one companion.
+    assert sched_case_size(shrunk) <= 2
+
+    # The violation is the starvation the mutant introduces, and the
+    # reproducer condemns only the mutant — the real policies pass.
+    mutant = StarvingBackfillPolicy(shrunk.total_nodes // 2)
+    problems = check_sched_case(shrunk, policy=mutant)
+    assert any("starvation" in p for p in problems)
+    assert check_sched_case(shrunk) == []
 
 
 def test_buggy_store_mutant_dies_on_the_committed_reproducer():

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Schema-sync check for the scheduler layer (``repro.sched``).
+
+Keeps every surface that speaks the sched result schema agreeing with
+the single source of truth — the declarative tables in
+``src/repro/sched/jobs.py`` — all parsed from source so this runs
+dependency-free in CI (no numpy import needed), following the
+``check_service_schema`` convention:
+
+* the ``SCHED_SCHEMA_VERSION``, the ``SCHED_BASELINE_KIND`` record
+  discriminator, the ``POLICY_NAMES`` tuple, and the ``JOB_FIELDS`` /
+  ``RESULT_FIELDS`` tables declared in the source;
+* ``docs/SCHEDULER.md``: must state the schema version and mention
+  every field and policy name in backticks;
+* the committed ``benchmarks/sched/SCHED_*.json`` baseline artifacts
+  (plus any passed via ``--artifact``) — a dependency-free mirror of
+  ``repro.sched.bench.validate_sched_payload``, plus the filename
+  convention ``SCHED_<git-sha>.json``.
+
+Exits non-zero with a description of every mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+JOBS_PY = ROOT / "src" / "repro" / "sched" / "jobs.py"
+DOC = ROOT / "docs" / "SCHEDULER.md"
+BASELINES = ROOT / "benchmarks" / "sched"
+
+VERSION_DECL = re.compile(
+    r"^SCHED_SCHEMA_VERSION\s*[:=]\s*(?:int\s*=\s*)?(\d+)\s*$", re.MULTILINE
+)
+VERSION_DOC = re.compile(r"`SCHED_SCHEMA_VERSION = (\d+)`")
+
+#: Python type name -> JSON validator.  ``float`` accepts ints (JSON
+#: has one number type); ``bool`` is never a valid numeric value.
+_CHECKERS = {
+    "str": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "list": lambda v: isinstance(v, list),
+}
+
+Fields = Dict[str, Tuple[str, bool]]
+
+
+def _top_level_assigns(tree: ast.Module) -> Dict[str, ast.expr]:
+    out: Dict[str, ast.expr] = {}
+    for node in tree.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if node.value is not None:
+                out[node.target.id] = node.value
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            out[node.targets[0].id] = node.value
+    return out
+
+
+def _field_table(name: str, node: ast.expr) -> Fields:
+    if not isinstance(node, ast.Dict):
+        raise SystemExit(f"{name} in {JOBS_PY} is not a dict literal")
+    fields: Fields = {}
+    for key, value in zip(node.keys, node.values):
+        field = ast.literal_eval(key)
+        type_node, nullable_node = value.elts
+        if not isinstance(type_node, ast.Name):
+            raise SystemExit(f"{name}[{field!r}] type is not a bare name")
+        fields[field] = (type_node.id, ast.literal_eval(nullable_node))
+    unknown = sorted(t for t, _ in fields.values() if t not in _CHECKERS)
+    if unknown:
+        raise SystemExit(f"{name} uses unvalidatable types: {unknown}")
+    return fields
+
+
+class Declared:
+    """Everything ``sched/jobs.py`` declares, parsed from source."""
+
+    def __init__(self) -> None:
+        text = JOBS_PY.read_text(encoding="utf-8")
+        version = VERSION_DECL.search(text)
+        if not version:
+            raise SystemExit(
+                f"no SCHED_SCHEMA_VERSION declaration in {JOBS_PY}"
+            )
+        self.version = int(version.group(1))
+        assigns = _top_level_assigns(ast.parse(text))
+        for name in ("SCHED_BASELINE_KIND", "POLICY_NAMES",
+                     "JOB_FIELDS", "RESULT_FIELDS"):
+            if name not in assigns:
+                raise SystemExit(f"no {name} declaration in {JOBS_PY}")
+        self.kind = ast.literal_eval(assigns["SCHED_BASELINE_KIND"])
+        self.policies = list(ast.literal_eval(assigns["POLICY_NAMES"]))
+        self.job_fields = _field_table("JOB_FIELDS", assigns["JOB_FIELDS"])
+        self.result_fields = _field_table(
+            "RESULT_FIELDS", assigns["RESULT_FIELDS"]
+        )
+
+
+def check_docs(decl: Declared) -> List[str]:
+    """The doc must state the version and mention every name."""
+    if not DOC.exists():
+        return [f"{DOC} is missing (the sched schema must be documented)"]
+    text = DOC.read_text(encoding="utf-8")
+    problems = []
+    documented = [int(v) for v in VERSION_DOC.findall(text)]
+    if not documented:
+        problems.append(
+            f"{DOC} never states the sched schema version (expected a "
+            f"backticked 'SCHED_SCHEMA_VERSION = {decl.version}')"
+        )
+    for doc_version in documented:
+        if doc_version != decl.version:
+            problems.append(
+                f"{DOC} documents sched schema version {doc_version}, "
+                f"code declares {decl.version}"
+            )
+    backticked = set(re.findall(r"`([^`\s]+)`", text))
+    for group, names in (
+        ("result field", decl.result_fields),
+        ("per-job field", decl.job_fields),
+        ("policy", decl.policies),
+        ("record kind", [decl.kind]),
+    ):
+        for name in sorted(set(names)):
+            if name not in backticked:
+                problems.append(f"{DOC} does not document the {group} `{name}`")
+    return problems
+
+
+def _check_fields(where: str, obj: Dict[str, Any], fields: Fields,
+                  problems: List[str]) -> None:
+    for name in sorted(set(obj) - set(fields) - {"dirty", "quick"}):
+        problems.append(f"{where}: undeclared field {name!r}")
+    for name, (type_name, nullable) in fields.items():
+        if name not in obj:
+            problems.append(f"{where}: missing field {name!r}")
+            continue
+        value = obj[name]
+        if value is None:
+            if not nullable:
+                problems.append(f"{where}: {name} is null but not nullable")
+        elif not _CHECKERS[type_name](value):
+            problems.append(
+                f"{where}: {name} must be {type_name}, got {value!r}"
+            )
+
+
+def check_artifact(path: Path, decl: Declared) -> List[str]:
+    """One ``SCHED_*.json`` artifact must match the declared schema.
+
+    A dependency-free mirror of
+    ``repro.sched.bench.validate_sched_payload``.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path}: payload is not an object"]
+    problems: List[str] = []
+    _check_fields("payload", payload, decl.result_fields, problems)
+    if payload.get("kind") != decl.kind:
+        problems.append(f"kind is {payload.get('kind')!r}, not {decl.kind!r}")
+    if payload.get("schema_version") != decl.version:
+        problems.append(
+            f"schema_version is {payload.get('schema_version')!r}, "
+            f"code declares {decl.version}"
+        )
+    if payload.get("policy") not in decl.policies:
+        problems.append(
+            f"policy {payload.get('policy')!r} not one of {decl.policies}"
+        )
+    sha = payload.get("git_sha")
+    if isinstance(sha, str) and path.name != f"SCHED_{sha}.json":
+        problems.append(
+            f"filename {path.name} does not match git_sha {sha!r} "
+            f"(expected SCHED_{sha}.json)"
+        )
+    per_job = payload.get("per_job")
+    if isinstance(per_job, list):
+        if isinstance(payload.get("jobs"), int) \
+                and len(per_job) != payload["jobs"]:
+            problems.append(
+                f"per_job holds {len(per_job)} entries, jobs says "
+                f"{payload['jobs']}"
+            )
+        for i, entry in enumerate(per_job):
+            if not isinstance(entry, dict):
+                problems.append(f"per_job[{i}] is not an object")
+                continue
+            _check_fields(f"per_job[{i}]", entry, decl.job_fields, problems)
+    for name in ("utilization", "ft_ratio"):
+        value = payload.get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and not 0.0 <= value <= 1.0:
+            problems.append(f"{name} must be in [0, 1], got {value!r}")
+    return [f"{path}: {p}" for p in problems]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="additional SCHED_*.json artifacts to validate")
+    args = parser.parse_args(argv)
+
+    decl = Declared()
+    problems = check_docs(decl)
+
+    baselines = sorted(BASELINES.glob("SCHED_*.json")) \
+        if BASELINES.is_dir() else []
+    if not baselines:
+        problems.append(
+            f"{BASELINES} holds no committed SCHED_*.json baseline"
+        )
+    for path in baselines + list(args.artifact):
+        problems.extend(check_artifact(path, decl))
+
+    if problems:
+        print("sched schema check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"sched schema OK (version {decl.version}, "
+        f"{len(decl.result_fields)} result fields, "
+        f"{len(decl.job_fields)} per-job fields, "
+        f"{len(baselines) + len(args.artifact)} artifact(s) checked)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,8 @@ TABLE_NAMES = (
     "PLATFORM_FIELDS",
     "FAILURES_FIELDS",
     "SEQUENCE_FIELDS",
+    "SCHED_FIELDS",
+    "SCHED_JOB_FIELDS",
 )
 
 #: Type tag -> JSON validator.  ``float`` accepts ints (JSON has one
@@ -206,8 +208,17 @@ def check_spec_file(path: Path, version: int, tables: Dict[str, Fields],
                 f"{path}: sweep.axis {axis!r} not one of {list(axes)}"
             )
         values = sweep.get("values")
-        if isinstance(values, list) and not all(_num(v) for v in values):
-            problems.append(f"{path}: sweep.values must all be numbers")
+        if isinstance(values, list):
+            # The sched-policy axis sweeps policy *names*; every other
+            # axis sweeps numbers.
+            if axis == "sched-policy":
+                if not all(isinstance(v, str) for v in values):
+                    problems.append(
+                        f"{path}: sched-policy sweep.values must all be "
+                        "strings"
+                    )
+            elif not all(_num(v) for v in values):
+                problems.append(f"{path}: sweep.values must all be numbers")
     if isinstance(data.get("predictor"), dict):
         _check_object(f"{path}: predictor", data["predictor"],
                       tables["PREDICTOR_FIELDS"], problems)
@@ -217,6 +228,19 @@ def check_spec_file(path: Path, version: int, tables: Dict[str, Fields],
     if isinstance(data.get("failures"), dict):
         _check_object(f"{path}: failures", data["failures"],
                       tables["FAILURES_FIELDS"], problems)
+    if isinstance(data.get("sched"), dict):
+        sched = data["sched"]
+        _check_object(f"{path}: sched", sched, tables["SCHED_FIELDS"],
+                      problems)
+        if isinstance(sched.get("arrival"), list):
+            for i, entry in enumerate(sched["arrival"]):
+                if not isinstance(entry, dict):
+                    problems.append(
+                        f"{path}: sched.arrival[{i}] is not an object"
+                    )
+                    continue
+                _check_object(f"{path}: sched.arrival[{i}]", entry,
+                              tables["SCHED_JOB_FIELDS"], problems)
     if isinstance(data.get("lead_model"), list):
         for i, entry in enumerate(data["lead_model"]):
             if not isinstance(entry, dict):
