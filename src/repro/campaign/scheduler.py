@@ -27,13 +27,17 @@ index, and seed.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.sweeps import evaluate_analytical_batch
 from ..experiments.runner import SimulationResult, _aggregate, _run_once
+from ..obs.context import SpanWriter, current as current_trace, \
+    trace_fragment_dir
 from ..obs.telemetry import TELEMETRY_FILENAME, CampaignTelemetry
 from ..sched.engine import aggregate_sched, run_sched_once
 from .plan import AnalyticalCellSpec, CampaignPlan, CellSpec, SchedCellSpec, WorkUnit
@@ -69,13 +73,38 @@ def _run_one(cell, k: int):
     )
 
 
-def _run_shard(cell: CellSpec, rep_start: int, rep_stop: int) -> List:
+def _run_shard(cell: CellSpec, rep_start: int, rep_stop: int,
+               obs: Optional[Tuple[str, str, str]] = None) -> List:
     """Worker: replications [rep_start, rep_stop) of one cell.
 
     Top-level for pickling.  Ships one ``CellSpec`` instead of a child
     seed per replication, so IPC cost is per-shard, not per-replication.
+
+    *obs* is ``None`` (the zero-overhead default) or a picklable
+    ``(trace_id, parent_span_id, fragment_dir)`` triple: each
+    replication is then wall-clock timed and appended as one
+    ``kernel.run`` span to this worker process's own fragment file
+    (``worker-<pid>.jsonl``) — span ids come from :mod:`secrets`, so
+    tracing consumes no simulation RNG and results stay bit-identical.
     """
-    return [_run_one(cell, k) for k in range(rep_start, rep_stop)]
+    if obs is None:
+        return [_run_one(cell, k) for k in range(rep_start, rep_stop)]
+    trace_id, parent_id, frag_dir = obs
+    pid = os.getpid()
+    writer = SpanWriter(Path(frag_dir) / f"worker-{pid}.jsonl",
+                        trace_id, f"worker/{pid}")
+    cell_label = "/".join(str(part) for part in cell.key)
+    outputs: List = []
+    try:
+        for k in range(rep_start, rep_stop):
+            t0 = time.time()
+            outputs.append(_run_one(cell, k))
+            writer.span("kernel.run", t0, time.time(), parent_id=parent_id,
+                        args={"cell": cell_label, "replication": k,
+                              "seed": cell.seed})
+    finally:
+        writer.close()
+    return outputs
 
 
 def _rerun_serially(cell: CellSpec, unit: WorkUnit,
@@ -140,14 +169,32 @@ def run_campaign(
         Upper bound on replications per work unit.
     """
     plan = CampaignPlan(cells)
+    ctx = current_trace()
     if progress is None:
         progress = CampaignProgress()
     if store is not None and progress.telemetry is None:
         # A campaign with a store streams live telemetry next to its
         # results; `pckpt top --store <dir>` tails exactly this file.
         progress.telemetry = CampaignTelemetry(
-            store.root / TELEMETRY_FILENAME
+            store.root / TELEMETRY_FILENAME,
+            trace_id=ctx.trace_id if ctx is not None else None,
         )
+
+    # Active trace context + store -> span fragments for `obs stitch`.
+    # `obs` ships to workers (picklable strings); the campaign span
+    # itself is written at the end, parenting every kernel span.
+    obs: Optional[Tuple[str, str, str]] = None
+    obs_writer: Optional[SpanWriter] = None
+    run_ctx = None
+    t_campaign = time.time()
+    if ctx is not None and store is not None:
+        frag_dir = trace_fragment_dir(store.root, ctx.trace_id)
+        run_ctx = ctx.child()
+        obs_writer = SpanWriter(
+            frag_dir / f"campaign-{os.getpid()}.jsonl",
+            ctx.trace_id, f"campaign/{os.getpid()}",
+        )
+        obs = (ctx.trace_id, run_ctx.span_id, str(frag_dir))
 
     results: Dict[int, StoredResult] = {}
     pending: List[int] = []
@@ -240,7 +287,8 @@ def run_campaign(
         for unit in units:
             cell = plan.cells[unit.cell_index]
             try:
-                outputs = _run_shard(cell, unit.rep_start, unit.rep_stop)
+                outputs = _run_shard(cell, unit.rep_start, unit.rep_stop,
+                                     obs)
                 retried = False
             except Exception as exc:
                 progress.shard_crashed(unit, exc)
@@ -251,7 +299,7 @@ def run_campaign(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_run_shard, plan.cells[u.cell_index],
-                            u.rep_start, u.rep_stop): u
+                            u.rep_start, u.rep_stop, obs): u
                 for u in units
             }
             not_done = set(futures)
@@ -270,5 +318,14 @@ def run_campaign(
                     complete(unit, outputs, retried)
 
     progress.campaign_end()
+    if obs_writer is not None:
+        obs_writer.span(
+            "campaign.run", t_campaign, time.time(),
+            span_id=run_ctx.span_id, parent_id=ctx.span_id,
+            args={"cells": len(plan.cells),
+                  "replications_total": plan.total_replications,
+                  "workers": max(workers, 1), "shards": len(units)},
+        )
+        obs_writer.close()
     # Present results in plan order, like the serial engines always did.
     return {plan.cells[i].key: results[i] for i in range(len(plan.cells))}

@@ -22,14 +22,16 @@ Subcommands
     result store (``--store``), incremental re-runs (``--resume``, the
     default), and ``--jobs N`` pool width.  ``campaign run`` takes a
     named sweep or ``--spec FILE``.  See ``docs/CAMPAIGN.md``.
-``pckpt sched run|status``
+``pckpt sched run|status|gantt``
     Batch-queue workload runs (``repro.sched``): a job stream placed on
     the machine under FCFS, EASY backfill or fair share, every job
     running its own C/R model against shared burst-buffer/PFS lanes.
     ``sched run`` executes the reference baseline workload (``--policy``,
     ``--njobs``, ``--quick``) or a spec document with a ``sched`` block
     (``--spec``, optionally cached in ``--store``); ``sched status``
-    summarizes such a store.  See ``docs/SCHEDULER.md``.
+    summarizes such a store; ``sched gantt`` exports one traced
+    replication as a schedule Gantt chart (``--json``, ``--chrome``).
+    See ``docs/SCHEDULER.md``.
 ``pckpt validate``
     Differential fuzzing of the DES kernel: random scenarios executed on
     the inlined fast-path loops, the ``step()`` reference, and real
@@ -51,6 +53,16 @@ Subcommands
     On a service-managed store the store-level feed does not exist;
     ``top`` falls back to the most recent per-job feed under
     ``<store>/service/jobs/`` (pick one explicitly with ``--job ID``).
+    While tailing, ``--timeout SECONDS`` gives up with a friendly
+    message if no telemetry ever appears.
+``pckpt obs stitch|slo``
+    Cross-layer observability queries over a result store: ``stitch``
+    reassembles every process's span fragments, job events and
+    telemetry lines for one trace id (``--trace-id``, ``--job``, or
+    the most recent) into a single Chrome trace; ``slo`` grades
+    per-tenant latency/error/cache objectives over the persisted job
+    records (``--window``, ``--latency-p99``, ``--error-rate``).
+    See ``docs/OBSERVABILITY.md``.
 ``pckpt serve --store DIR --jobs N --port P``
     Run the multi-tenant campaign service (``repro.service``): accepts
     spec submissions over HTTP, dedupes against the shared store,
@@ -58,7 +70,9 @@ Subcommands
     ``docs/SERVICE.md``.
 ``pckpt submit --spec FILE [--wait | --watch]``
     Submit a spec document to a running service; ``--wait`` polls to
-    completion, ``--watch`` streams the job's NDJSON events live.
+    completion, ``--watch`` streams the job's NDJSON events live,
+    ``--trace-id`` propagates a caller trace context via the
+    ``X-Pckpt-Trace`` header.
 ``pckpt jobs`` / ``pckpt watch JOB_ID`` / ``pckpt shutdown``
     List a service's jobs, follow one job's event stream, or ask the
     service to drain gracefully.
@@ -709,9 +723,18 @@ def _cmd_top(args: argparse.Namespace) -> int:
     if args.once:
         print(format_top(latest_snapshot(path), path))
         return 0
+    deadline = None
+    if args.timeout is not None:
+        deadline = time.monotonic() + args.timeout
     try:
         while True:
             snapshot = latest_snapshot(path)
+            if (snapshot is None and deadline is not None
+                    and time.monotonic() >= deadline):
+                print(f"pckpt top: no telemetry at {path} "
+                      f"after {args.timeout:g}s (is a campaign running?)",
+                      file=sys.stderr)
+                return 2
             if sys.stdout.isatty():  # pragma: no cover - interactive only
                 sys.stdout.write("\x1b[2J\x1b[H")
             print(format_top(snapshot, path))
@@ -720,6 +743,65 @@ def _cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Cross-layer observability queries (``pckpt obs stitch|slo``)."""
+    if args.action == "stitch":
+        from .obs.stitch import (collect_trace, list_traces,
+                                 resolve_job_trace, stitch_chrome)
+
+        trace_id = args.trace_id
+        if trace_id is None and args.job:
+            trace_id = resolve_job_trace(args.store, args.job)
+            if trace_id is None:
+                print(f"error: no trace id recorded for job {args.job}",
+                      file=sys.stderr)
+                return 2
+        if trace_id is None:
+            traces = list_traces(args.store)
+            if not traces:
+                print(f"error: no trace fragments under "
+                      f"{os.path.join(args.store, 'obs', 'trace')}",
+                      file=sys.stderr)
+                return 2
+            trace_id = traces[-1]
+            print(f"[stitching most recent trace {trace_id}]",
+                  file=sys.stderr)
+        collection = collect_trace(args.store, trace_id)
+        if not collection["spans"] and not collection["events"]:
+            print(f"error: trace {trace_id} has no spans or events "
+                  f"under {args.store}", file=sys.stderr)
+            return 2
+        out = args.out or f"trace-{trace_id}.json"
+        n = stitch_chrome(collection, out)
+        print(f"[stitched {len(collection['spans'])} spans, "
+              f"{len(collection['events'])} job events, "
+              f"{len(collection['telemetry'])} telemetry lines "
+              f"into {n} trace events at {out}]")
+        return 0
+
+    # action == "slo"
+    from .obs.slo import (SLOObjectives, compute_slo, format_slo,
+                          load_job_records, render_slo_metrics)
+
+    records = load_job_records(args.store)
+    objectives = SLOObjectives(
+        latency_p99_seconds=args.latency_p99,
+        error_rate=args.error_rate,
+    )
+    rows = compute_slo(records, window_seconds=args.window,
+                       objectives=objectives)
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if args.openmetrics:
+        for line in render_slo_metrics(rows):
+            print(line)
+        print("# EOF")
+        return 0
+    print(format_slo(rows))
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -798,6 +880,22 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     except StoreSchemaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.action == "gantt":
+        from .obs.gantt import format_gantt, gantt_to_chrome, run_gantt
+
+        n_jobs = 8 if args.quick else args.njobs
+        payload = run_gantt(policy=args.policy, n_jobs=n_jobs,
+                            seed=args.seed)
+        if args.chrome:
+            n = gantt_to_chrome(payload, args.chrome)
+            print(f"[wrote {n} gantt trace events to {args.chrome}]",
+                  file=sys.stderr)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(format_gantt(payload))
+        return 0
 
     if args.action == "status":
         if store is None:
@@ -983,6 +1081,7 @@ def _service_errors(fn):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the campaign service (``repro.service``) until shut down."""
+    from .obs.slo import SLOObjectives
     from .service import load_tokens, serve
 
     tokens = None
@@ -1004,7 +1103,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     serve(args.store, host=args.host, port=args.port, jobs=args.jobs,
           queue_limit=args.queue_limit, tokens=tokens,
-          retry_after=args.retry_after, ready=_ready)
+          retry_after=args.retry_after, ready=_ready,
+          slo=SLOObjectives(latency_p99_seconds=args.slo_latency_p99,
+                            error_rate=args.slo_error_rate),
+          slo_window=args.slo_window)
     print("pckpt serve: drained and stopped", file=sys.stderr)
     return 0
 
@@ -1048,7 +1150,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client = _service_client(args)
 
     def _go() -> int:
-        envelope = client.submit(document, retries=args.retries)
+        envelope = client.submit(document, retries=args.retries,
+                                 trace=args.trace_id)
         record = envelope["job"]
         if not (args.wait or args.watch):
             if args.json:
@@ -1313,6 +1416,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s_status.set_defaults(func=_cmd_sched)
 
+    s_gantt = sched_sub.add_parser(
+        "gantt",
+        help="export one traced replication as a schedule Gantt chart",
+    )
+    s_gantt.add_argument("--policy", choices=sorted(_SCHED_POLICIES),
+                         default="easy",
+                         help="placement policy (default easy)")
+    s_gantt.add_argument("--njobs", type=int, default=16, metavar="N",
+                         help="baseline workload size (default 16)")
+    s_gantt.add_argument("--seed", type=int, default=0)
+    s_gantt.add_argument("--quick", action="store_true",
+                         help="8 jobs (CI smoke)")
+    s_gantt.add_argument("--chrome", metavar="FILE", default=None,
+                         help="also write a Chrome/Perfetto trace "
+                              "(one pid per node band)")
+    s_gantt.add_argument("--json", action="store_true",
+                         help="print the schema-versioned Gantt payload")
+    s_gantt.set_defaults(func=_cmd_sched)
+
     p_bench = sub.add_parser(
         "bench",
         help="run the kernel/simulation benchmark suite "
@@ -1443,7 +1565,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--openmetrics", action="store_true",
         help="print the latest snapshot as an OpenMetrics exposition",
     )
+    p_top.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="while tailing: give up if no telemetry appears within "
+             "this long (default: poll forever)",
+    )
     p_top.set_defaults(func=_cmd_top)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="cross-layer observability: stitch traces, grade SLOs",
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+
+    o_stitch = obs_sub.add_parser(
+        "stitch",
+        help="reassemble one trace id's multi-process fragments into "
+             "a single Chrome trace",
+    )
+    o_stitch.add_argument("--store", metavar="PATH", required=True,
+                          help="the service/campaign result store")
+    o_stitch.add_argument("--trace-id", metavar="ID", default=None,
+                          help="trace id to stitch (default: resolve "
+                               "via --job, else the most recent)")
+    o_stitch.add_argument("--job", metavar="ID", default=None,
+                          help="resolve the trace id from this service "
+                               "job's persisted record")
+    o_stitch.add_argument("--out", metavar="FILE", default=None,
+                          help="output path (default trace-<id>.json)")
+    o_stitch.set_defaults(func=_cmd_obs)
+
+    o_slo = obs_sub.add_parser(
+        "slo",
+        help="per-tenant SLO report over a store's persisted job records",
+    )
+    o_slo.add_argument("--store", metavar="PATH", required=True,
+                       help="the service result store")
+    o_slo.add_argument("--window", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="rolling window (default 3600)")
+    o_slo.add_argument("--latency-p99", type=float, default=None,
+                       metavar="SECONDS",
+                       help="latency objective: p99 job latency target")
+    o_slo.add_argument("--error-rate", type=float, default=None,
+                       metavar="RATE",
+                       help="error objective: failed/terminal target "
+                            "(e.g. 0.01)")
+    o_slo.add_argument("--json", action="store_true",
+                       help="print the schema-versioned SLO rows")
+    o_slo.add_argument("--openmetrics", action="store_true",
+                       help="print the labeled series as an OpenMetrics "
+                            "exposition")
+    o_slo.set_defaults(func=_cmd_obs)
 
     p_val = sub.add_parser(
         "validate",
@@ -1510,6 +1683,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--tokens", metavar="FILE", default=None,
                          help="closed-mode auth: JSON mapping token -> "
                               "tenant (or {'tenant':..., 'weight': N})")
+    p_serve.add_argument("--slo-latency-p99", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-tenant SLO: p99 job latency target "
+                              "(burn rates on /metrics)")
+    p_serve.add_argument("--slo-error-rate", type=float, default=None,
+                         metavar="RATE",
+                         help="per-tenant SLO: error-rate target")
+    p_serve.add_argument("--slo-window", type=float, default=3600.0,
+                         metavar="SECONDS",
+                         help="SLO rolling window (default 3600)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -1523,6 +1706,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="smoke scale: cap replications at 2 (CI)")
     p_submit.add_argument("--retries", type=int, default=0, metavar="N",
                           help="back off and resubmit on 429 up to N times")
+    p_submit.add_argument("--trace-id", metavar="TRACE[-SPAN]",
+                          default=None,
+                          help="propagate a trace context via the "
+                               "X-Pckpt-Trace header (lowercase hex; "
+                               "see docs/OBSERVABILITY.md)")
     p_submit.add_argument("--wait", action="store_true",
                           help="poll until the job finishes")
     p_submit.add_argument("--watch", action="store_true",

@@ -129,16 +129,23 @@ class Trace:
     only_kinds / only_sources:
         When given, only matching records are stored *or counted* — the
         cheapest way to trace one protocol phase in a long run.
+    trace_id:
+        Optional request-correlation id (see :mod:`repro.obs.context`);
+        stamped on every :meth:`to_jsonl` line and into the Chrome
+        export's ``otherData`` so per-replication traces name the
+        request that caused them.
     """
 
     def __init__(self, env: "Environment", enabled: bool = True,
                  max_records: Optional[int] = None, ring: bool = False,
                  only_kinds: Optional[Collection[str]] = None,
-                 only_sources: Optional[Collection[str]] = None) -> None:
+                 only_sources: Optional[Collection[str]] = None,
+                 trace_id: Optional[str] = None) -> None:
         self.env = env
         self.enabled = enabled
         self.max_records = max_records
         self.ring = ring
+        self.trace_id = trace_id
         self.only_kinds = frozenset(only_kinds) if only_kinds else None
         self.only_sources = frozenset(only_sources) if only_sources else None
         self._records: Union[List[TraceRecord], deque] = (
@@ -307,10 +314,13 @@ class Trace:
         def _write(fp: IO[str]) -> int:
             n = 0
             for rec in self._records:
+                line = {"t": rec.time, "source": rec.source,
+                        "kind": rec.kind, "ph": rec.ph, "sid": rec.sid,
+                        "detail": rec.detail}
+                if self.trace_id is not None:
+                    line["trace_id"] = self.trace_id
                 fp.write(json.dumps(
-                    {"t": rec.time, "source": rec.source, "kind": rec.kind,
-                     "ph": rec.ph, "sid": rec.sid, "detail": rec.detail},
-                    default=str, separators=(",", ":"),
+                    line, default=str, separators=(",", ":"),
                 ))
                 fp.write("\n")
                 n += 1
@@ -388,6 +398,8 @@ class Trace:
                              "sim_seconds": entry.sim_seconds},
                 })
         payload = {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+        if self.trace_id is not None:
+            payload["otherData"] = {"trace_id": self.trace_id}
         if isinstance(path_or_fp, str):
             with open(path_or_fp, "w", encoding="utf-8") as fp:
                 json.dump(payload, fp)

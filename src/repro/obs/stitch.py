@@ -1,0 +1,249 @@
+"""Stitch one request's cross-process fragments into a Chrome trace.
+
+A traced service request leaves artifacts in three places under the
+store, written by three different layers (and as many processes as the
+campaign pool used):
+
+* **span fragments** — ``<store>/obs/trace/<trace_id>/*.jsonl``
+  (:mod:`repro.obs.context`): the service's ``request`` root span, the
+  campaign's ``campaign.run`` span, and one ``kernel.run`` span per
+  replication from each pool worker;
+* **job events** — ``<store>/service/jobs/<id>/events.ndjson``
+  (:mod:`repro.service.jobs`): lifecycle + bridged telemetry events,
+  each stamped with the job's ``trace_id``;
+* **telemetry snapshots** — per-job ``telemetry.jsonl``
+  (:mod:`repro.obs.telemetry`), likewise stamped.
+
+:func:`collect_trace` gathers everything for one ``trace_id``;
+:func:`stitch_chrome` lays it out as one Chrome-trace JSON file
+(`Trace Event Format`) loadable in Perfetto / ``chrome://tracing``:
+**one pid per process/role** (the fragment ``source``), the service
+request as the root span, job lifecycle as instants on the request's
+track, and bridged telemetry as counter tracks.  All timestamps are
+wall-clock epoch seconds rebased to the earliest event — the one
+timebase every process shares.
+
+``pckpt obs stitch <store> --trace-id T`` (or ``--job J``, which
+resolves the job's trace id first) is the CLI face of this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from .context import read_spans, trace_fragment_dir
+
+__all__ = [
+    "collect_trace",
+    "resolve_job_trace",
+    "stitch_chrome",
+    "list_traces",
+]
+
+
+def list_traces(store_root: Union[str, Path]) -> List[str]:
+    """Trace ids with at least one span fragment under *store_root*."""
+    base = Path(store_root) / "obs" / "trace"
+    if not base.is_dir():
+        return []
+    return sorted(
+        entry.name for entry in base.iterdir()
+        if entry.is_dir() and any(entry.glob("*.jsonl"))
+    )
+
+
+def resolve_job_trace(store_root: Union[str, Path],
+                      job_id: str) -> Optional[str]:
+    """The ``trace_id`` of a persisted service job, or ``None``."""
+    path = Path(store_root) / "service" / "jobs" / job_id / "job.json"
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    trace_id = record.get("trace_id") if isinstance(record, dict) else None
+    return trace_id if isinstance(trace_id, str) else None
+
+
+def _read_ndjson(path: Path) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return out
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail: writer interrupted mid-append
+            continue
+        if isinstance(record, dict):
+            out.append(record)
+    return out
+
+
+def collect_trace(store_root: Union[str, Path],
+                  trace_id: str) -> Dict[str, object]:
+    """Everything recorded for *trace_id* under *store_root*.
+
+    Returns ``{"trace_id", "spans", "events", "telemetry"}`` — span
+    fragments merged across files (ordered by start time), job events
+    and telemetry snapshots filtered to the trace.
+    """
+    store_root = Path(store_root)
+    spans: List[Dict[str, object]] = []
+    frag_dir = trace_fragment_dir(store_root, trace_id)
+    if frag_dir.is_dir():
+        for path in sorted(frag_dir.glob("*.jsonl")):
+            for record in read_spans(path):
+                if record.get("trace_id") == trace_id:
+                    spans.append(record)
+    spans.sort(key=lambda rec: (rec.get("t0") or 0.0))
+
+    events: List[Dict[str, object]] = []
+    telemetry: List[Dict[str, object]] = []
+    jobs_dir = store_root / "service" / "jobs"
+    if jobs_dir.is_dir():
+        for job_dir in sorted(p for p in jobs_dir.iterdir() if p.is_dir()):
+            for record in _read_ndjson(job_dir / "events.ndjson"):
+                if record.get("trace_id") == trace_id:
+                    events.append(record)
+            for record in _read_ndjson(job_dir / "telemetry.jsonl"):
+                if record.get("trace_id") == trace_id:
+                    telemetry.append(record)
+    for record in _read_ndjson(store_root / "telemetry.jsonl"):
+        if record.get("trace_id") == trace_id:
+            telemetry.append(record)
+    return {
+        "trace_id": trace_id,
+        "spans": spans,
+        "events": events,
+        "telemetry": telemetry,
+    }
+
+
+def stitch_chrome(collection: Dict[str, object],
+                  path_or_fp: Union[str, os.PathLike, IO[str]],
+                  time_scale: float = 1e6) -> int:
+    """Write *collection* as one Chrome-trace JSON file.
+
+    One pid per fragment ``source`` (the ``request`` span's source gets
+    pid 1 and sorts first); job-lifecycle events ride the owning job's
+    request track as instants; bridged telemetry becomes Chrome counter
+    tracks.  Returns the number of trace events written.
+    """
+    trace_id = str(collection.get("trace_id", ""))
+    spans = list(collection.get("spans") or [])
+    events = list(collection.get("events") or [])
+    telemetry_events = [
+        record for record in events if record.get("event") == "telemetry"
+    ]
+
+    stamps = [float(rec["t0"]) for rec in spans if rec.get("t0") is not None]
+    stamps += [float(rec["ts"]) for rec in events if rec.get("ts") is not None]
+    base = min(stamps) if stamps else 0.0
+
+    def rel(t: float) -> float:
+        return (float(t) - base) * time_scale
+
+    # pid per source; the root request's source first.
+    sources: List[str] = []
+    root_sources = [
+        str(rec.get("source")) for rec in spans
+        if rec.get("name") == "request"
+    ]
+    for name in root_sources:
+        if name not in sources:
+            sources.append(name)
+    for rec in spans:
+        name = str(rec.get("source"))
+        if name not in sources:
+            sources.append(name)
+    for rec in events:
+        name = f"service/{rec.get('job_id')}"
+        if name not in sources:
+            sources.append(name)
+    pids = {name: i + 1 for i, name in enumerate(sources)}
+
+    out: List[Dict[str, object]] = []
+    for name, pid in pids.items():
+        out.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": name}})
+        out.append({"ph": "M", "name": "process_sort_index", "pid": pid,
+                    "tid": 0, "args": {"sort_index": pid}})
+
+    for rec in spans:
+        pid = pids[str(rec.get("source"))]
+        args = dict(rec.get("args") or {})
+        args.update({"trace_id": trace_id, "span_id": rec.get("span_id"),
+                     "parent_id": rec.get("parent_id")})
+        event: Dict[str, object] = {
+            "name": rec.get("name"),
+            "cat": "span",
+            "pid": pid,
+            "tid": 1,
+            "ts": rel(rec["t0"]),
+            "args": args,
+        }
+        if rec.get("ph") == "X" and rec.get("t1") is not None:
+            event["ph"] = "X"
+            event["dur"] = max(rel(rec["t1"]) - rel(rec["t0"]), 0.0)
+        else:
+            event["ph"] = "i"
+            event["s"] = "p"
+        out.append(event)
+
+    for rec in events:
+        if rec.get("event") == "telemetry":
+            continue  # rendered as counters below
+        pid = pids[f"service/{rec.get('job_id')}"]
+        out.append({
+            "name": f"job.{rec.get('event')}",
+            "cat": "service",
+            "ph": "i",
+            "s": "p",
+            "pid": pid,
+            "tid": 1,
+            "ts": rel(rec["ts"]),
+            "args": {"trace_id": trace_id, "job_id": rec.get("job_id"),
+                     "state": rec.get("state"), "seq": rec.get("seq")},
+        })
+
+    for rec in telemetry_events:
+        data = rec.get("data") or {}
+        if not isinstance(data, dict):
+            continue
+        pid = pids[f"service/{rec.get('job_id')}"]
+        out.append({
+            "name": "campaign.progress",
+            "cat": "telemetry",
+            "ph": "C",
+            "pid": pid,
+            "tid": 1,
+            "ts": rel(rec["ts"]),
+            "args": {
+                "cells_done": data.get("cells_done", 0),
+                "replications_executed":
+                    data.get("replications_executed", 0),
+                "replications_cached": data.get("replications_cached", 0),
+            },
+        })
+
+    payload = {
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "time_scale": time_scale,
+                      "base_epoch_seconds": base},
+        "traceEvents": out,
+    }
+    if hasattr(path_or_fp, "write"):
+        json.dump(payload, path_or_fp)  # type: ignore[arg-type]
+    else:
+        with open(os.fspath(path_or_fp), "w", encoding="utf-8") as fp:
+            json.dump(payload, fp)
+    return len(out)

@@ -11,8 +11,9 @@ Snapshot schema (``schema_version`` = :data:`OBS_SCHEMA_VERSION`,
 validated by ``tools/check_obs_schema.py``)::
 
     kind                    "pckpt-telemetry"
-    schema_version          1
+    schema_version          2
     seq                     monotonic per-run snapshot counter
+    trace_id                request trace id (null when untraced)
     state                   "running" | "done"
     elapsed_seconds         wall seconds since campaign start
     cells_total/_cached/_executed/_done
@@ -40,6 +41,7 @@ __all__ = [
     "OBS_SCHEMA_VERSION",
     "TELEMETRY_KIND",
     "TELEMETRY_FILENAME",
+    "OPENMETRICS_CONTENT_TYPE",
     "CampaignTelemetry",
     "read_telemetry",
     "latest_snapshot",
@@ -48,7 +50,8 @@ __all__ = [
 ]
 
 #: Schema version of the telemetry JSONL records (bump on layout change).
-OBS_SCHEMA_VERSION: int = 1
+#: Version 2 added the nullable ``trace_id`` request-correlation field.
+OBS_SCHEMA_VERSION: int = 2
 
 #: Record discriminator, mirroring the bench harness convention.
 TELEMETRY_KIND: str = "pckpt-telemetry"
@@ -56,12 +59,19 @@ TELEMETRY_KIND: str = "pckpt-telemetry"
 #: File name inside a campaign store's root directory.
 TELEMETRY_FILENAME: str = "telemetry.jsonl"
 
+#: The OpenMetrics media type (spec §"ABNF"): expositions MUST be
+#: served with the version parameter, and MUST end with ``# EOF``.
+OPENMETRICS_CONTENT_TYPE: str = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
 #: Snapshot fields, their types, and whether null is allowed — the
 #: single source of truth shared with ``tools/check_obs_schema.py``.
 SNAPSHOT_FIELDS: Dict[str, tuple] = {
     "kind": (str, False),
     "schema_version": (int, False),
     "seq": (int, False),
+    "trace_id": (str, True),
     "state": (str, False),
     "elapsed_seconds": (float, False),
     "cells_total": (int, False),
@@ -89,9 +99,13 @@ class CampaignTelemetry:
     path_or_fp:
         Target file path (truncated at construction — a telemetry file
         describes exactly one run) or an open text stream.
+    trace_id:
+        Request trace id stamped on every snapshot (``None`` for
+        untraced local runs); see :mod:`repro.obs.context`.
     """
 
-    def __init__(self, path_or_fp: Union[str, "os.PathLike[str]", IO[str]]) -> None:
+    def __init__(self, path_or_fp: Union[str, "os.PathLike[str]", IO[str]],
+                 trace_id: Optional[str] = None) -> None:
         if hasattr(path_or_fp, "write"):
             self._fp: IO[str] = path_or_fp  # type: ignore[assignment]
             self._owns_fp = False
@@ -100,14 +114,16 @@ class CampaignTelemetry:
             self.path = os.fspath(path_or_fp)
             self._fp = open(self.path, "w", encoding="utf-8")
             self._owns_fp = True
+        self.trace_id = trace_id
         self._seq = 0
 
     def write(self, snapshot: Dict[str, object]) -> Dict[str, object]:
-        """Stamp *snapshot* with kind/schema/seq, append it, flush."""
+        """Stamp *snapshot* with kind/schema/seq/trace, append it, flush."""
         record = dict(snapshot)
         record["kind"] = TELEMETRY_KIND
         record["schema_version"] = OBS_SCHEMA_VERSION
         record["seq"] = self._seq
+        record["trace_id"] = self.trace_id
         self._seq += 1
         self._fp.write(json.dumps(record, separators=(",", ":"),
                                   sort_keys=True))

@@ -97,7 +97,8 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
-                 timeout: Optional[float] = None
+                 timeout: Optional[float] = None,
+                 extra_headers: Optional[Dict[str, str]] = None
                  ) -> Tuple[int, Dict[str, str], bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=timeout or self.timeout
@@ -105,6 +106,8 @@ class ServiceClient:
         try:
             payload = None
             headers = self._headers()
+            if extra_headers:
+                headers.update(extra_headers)
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
@@ -117,8 +120,10 @@ class ServiceClient:
             conn.close()
 
     def _json(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None) -> Any:
-        status, headers, data = self._request(method, path, body)
+              body: Optional[Dict[str, Any]] = None,
+              extra_headers: Optional[Dict[str, str]] = None) -> Any:
+        status, headers, data = self._request(method, path, body,
+                                              extra_headers=extra_headers)
         try:
             payload = json.loads(data.decode("utf-8")) if data else None
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -154,18 +159,24 @@ class ServiceClient:
                 time.sleep(interval)
 
     # -- API -----------------------------------------------------------------
-    def submit(self, spec: Dict[str, Any], retries: int = 0) -> Dict[str, Any]:
+    def submit(self, spec: Dict[str, Any], retries: int = 0,
+               trace: Optional[str] = None) -> Dict[str, Any]:
         """``POST /v1/jobs`` — submit a spec document (a plain dict).
 
         Returns the response envelope ``{"job": record, "deduped":
         bool}``.  With ``retries > 0``, a 429 sleeps the advertised
         ``Retry-After`` and resubmits (up to *retries* times) before
-        letting :class:`ServiceBusy` propagate.
+        letting :class:`ServiceBusy` propagate.  *trace* (an
+        ``X-Pckpt-Trace`` value: ``<trace_id>[-<span_id>]``, lowercase
+        hex) propagates the caller's trace context; the job record's
+        ``trace_id`` reports the context the service adopted.
         """
+        extra = {"X-Pckpt-Trace": trace} if trace else None
         attempt = 0
         while True:
             try:
-                return self._json("POST", "/v1/jobs", {"spec": spec})
+                return self._json("POST", "/v1/jobs", {"spec": spec},
+                                  extra_headers=extra)
             except ServiceBusy as busy:
                 if attempt >= retries:
                     raise

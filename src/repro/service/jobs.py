@@ -51,8 +51,9 @@ __all__ = [
 
 #: Schema version stamped on every record the service emits (job
 #: records, NDJSON events, result payloads, status).  Bump on any
-#: incompatible layout change.
-SERVICE_SCHEMA_VERSION: int = 1
+#: incompatible layout change.  Version 2 added the nullable
+#: ``trace_id`` request-correlation field to job records and events.
+SERVICE_SCHEMA_VERSION: int = 2
 
 #: Record discriminators, mirroring the bench/telemetry convention.
 JOB_KIND: str = "pckpt-job"
@@ -86,6 +87,7 @@ JOB_FIELDS: Dict[str, tuple] = {
     "id": (str, False),
     "tenant": (str, False),
     "state": (str, False),
+    "trace_id": (str, True),
     "spec_hash": (str, False),
     "spec_name": (str, True),
     "cells": (int, False),
@@ -107,6 +109,7 @@ EVENT_FIELDS: Dict[str, tuple] = {
     "kind": (str, False),
     "schema_version": (int, False),
     "job_id": (str, False),
+    "trace_id": (str, True),
     "seq": (int, False),
     "ts": (float, False),
     "event": (str, False),
@@ -126,12 +129,17 @@ class Job:
 
     def __init__(self, job_id: str, tenant: str, spec,
                  spec_hash: str, cells: int,
-                 submitted_at: Optional[float] = None) -> None:
+                 submitted_at: Optional[float] = None,
+                 trace=None) -> None:
         self.id = job_id
         self.tenant = tenant
         self.spec = spec                      # validated ExperimentSpec
         self.spec_hash = spec_hash
         self.cells = int(cells)
+        #: :class:`~repro.obs.context.TraceContext` naming the request
+        #: that created this job (``None`` only for legacy callers; the
+        #: server always mints one when no header is supplied).
+        self.trace = trace
         self.state = "queued"
         self.submitted_at = (time.time() if submitted_at is None
                              else float(submitted_at))
@@ -145,8 +153,18 @@ class Job:
         #: Store keys aligned with ``results`` (grid order).
         self.store_keys: Optional[List[str]] = None
         self.events: List[Dict[str, Any]] = []
+        #: NDJSON file mirroring :attr:`events` on disk (set by the
+        #: server after registration; ``None`` keeps events in-memory
+        #: only, the pre-v2 behaviour).
+        self.events_path: Optional[Any] = None
+        self._events_written = 0
         self.turnstile: Any = None            # asyncio.Event, set by server
         self.record_event("queued")
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
 
     # -- state machine -------------------------------------------------------
     @property
@@ -179,6 +197,7 @@ class Job:
             "kind": JOB_EVENT_KIND,
             "schema_version": SERVICE_SCHEMA_VERSION,
             "job_id": self.id,
+            "trace_id": self.trace_id,
             "seq": len(self.events),
             "ts": time.time(),
             "event": event,
@@ -186,6 +205,7 @@ class Job:
             "data": data,
         }
         self.events.append(record)
+        self.persist_events()
         turnstile = self.turnstile
         if turnstile is not None:
             # Rotate: wake everyone blocked on the old event, give new
@@ -196,6 +216,29 @@ class Job:
             turnstile.set()
         return record
 
+    def persist_events(self) -> None:
+        """Append any events not yet on disk to :attr:`events_path`.
+
+        No-op when no path is set.  Called after every append (and once
+        by the server right after it assigns the path, to flush the
+        ``queued`` event recorded during construction).  Append + flush
+        per event keeps the on-disk stream live for ``pckpt obs
+        stitch`` even if the service later dies uncleanly.
+        """
+        if self.events_path is None:
+            return
+        if self._events_written >= len(self.events):
+            return
+        import json
+        import os
+
+        path = os.fspath(self.events_path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fp:
+            for record in self.events[self._events_written:]:
+                fp.write(json.dumps(record, sort_keys=True) + "\n")
+        self._events_written = len(self.events)
+
     # -- serialization -------------------------------------------------------
     def to_record(self) -> Dict[str, Any]:
         """The job as a :data:`JOB_FIELDS`-shaped JSON-ready dict."""
@@ -205,6 +248,7 @@ class Job:
             "id": self.id,
             "tenant": self.tenant,
             "state": self.state,
+            "trace_id": self.trace_id,
             "spec_hash": self.spec_hash,
             "spec_name": self.spec.name,
             "cells": self.cells,

@@ -59,7 +59,12 @@ from ..campaign.progress import CampaignProgress
 from ..campaign.scheduler import run_campaign
 from ..campaign.store import ResultStore, status_payload
 from ..des.metrics import MetricsRegistry
-from ..obs.telemetry import CampaignTelemetry
+from ..obs.context import (SpanWriter, TraceContext, activate,
+                           mint_context, parse_trace_header,
+                           trace_fragment_dir)
+from ..obs.slo import (DEFAULT_WINDOW_SECONDS, SLOObjectives, compute_slo,
+                       render_slo_metrics)
+from ..obs.telemetry import OPENMETRICS_CONTENT_TYPE, CampaignTelemetry
 from ..spec import SpecError, build_cells, spec_from_dict, spec_hash
 from .jobs import (
     JOB_STATES,
@@ -185,12 +190,20 @@ class PckptService:
         unauthenticated requests map to tenant ``"anonymous"``).
     retry_after:
         ``Retry-After`` seconds suggested on 429 responses.
+    slo:
+        Per-tenant :class:`~repro.obs.slo.SLOObjectives` graded on the
+        ``/metrics`` exposition (default: no objectives — indicators
+        are exported, burn rates stay null).
+    slo_window:
+        Rolling window (seconds) for the per-tenant indicators.
     """
 
     def __init__(self, store: Union[str, Path], jobs: int = 2,
                  queue_limit: int = 64,
                  tokens: Optional[Dict[str, Tuple[str, int]]] = None,
-                 retry_after: float = 2.0) -> None:
+                 retry_after: float = 2.0,
+                 slo: Optional[SLOObjectives] = None,
+                 slo_window: float = DEFAULT_WINDOW_SECONDS) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.store = ResultStore(store)
@@ -199,6 +212,8 @@ class PckptService:
         self.workers = int(jobs)
         self.tokens = tokens
         self.queue = FairShareQueue(queue_limit, retry_after)
+        self.slo = slo or SLOObjectives()
+        self.slo_window = float(slo_window)
         self.metrics = MetricsRegistry()
         self.jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, str] = {}   # spec_hash -> job id
@@ -282,6 +297,11 @@ class PckptService:
                     "id": job.id,
                     "tenant": job.tenant,
                     "submitted_at": job.submitted_at,
+                    "trace": (None if job.trace is None else {
+                        "trace_id": job.trace.trace_id,
+                        "span_id": job.trace.span_id,
+                        "parent_id": job.trace.parent_id,
+                    }),
                     "spec": spec_to_dict(job.spec),
                 }
                 for job in pending
@@ -297,9 +317,19 @@ class PckptService:
         self._next_seq = int(data.get("next_seq", 1))
         for entry in data.get("pending", []):
             spec = spec_from_dict(entry["spec"])
+            persisted = entry.get("trace")
+            trace = None
+            if isinstance(persisted, dict):
+                try:
+                    trace = TraceContext(
+                        persisted["trace_id"], persisted["span_id"],
+                        persisted.get("parent_id"),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    trace = None  # pre-v2 or mangled entry: mint fresh
             job = self._register_job(
                 spec, entry["tenant"], submitted_at=entry["submitted_at"],
-                job_id=entry["id"],
+                job_id=entry["id"], trace=trace,
             )
             self.queue.push(job)
         if data.get("pending"):
@@ -308,20 +338,35 @@ class PckptService:
     # -- job admission -------------------------------------------------------
     def _register_job(self, spec, tenant: str,
                       submitted_at: Optional[float] = None,
-                      job_id: Optional[str] = None) -> Job:
+                      job_id: Optional[str] = None,
+                      trace: Optional[TraceContext] = None) -> Job:
         digest = spec_hash(spec)
         if job_id is None:
             job_id = f"j{self._next_seq:05d}-{digest[:8]}"
             self._next_seq += 1
         job = Job(job_id, tenant, spec, digest,
-                  cells=len(build_cells(spec)), submitted_at=submitted_at)
+                  cells=len(build_cells(spec)), submitted_at=submitted_at,
+                  trace=trace or mint_context())
         job.turnstile = asyncio.Event()
+        # Mirror the in-memory event stream to disk: one NDJSON file per
+        # job lifetime (truncated on re-registration after a restart so
+        # seq stays strictly increasing within the file).
+        events_path = self.jobs_dir / job.id / "events.ndjson"
+        if events_path.exists():
+            events_path.unlink()
+        job.events_path = events_path
+        job.persist_events()
         self.jobs[job.id] = job
         self._inflight[digest] = job.id
         return job
 
-    def submit(self, spec, tenant: str, weight: int = 1) -> Tuple[Job, bool]:
+    def submit(self, spec, tenant: str, weight: int = 1,
+               trace: Optional[TraceContext] = None) -> Tuple[Job, bool]:
         """Admit *spec* for *tenant*; returns ``(job, deduped)``.
+
+        *trace* is the request's trace context (minted when ``None``).
+        A deduped submission keeps the original job's context — the
+        response record names the trace that actually ran the work.
 
         Raises :class:`~repro.service.queue.QueueFull` on backpressure
         and ``RuntimeError`` once the service is shutting down.
@@ -335,12 +380,14 @@ class PckptService:
             return self.jobs[existing], True
         if weight > 1:
             self.queue.set_weight(tenant, weight)
-        job = self._register_job(spec, tenant)
+        job = self._register_job(spec, tenant, trace=trace)
         try:
             self.queue.push(job)
         except QueueFull:
             del self.jobs[job.id]
             self._inflight.pop(digest, None)
+            if job.events_path is not None and job.events_path.exists():
+                job.events_path.unlink()  # admission failed: no stream
             self.metrics.counter("service.jobs.rejected").inc()
             raise
         self.metrics.counter("service.jobs.submitted").inc()
@@ -356,6 +403,7 @@ class PckptService:
                 return
             job.transition("running")
             self._persist_queue()
+            self._persist_job(job)
             try:
                 summary = await self._loop.run_in_executor(
                     self._pool, self._execute, job
@@ -371,13 +419,55 @@ class PckptService:
             finally:
                 if self._inflight.get(job.spec_hash) == job.id:
                     del self._inflight[job.spec_hash]
+                self._persist_job(job)
+                self._write_request_fragment(job)
+
+    def _persist_job(self, job: Job) -> None:
+        """Snapshot the job record to ``<jobs>/<id>/job.json``.
+
+        The on-disk record is what ``pckpt obs slo`` / ``pckpt obs
+        stitch`` analyze after the service exits.
+        """
+        _write_atomic(self.jobs_dir / job.id / "job.json", job.to_record())
+
+    def _write_request_fragment(self, job: Job) -> None:
+        """Span fragment for the service's side of one finished job.
+
+        The ``request`` span (admission → terminal state) roots the
+        stitched trace; ``queue.wait`` and ``execute`` children split
+        it at dispatch time.
+        """
+        if job.trace is None or job.finished_at is None:
+            return
+        writer = SpanWriter(
+            trace_fragment_dir(self.store.root, job.trace.trace_id)
+            / f"service-{job.id}.jsonl",
+            job.trace.trace_id, f"service/{job.id}",
+        )
+        try:
+            writer.span(
+                "request", job.submitted_at, job.finished_at,
+                span_id=job.trace.span_id, parent_id=job.trace.parent_id,
+                args={"job_id": job.id, "tenant": job.tenant,
+                      "state": job.state, "spec_hash": job.spec_hash},
+            )
+            if job.started_at is not None:
+                writer.span("queue.wait", job.submitted_at, job.started_at,
+                            parent_id=job.trace.span_id)
+                writer.span("execute", job.started_at, job.finished_at,
+                            parent_id=job.trace.span_id,
+                            args={"state": job.state})
+        finally:
+            writer.close()
 
     def _execute(self, job: Job) -> Dict[str, Any]:
         """Worker thread: run the job's campaign against the shared store."""
         job_dir = self.jobs_dir / job.id
         job_dir.mkdir(parents=True, exist_ok=True)
         telemetry = _BridgedTelemetry(
-            CampaignTelemetry(job_dir / "telemetry.jsonl"), self._loop, job
+            CampaignTelemetry(job_dir / "telemetry.jsonl",
+                              trace_id=job.trace_id),
+            self._loop, job,
         )
         progress = CampaignProgress(telemetry=telemetry)
         # build_cells resolves on the fly and routes sched specs to
@@ -385,9 +475,11 @@ class PckptService:
         cells = build_cells(job.spec)
         # workers=1: the job IS the unit of parallelism; in-process
         # execution is bit-identical to `pckpt run --spec` by the
-        # campaign scheduler's determinism contract.
-        results = run_campaign(cells, store=self.store, workers=1,
-                               progress=progress, resume=True)
+        # campaign scheduler's determinism contract — the trace context
+        # activated here only adds wall-clock span records on the side.
+        with activate(job.trace):
+            results = run_campaign(cells, store=self.store, workers=1,
+                                   progress=progress, resume=True)
         job.results = results
         job.store_keys = [content_key(c) for c in cells]
         executed = int(
@@ -431,7 +523,12 @@ class PckptService:
         }
 
     def render_metrics(self) -> str:
-        """Service-level OpenMetrics exposition (``GET /metrics``)."""
+        """Service-level OpenMetrics exposition (``GET /metrics``).
+
+        Includes the per-tenant SLO series (``pckpt_tenant_*``, labeled
+        by tenant) computed over the in-memory job records; see
+        :mod:`repro.obs.slo`.
+        """
         states = {state: 0 for state in JOB_STATES}
         for job in self.jobs.values():
             states[job.state] += 1
@@ -447,10 +544,12 @@ class PckptService:
             )
         for name in ("submitted", "deduped", "rejected", "completed",
                      "failed"):
-            metric = f"pckpt_service_jobs_{name}_total"
+            # OpenMetrics: a counter family is declared WITHOUT the
+            # `_total` suffix; only the sample carries it.
+            metric = f"pckpt_service_jobs_{name}"
             value = self.metrics.counter(f"service.jobs.{name}").value
             lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {value:g}")
+            lines.append(f"{metric}_total {value:g}")
         for metric, value in (
             ("pckpt_service_queue_depth", len(self.queue)),
             ("pckpt_service_queue_limit", self.queue.limit),
@@ -461,6 +560,12 @@ class PckptService:
         ):
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {float(value):g}")
+        rows = compute_slo(
+            [job.to_record() for job in self.jobs.values()],
+            window_seconds=self.slo_window, objectives=self.slo,
+            now=time.time(),
+        )
+        lines.extend(render_slo_metrics(rows))
         lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
@@ -528,7 +633,7 @@ class PckptService:
         if path == "/metrics" and method == "GET":
             await self._send_text(
                 writer, 200, self.render_metrics(),
-                content_type="application/openmetrics-text; charset=utf-8",
+                content_type=OPENMETRICS_CONTENT_TYPE,
             )
             return
         if path == "/v1/status" and method == "GET":
@@ -574,6 +679,14 @@ class PckptService:
             return
         document = payload.get("spec", payload) \
             if isinstance(payload, dict) else payload
+        trace_header = headers.get("x-pckpt-trace")
+        trace: Optional[TraceContext] = None
+        if trace_header:
+            try:
+                trace = parse_trace_header(trace_header)
+            except ValueError as exc:
+                await self._send_json(writer, 400, {"error": str(exc)})
+                return
         try:
             spec = spec_from_dict(document)
         except SpecError as exc:
@@ -584,7 +697,7 @@ class PckptService:
             return
         tenant, weight = identity
         try:
-            job, deduped = self.submit(spec, tenant, weight)
+            job, deduped = self.submit(spec, tenant, weight, trace=trace)
         except QueueFull as exc:
             await self._send_json(
                 writer, 429,
@@ -763,6 +876,8 @@ def serve(store: Union[str, Path], host: str = "127.0.0.1",
           port: int = DEFAULT_PORT, jobs: int = 2, queue_limit: int = 64,
           tokens: Optional[Dict[str, Tuple[str, int]]] = None,
           retry_after: float = 2.0,
+          slo: Optional[SLOObjectives] = None,
+          slo_window: float = DEFAULT_WINDOW_SECONDS,
           ready: Optional[Any] = None) -> PckptService:
     """Run a service until SIGINT/SIGTERM or ``POST /v1/shutdown``.
 
@@ -774,7 +889,8 @@ def serve(store: Union[str, Path], host: str = "127.0.0.1",
     import signal
 
     service = PckptService(store, jobs=jobs, queue_limit=queue_limit,
-                           tokens=tokens, retry_after=retry_after)
+                           tokens=tokens, retry_after=retry_after,
+                           slo=slo, slo_window=slo_window)
 
     async def _main() -> None:
         loop = asyncio.get_running_loop()

@@ -397,3 +397,115 @@ class TestSchedCli:
     def test_sched_status_requires_store(self, capsys, tmp_path):
         assert main(["sched", "status", "--store",
                      str(tmp_path / "nope")]) in (0, 2)
+
+
+class TestObsCli:
+    def test_new_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["sched", "gantt", "--quick"],
+            ["obs", "stitch", "--store", "s", "--trace-id", "feedc0de"],
+            ["obs", "slo", "--store", "s"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_new_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sched", "gantt", "--policy", "fair", "--njobs", "4",
+             "--seed", "7", "--chrome", "out.json", "--json"]
+        )
+        assert (args.policy, args.njobs, args.seed) == ("fair", 4, 7)
+        assert args.chrome == "out.json" and args.json
+        args = parser.parse_args(
+            ["obs", "slo", "--store", "s", "--window", "60",
+             "--latency-p99", "300", "--error-rate", "0.01",
+             "--openmetrics"]
+        )
+        assert args.window == 60.0
+        assert args.latency_p99 == 300.0 and args.error_rate == 0.01
+        args = parser.parse_args(["top", "--store", "s", "--timeout", "2"])
+        assert args.timeout == 2.0
+        args = parser.parse_args(
+            ["serve", "--store", "s", "--slo-latency-p99", "300",
+             "--slo-error-rate", "0.01", "--slo-window", "120"]
+        )
+        assert args.slo_latency_p99 == 300.0
+        assert args.slo_window == 120.0
+        args = parser.parse_args(
+            ["submit", "--spec", "s.json", "--trace-id", "feedc0de"]
+        )
+        assert args.trace_id == "feedc0de"
+
+    def test_top_timeout_gives_friendly_error(self, capsys, tmp_path):
+        assert main(["top", "--store", str(tmp_path / "nope"),
+                     "--timeout", "0.3", "--interval", "0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "no telemetry" in err
+        assert "0.3s" in err
+
+    def test_sched_gantt_json_and_chrome(self, capsys, tmp_path):
+        import json
+
+        assert main(["sched", "gantt", "--quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "pckpt-gantt"
+        assert payload["jobs"] == 8  # --quick caps the workload
+        chrome = tmp_path / "gantt-trace.json"
+        assert main(["sched", "gantt", "--quick",
+                     "--chrome", str(chrome)]) == 0
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+    def test_obs_slo_from_store(self, capsys, tmp_path):
+        import json
+
+        d = tmp_path / "service" / "jobs" / "j0"
+        d.mkdir(parents=True)
+        d.joinpath("job.json").write_text(json.dumps({
+            "tenant": "acme", "state": "done", "submitted_at": 100.0,
+            "started_at": 101.0, "finished_at": 111.0,
+            "cache_hit_rate": 1.0,
+        }))
+        assert main(["obs", "slo", "--store", str(tmp_path)]) == 0
+        assert "acme" in capsys.readouterr().out
+        assert main(["obs", "slo", "--store", str(tmp_path),
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["tenant"] == "acme"
+        assert main(["obs", "slo", "--store", str(tmp_path),
+                     "--openmetrics"]) == 0
+        text = capsys.readouterr().out
+        assert 'pckpt_tenant_jobs{tenant="acme",state="done"} 1' in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_obs_slo_empty_store(self, capsys, tmp_path):
+        assert main(["obs", "slo", "--store", str(tmp_path)]) == 0
+        assert "no job records" in capsys.readouterr().out
+
+    def test_obs_stitch_roundtrip(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.context import SpanWriter, trace_fragment_dir
+
+        trace_id = "feedc0de11223344"
+        frag = trace_fragment_dir(tmp_path, trace_id)
+        with SpanWriter(frag / "svc.jsonl", trace_id, "service") as w:
+            w.span("request", 100.0, 110.0)
+        out = tmp_path / "stitched.json"
+        assert main(["obs", "stitch", "--store", str(tmp_path),
+                     "--trace-id", trace_id, "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["trace_id"] == trace_id
+        names = [e.get("name") for e in payload["traceEvents"]]
+        assert "request" in names
+        # without --trace-id the newest trace is picked up
+        out2 = tmp_path / "stitched2.json"
+        assert main(["obs", "stitch", "--store", str(tmp_path),
+                     "--out", str(out2)]) == 0
+        assert out2.exists()
+
+    def test_obs_stitch_errors(self, capsys, tmp_path):
+        assert main(["obs", "stitch", "--store", str(tmp_path)]) == 2
+        assert main(["obs", "stitch", "--store", str(tmp_path),
+                     "--job", "j-missing"]) == 2

@@ -111,6 +111,67 @@ class TestSpans:
         assert [r.detail for r in tr.records] == [3, 4]
         assert tr.count("k") == 5
 
+    def test_ring_span_accounting_survives_begin_eviction(self, env):
+        """A span whose BEGIN the ring evicted still accounts exactly."""
+        tr = Trace(env, max_records=2, ring=True)
+
+        def proc(env):
+            sid = tr.span_begin("app", "work")
+            yield env.timeout(3)
+            for i in range(4):  # noise pushes the BEGIN out of the ring
+                tr.emit("noise", "n", i)
+            yield env.timeout(2)
+            assert tr.span_end(sid) == 5.0
+
+        env.process(proc(env))
+        env.run()
+        phases = [r.ph for r in tr.records]
+        assert BEGIN not in phases  # the opening record is gone...
+        assert tr.span_totals["work"] == [1, 5.0]  # ...the accounting is not
+        assert tr.span_seconds("work") == 5.0
+        assert tr.count("n") == 4
+
+    def test_ring_span_counts_stack_past_eviction(self, env):
+        """Many evicted spans of one kind: totals stay exact sums."""
+        tr = Trace(env, max_records=1, ring=True)
+
+        def proc(env):
+            for _ in range(3):
+                sid = tr.span_begin("s", "k")
+                yield env.timeout(2)
+                tr.span_end(sid)
+
+        env.process(proc(env))
+        env.run()
+        assert len(tr) == 1
+        assert tr.span_totals["k"] == [3, 6.0]
+        assert tr.open_spans() == ()
+
+    def test_only_kinds_span_end_of_filtered_begin_is_inert(self, env):
+        """span_end of a filtered-out begin records and accounts nothing."""
+        tr = Trace(env, only_kinds={"keep"})
+        kept = tr.span_begin("s", "keep")
+        dropped = tr.span_begin("s", "drop")
+        assert dropped == 0  # the sentinel sid for filtered spans
+        tr.emit("s", "drop")
+        assert tr.span_end(dropped) == 0.0
+        tr.span_end(kept)
+        assert [r.kind for r in tr.records] == ["keep", "keep"]
+        assert tr.span_totals == {"keep": [1, 0.0]}
+        assert tr.count("drop") == 0
+        assert tr.kinds() == ("keep",)
+
+    def test_only_kinds_composes_with_ring(self, env):
+        """Filtered emits never occupy ring slots or bump counters."""
+        tr = Trace(env, max_records=2, ring=True, only_kinds={"keep"})
+        for i in range(3):
+            tr.emit("s", "keep", i)
+            tr.emit("s", "drop", i)
+        assert [r.detail for r in tr.records] == [1, 2]
+        assert [r.kind for r in tr.records] == ["keep", "keep"]
+        assert tr.count("keep") == 3
+        assert tr.count("drop") == 0
+
     def test_only_sources_filter(self, env):
         tr = Trace(env, only_sources={"keep"})
         tr.emit("keep", "k")
@@ -223,3 +284,25 @@ class TestExporters:
         tr.to_chrome_trace(str(cpath))
         assert len(load_jsonl(str(jpath))) == 3
         assert "traceEvents" in json.loads(cpath.read_text())
+
+    def test_trace_id_stamped_on_exports(self, env):
+        tr = Trace(env, trace_id="feedc0de11223344")
+        tr.emit("s", "k")
+        buf = io.StringIO()
+        tr.to_jsonl(buf)
+        assert json.loads(buf.getvalue())["trace_id"] == "feedc0de11223344"
+        buf = io.StringIO()
+        tr.to_chrome_trace(buf)
+        payload = json.loads(buf.getvalue())
+        assert payload["otherData"]["trace_id"] == "feedc0de11223344"
+
+    def test_no_trace_id_keeps_record_shape(self, env):
+        tr = Trace(env)
+        tr.emit("s", "k")
+        buf = io.StringIO()
+        tr.to_jsonl(buf)
+        line = json.loads(buf.getvalue())
+        assert "trace_id" not in line
+        buf = io.StringIO()
+        tr.to_chrome_trace(buf)
+        assert "otherData" not in json.loads(buf.getvalue())

@@ -1,0 +1,199 @@
+"""Unit tests for schedule Gantt exports (repro.obs.gantt)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.gantt import (
+    GANTT_FIELDS,
+    GANTT_KIND,
+    GANTT_ROW_FIELDS,
+    GANTT_SCHEMA_VERSION,
+    build_gantt,
+    format_gantt,
+    gantt_to_chrome,
+    run_gantt,
+)
+
+
+def payload(rows=None, starved=(), makespan=100.0):
+    """A hand-built GANTT_FIELDS payload (no simulation needed)."""
+    return {
+        "kind": GANTT_KIND,
+        "schema_version": GANTT_SCHEMA_VERSION,
+        "policy": "easy",
+        "seed": 0,
+        "jobs": len(rows or []),
+        "total_nodes": 128,
+        "makespan_seconds": makespan,
+        "utilization": 0.5,
+        "starved": list(starved),
+        "rows": list(rows or []),
+    }
+
+
+def row(name="job-0", start=10.0, end=50.0, intervals=((0, 32),),
+        drain_times=(), failure_times=()):
+    return {
+        "id": 0,
+        "name": name,
+        "user": "u0",
+        "model": "B",
+        "nodes": 32,
+        "submit_s": 0.0,
+        "start_s": start,
+        "end_s": end,
+        "intervals": [list(iv) for iv in intervals],
+        "checkpoints": 2,
+        "drains": 1,
+        "drain_times": list(drain_times),
+        "failure_times": list(failure_times),
+    }
+
+
+class TestRunGantt:
+    @pytest.fixture(scope="class")
+    def quick(self):
+        return run_gantt(policy="easy", n_jobs=4, seed=0)
+
+    def test_payload_matches_declared_fields(self, quick):
+        assert set(quick) == set(GANTT_FIELDS)
+        assert quick["kind"] == GANTT_KIND
+        assert quick["schema_version"] == GANTT_SCHEMA_VERSION
+        assert quick["jobs"] == 4 == len(quick["rows"])
+        for r in quick["rows"]:
+            assert set(r) == set(GANTT_ROW_FIELDS)
+
+    def test_placed_rows_have_consistent_intervals(self, quick):
+        placed = [r for r in quick["rows"] if r["start_s"] is not None]
+        assert placed, "a 4-job easy run must place something"
+        for r in placed:
+            assert r["end_s"] > r["start_s"] >= r["submit_s"]
+            assert sum(hi - lo for lo, hi in r["intervals"]) == r["nodes"]
+            for lo, hi in r["intervals"]:
+                assert 0 <= lo < hi <= quick["total_nodes"]
+
+    def test_deterministic_in_seed(self, quick):
+        again = run_gantt(policy="easy", n_jobs=4, seed=0)
+        assert again == quick
+        other = run_gantt(policy="easy", n_jobs=4, seed=1)
+        assert other != quick
+
+    def test_overlay_times_fall_inside_job_spans(self, quick):
+        for r in quick["rows"]:
+            for t in r["drain_times"] + r["failure_times"]:
+                assert r["start_s"] is not None
+                assert r["start_s"] <= t <= r["end_s"] + 1e-6
+
+
+class TestBuildGantt:
+    def test_overlay_times_come_from_trace(self, env):
+        from types import SimpleNamespace
+
+        from repro.des.monitor import Trace
+
+        trace = Trace(env)
+        trace.emit("sched", "sched.drain", "job-0")
+        trace.emit("sched", "sched.failure", "job-0")
+        trace.emit("sched", "sched.drain", "other-job")
+        job = SimpleNamespace(id=0, name="job-0", user="u0", model="B",
+                              nodes=8, arrival=0.0)
+        rec = SimpleNamespace(job=job, start=0.0, end=10.0,
+                              intervals=[(0, 8)], checkpoints=0, drains=1)
+        output = SimpleNamespace(records=[rec], makespan_seconds=10.0,
+                                 utilization=0.8, starved=[])
+        out = build_gantt(output, "easy", 128, 0, trace=trace)
+        # keyed by job name; the other job's drain does not leak in
+        assert out["rows"][0]["drain_times"] == [0.0]
+        assert out["rows"][0]["failure_times"] == [0.0]
+
+    def test_no_trace_gives_empty_overlays(self):
+        from types import SimpleNamespace
+
+        job = SimpleNamespace(id=0, name="job-0", user="u0", model="B",
+                              nodes=8, arrival=0.0)
+        rec = SimpleNamespace(job=job, start=None, end=None, intervals=[],
+                              checkpoints=0, drains=0)
+        output = SimpleNamespace(records=[rec], makespan_seconds=0.0,
+                                 utilization=0.0, starved=["job-0"])
+        out = build_gantt(output, "fcfs", 128, 3)
+        r = out["rows"][0]
+        assert r["start_s"] is None and r["end_s"] is None
+        assert r["drain_times"] == [] and r["failure_times"] == []
+        assert out["starved"] == ["job-0"]
+
+
+class TestChromeExport:
+    def test_band_pids_ordered_by_node_id(self):
+        p = payload(rows=[
+            row(name="hi", intervals=((64, 96),)),
+            row(name="lo", intervals=((0, 32),)),
+        ])
+        buf = io.StringIO()
+        gantt_to_chrome(p, buf)
+        events = json.loads(buf.getvalue())["traceEvents"]
+        procs = {e["args"]["name"]: e["pid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs["nodes [0, 32)"] == 1
+        assert procs["nodes [64, 96)"] == 2
+
+    def test_job_spans_and_overlays(self):
+        p = payload(rows=[row(failure_times=(30.0,), drain_times=(20.0,))])
+        buf = io.StringIO()
+        n = gantt_to_chrome(p, buf)
+        out = json.loads(buf.getvalue())
+        events = out["traceEvents"]
+        assert n == len(events)
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["name"] == "job-0"
+        assert span["ts"] == 10.0 * 1e6
+        assert span["dur"] == 40.0 * 1e6
+        assert span["args"]["wait_seconds"] == 10.0
+        overlays = {e["name"] for e in events if e["ph"] == "i"}
+        assert overlays == {"sched.drain", "sched.failure"}
+        assert out["otherData"]["policy"] == "easy"
+
+    def test_starved_jobs_are_skipped(self):
+        p = payload(rows=[row(start=None, end=None, intervals=())],
+                    starved=("job-0",))
+        buf = io.StringIO()
+        n = gantt_to_chrome(p, buf)
+        assert n == 0  # no bands, no spans
+
+    def test_multi_band_job_spans_every_band(self):
+        p = payload(rows=[row(intervals=((0, 16), (48, 64)))])
+        buf = io.StringIO()
+        gantt_to_chrome(p, buf)
+        events = json.loads(buf.getvalue())["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 2
+        assert {e["pid"] for e in spans} == {1, 2}
+
+    def test_file_path_output(self, tmp_path):
+        out = tmp_path / "gantt.json"
+        n = gantt_to_chrome(payload(rows=[row()]), out)
+        assert n == len(json.loads(out.read_text())["traceEvents"])
+
+
+class TestFormatGantt:
+    def test_header_and_bars(self):
+        text = format_gantt(payload(rows=[row()]))
+        assert "easy policy" in text
+        assert "1 jobs" in text
+        assert "#" in text
+        assert "job-0" in text
+
+    def test_starved_rows_marked(self):
+        text = format_gantt(payload(
+            rows=[row(start=None, end=None, intervals=())],
+            starved=("job-0",),
+        ))
+        assert "(starved)" in text
+        assert "starved: job-0" in text
+
+    def test_failures_marked(self):
+        text = format_gantt(payload(rows=[row(failure_times=(30.0,))]))
+        assert "!" in text

@@ -217,6 +217,39 @@ class TestCampaignIntegration:
         assert final["replications_cached"] == 4
         assert final["cache_hit_rate"] == pytest.approx(1.0)
 
+    def test_traced_campaign_writes_span_fragments(self, cell, tmp_path):
+        from repro.obs.context import (activate, mint_context, read_spans,
+                                       trace_fragment_dir)
+
+        store = ResultStore(tmp_path / "store")
+        ctx = mint_context()
+        with activate(ctx):
+            run_campaign([cell], store=store, workers=1)
+        frag_dir = trace_fragment_dir(store.root, ctx.trace_id)
+        assert frag_dir.is_dir()
+        spans = []
+        for path in sorted(frag_dir.glob("*.jsonl")):
+            spans.extend(read_spans(path))
+        names = [s["name"] for s in spans]
+        assert "campaign.run" in names
+        assert names.count("kernel.run") == 4  # one per replication
+        assert all(s["trace_id"] == ctx.trace_id for s in spans)
+        # every kernel span parents to the campaign.run span
+        campaign = next(s for s in spans if s["name"] == "campaign.run")
+        kernels = [s for s in spans if s["name"] == "kernel.run"]
+        assert {k["parent_id"] for k in kernels} == {campaign["span_id"]}
+        # ...and the telemetry stream carries the same trace id
+        snaps = read_telemetry(store.telemetry_path())
+        assert all(s["trace_id"] == ctx.trace_id for s in snaps)
+
+    def test_untraced_campaign_writes_no_fragments(self, cell, tmp_path):
+        """Zero overhead when disabled: no context, no obs/ artifacts."""
+        store = ResultStore(tmp_path / "store")
+        run_campaign([cell], store=store, workers=1)
+        assert not (store.root / "obs").exists()
+        final = latest_snapshot(str(store.telemetry_path()))
+        assert final["trace_id"] is None
+
     def test_telemetry_file_validates_against_schema_tool(self, cell,
                                                           tmp_path):
         import subprocess
@@ -251,7 +284,7 @@ class TestRendering:
     def test_openmetrics_exposes_numeric_gauges(self):
         text = render_openmetrics(self._snapshot())
         assert text.endswith("# EOF\n")
-        assert 'pckpt_campaign_info{state="running",schema_version="1"} 1' in text
+        assert 'pckpt_campaign_info{state="running",schema_version="2"} 1' in text
         assert "pckpt_campaign_cells_total 2" in text
         assert "pckpt_campaign_replications_total 12" in text
         assert "# TYPE pckpt_campaign_workers gauge" in text

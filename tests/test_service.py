@@ -516,6 +516,111 @@ class TestHTTPSurface:
         client.wait(record["id"])
 
 
+class TestTracePropagation:
+    @pytest.fixture()
+    def svc(self, tmp_path):
+        with ServiceThread(tmp_path / "store", jobs=1) as service:
+            yield service
+
+    def test_header_propagates_to_record_events_and_fragments(self, svc):
+        from repro.obs.context import read_spans, trace_fragment_dir
+
+        client = ServiceClient(port=svc.port, token="acme")
+        record = client.submit(
+            tiny_spec(seed=90),
+            trace="feedc0de11223344-aabbccdd00112233",
+        )["job"]
+        assert record["trace_id"] == "feedc0de11223344"
+        final = client.wait(record["id"], timeout=120.0)
+        assert final["state"] == "done"
+
+        # persisted job record + events carry the trace id
+        job_dir = Path(svc.service.store.root) / "service" / "jobs" \
+            / record["id"]
+        persisted = json.loads((job_dir / "job.json").read_text())
+        assert persisted["trace_id"] == "feedc0de11223344"
+        events = [json.loads(line) for line in
+                  (job_dir / "events.ndjson").read_text().splitlines()]
+        assert events
+        assert all(e["trace_id"] == "feedc0de11223344" for e in events)
+
+        # span fragments: the service's request span adopts the trace
+        # and parents to the caller's span; the campaign ran under it
+        frag_dir = trace_fragment_dir(svc.service.store.root,
+                                      "feedc0de11223344")
+        spans = []
+        for path in sorted(frag_dir.glob("*.jsonl")):
+            spans.extend(read_spans(path))
+        names = {s["name"] for s in spans}
+        assert {"request", "queue.wait", "execute",
+                "campaign.run", "kernel.run"} <= names
+        request = next(s for s in spans if s["name"] == "request")
+        assert request["parent_id"] == "aabbccdd00112233"
+        assert all(s["trace_id"] == "feedc0de11223344" for s in spans)
+
+    def test_untraced_submit_mints_a_context(self, svc):
+        client = ServiceClient(port=svc.port, token="acme")
+        record = client.submit(tiny_spec(seed=91))["job"]
+        assert isinstance(record["trace_id"], str)
+        int(record["trace_id"], 16)
+        client.wait(record["id"], timeout=120.0)
+
+    def test_malformed_trace_header_is_400(self, svc):
+        client = ServiceClient(port=svc.port, token="acme")
+        status, _, body = client._request(
+            "POST", "/v1/jobs", {"spec": tiny_spec(seed=92)},
+            extra_headers={"X-Pckpt-Trace": "NOT-HEX"},
+        )
+        assert status == 400
+        assert b"trace" in body.lower()
+        assert client.jobs() == []  # rejected before admission
+
+    def test_metrics_exposes_tenant_slo_series(self, svc):
+        import http.client
+
+        client = ServiceClient(port=svc.port, token="acme")
+        client.wait(client.submit(tiny_spec(seed=93))["job"]["id"],
+                    timeout=120.0)
+        text = client.metrics_text()
+        assert 'pckpt_tenant_jobs{tenant="acme",state="done"} 1' in text
+        assert 'pckpt_tenant_job_latency_seconds{tenant="acme"' in text
+        assert 'pckpt_tenant_error_rate{tenant="acme"} 0' in text
+        assert 'pckpt_tenant_slo_status{tenant="acme",status="ok"} 1' in text
+        # counter families declare TYPE without _total; samples keep it
+        assert "# TYPE pckpt_service_jobs_submitted counter" in text
+        assert "pckpt_service_jobs_submitted_total 1" in text
+        assert text.rstrip().endswith("# EOF")
+
+        # the exposition advertises the OpenMetrics content type
+        from repro.obs.telemetry import OPENMETRICS_CONTENT_TYPE
+
+        conn = http.client.HTTPConnection("127.0.0.1", svc.port, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("Content-Type") == \
+                OPENMETRICS_CONTENT_TYPE
+        finally:
+            conn.close()
+
+    def test_slo_objectives_grade_on_metrics(self, tmp_path):
+        from repro.obs.slo import SLOObjectives
+
+        with ServiceThread(tmp_path / "store", jobs=1,
+                           slo=SLOObjectives(latency_p99_seconds=1e-6)
+                           ) as svc:
+            client = ServiceClient(port=svc.port, token="acme")
+            client.wait(client.submit(tiny_spec(seed=94))["job"]["id"],
+                        timeout=120.0)
+            text = client.metrics_text()
+            # any real job blows a 1us latency objective
+            assert ('pckpt_tenant_slo_status{tenant="acme",'
+                    'status="breach"} 1') in text
+            assert ('pckpt_tenant_slo_burn_rate{tenant="acme",'
+                    'objective="latency_p99"}') in text
+
+
 class TestClosedAuthMode:
     def test_tokens_file_gates_and_maps_tenants(self, tmp_path):
         from repro.service.server import load_tokens

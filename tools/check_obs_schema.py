@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Schema-sync check for the campaign telemetry feed.
+"""Schema-sync check for the observability plane's record formats.
 
-Keeps three places agreeing on the ``telemetry.jsonl`` schema, all
-parsed from source so this runs dependency-free in CI (no numpy/scipy
-needed):
+Keeps three places agreeing on every schema-versioned observability
+record, all parsed from source so this runs dependency-free in CI (no
+numpy/scipy needed):
 
-* the ``OBS_SCHEMA_VERSION`` and ``SNAPSHOT_FIELDS`` table declared in
-  ``src/repro/obs/telemetry.py``;
-* the backticked ``OBS_SCHEMA_VERSION = N`` documented in
-  ``docs/OBSERVABILITY.md``, plus a backticked mention of every
-  snapshot field;
-* any telemetry files passed via ``--file`` (e.g. one written by a
-  ``pckpt campaign run`` CI smoke step): every line must be a JSON
-  object carrying exactly the declared fields with the declared types,
-  the telemetry kind, the declared schema version, and strictly
-  increasing ``seq`` — a dependency-free mirror of
-  ``repro.obs.telemetry.read_telemetry``'s contract.
+* the ``*_SCHEMA_VERSION`` / ``*_KIND`` / ``*_FIELDS`` tables declared
+  in ``src/repro/obs/telemetry.py`` (campaign telemetry snapshots),
+  ``src/repro/obs/context.py`` (trace-context span fragments),
+  ``src/repro/obs/slo.py`` (per-tenant SLO rows) and
+  ``src/repro/obs/gantt.py`` (schedule Gantt payloads + rows);
+* the backticked ``XXX_SCHEMA_VERSION = N`` statements in
+  ``docs/OBSERVABILITY.md``, plus a backticked mention of every field
+  of every table;
+* artifacts produced by CI smoke steps:
+
+  - ``--file``      telemetry JSONL (``pckpt campaign run`` / service)
+  - ``--span-file`` span-fragment JSONL (``<store>/obs/trace/<id>/``)
+  - ``--slo-file``  SLO rows JSON (``pckpt obs slo --json``)
+  - ``--gantt-file`` Gantt payload JSON (``pckpt sched gantt --json``)
+  - ``--stitched``  stitched Chrome trace (``pckpt obs stitch``);
+    with ``--trace-id`` the events must carry that id, and the trace
+    must hold a root ``request`` span plus ≥1 ``kernel.run`` span —
+    the cross-process propagation contract, end to end.
 
 Exits non-zero with a description of every mismatch.
 """
@@ -28,17 +35,11 @@ import json
 import re
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 ROOT = Path(__file__).resolve().parent.parent
-TELEMETRY_PY = ROOT / "src" / "repro" / "obs" / "telemetry.py"
+OBS = ROOT / "src" / "repro" / "obs"
 DOC = ROOT / "docs" / "OBSERVABILITY.md"
-
-VERSION_DECL = re.compile(r"^OBS_SCHEMA_VERSION\s*[:=]\s*(?:int\s*=\s*)?(\d+)\s*$",
-                          re.MULTILINE)
-KIND_DECL = re.compile(r"^TELEMETRY_KIND\s*[:=]\s*(?:str\s*=\s*)?['\"]([\w-]+)['\"]",
-                       re.MULTILINE)
-VERSION_DOC = re.compile(r"`OBS_SCHEMA_VERSION = (\d+)`")
 
 #: Python type name -> JSON validator.  ``float`` accepts ints (JSON has
 #: one number type); ``bool`` is never a valid numeric value.
@@ -46,20 +47,51 @@ _CHECKERS = {
     "str": lambda v: isinstance(v, str),
     "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
     "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "dict": lambda v: isinstance(v, dict),
+    "list": lambda v: isinstance(v, list),
 }
 
+#: Every declared observability schema: display name -> (source file,
+#: version constant, kind constant or None, fields table constant).
+#: The Gantt row table shares gantt.py's version/kind (rows are nested,
+#: not records of their own).
+SCHEMAS = {
+    "telemetry": (OBS / "telemetry.py", "OBS_SCHEMA_VERSION",
+                  "TELEMETRY_KIND", "SNAPSHOT_FIELDS"),
+    "span": (OBS / "context.py", "SPAN_SCHEMA_VERSION",
+             "SPAN_KIND", "SPAN_FIELDS"),
+    "slo": (OBS / "slo.py", "SLO_SCHEMA_VERSION", "SLO_KIND", "SLO_FIELDS"),
+    "gantt": (OBS / "gantt.py", "GANTT_SCHEMA_VERSION",
+              "GANTT_KIND", "GANTT_FIELDS"),
+    "gantt-row": (OBS / "gantt.py", "GANTT_SCHEMA_VERSION",
+                  None, "GANTT_ROW_FIELDS"),
+}
 
-def declared_schema() -> Tuple[int, str, Dict[str, Tuple[str, bool]]]:
+Fields = Dict[str, Tuple[str, bool]]
+
+
+def declared_schema(source: Path, version_name: str,
+                    kind_name: Optional[str],
+                    fields_name: str) -> Tuple[int, Optional[str], Fields]:
     """(version, kind, {field: (type_name, nullable)}) parsed from source."""
-    text = TELEMETRY_PY.read_text(encoding="utf-8")
-    version = VERSION_DECL.search(text)
+    text = source.read_text(encoding="utf-8")
+    version = re.search(
+        rf"^{version_name}\s*[:=]\s*(?:int\s*=\s*)?(\d+)\s*$",
+        text, re.MULTILINE,
+    )
     if not version:
-        raise SystemExit(f"no OBS_SCHEMA_VERSION declaration in {TELEMETRY_PY}")
-    kind = KIND_DECL.search(text)
-    if not kind:
-        raise SystemExit(f"no TELEMETRY_KIND declaration in {TELEMETRY_PY}")
+        raise SystemExit(f"no {version_name} declaration in {source}")
+    kind = None
+    if kind_name is not None:
+        match = re.search(
+            rf"^{kind_name}\s*[:=]\s*(?:str\s*=\s*)?['\"]([\w-]+)['\"]",
+            text, re.MULTILINE,
+        )
+        if not match:
+            raise SystemExit(f"no {kind_name} declaration in {source}")
+        kind = match.group(1)
     tree = ast.parse(text)
-    fields: Dict[str, Tuple[str, bool]] = {}
+    fields: Fields = {}
     for node in ast.walk(tree):
         target = None
         if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
@@ -67,111 +99,221 @@ def declared_schema() -> Tuple[int, str, Dict[str, Tuple[str, bool]]]:
         elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
                 and isinstance(node.targets[0], ast.Name):
             target = node.targets[0].id
-        if target != "SNAPSHOT_FIELDS" or node.value is None:
+        if target != fields_name or node.value is None:
             continue
         for key, value in zip(node.value.keys, node.value.values):
             name = ast.literal_eval(key)
             type_node, nullable_node = value.elts
             if not isinstance(type_node, ast.Name):
                 raise SystemExit(
-                    f"SNAPSHOT_FIELDS[{name!r}] type is not a bare name"
+                    f"{fields_name}[{name!r}] type is not a bare name"
                 )
             fields[name] = (type_node.id, ast.literal_eval(nullable_node))
     if not fields:
-        raise SystemExit(f"no SNAPSHOT_FIELDS table in {TELEMETRY_PY}")
+        raise SystemExit(f"no {fields_name} table in {source}")
     unknown = sorted(t for t, _ in fields.values() if t not in _CHECKERS)
     if unknown:
-        raise SystemExit(f"SNAPSHOT_FIELDS uses unvalidatable types: {unknown}")
-    return int(version.group(1)), kind.group(1), fields
+        raise SystemExit(f"{fields_name} uses unvalidatable types: {unknown}")
+    return int(version.group(1)), kind, fields
 
 
-def check_docs(version: int,
-               fields: Dict[str, Tuple[str, bool]]) -> List[str]:
-    """The doc must state the version and mention every field."""
+def check_docs(schemas: Dict[str, Tuple[int, Optional[str], Fields]]
+               ) -> List[str]:
+    """The doc must state every version and mention every field."""
     if not DOC.exists():
-        return [f"{DOC} is missing (the telemetry schema must be documented)"]
+        return [f"{DOC} is missing (the obs schemas must be documented)"]
     text = DOC.read_text(encoding="utf-8")
     problems = []
-    documented = [int(v) for v in VERSION_DOC.findall(text)]
-    if not documented:
-        problems.append(
-            f"{DOC} never states the telemetry schema version "
-            f"(expected a backticked 'OBS_SCHEMA_VERSION = {version}')"
-        )
-    for doc_version in documented:
-        if doc_version != version:
-            problems.append(
-                f"{DOC} documents telemetry schema version {doc_version}, "
-                f"code declares {version}"
-            )
     backticked = set(re.findall(r"`([^`\s]+)`", text))
-    for name in sorted(fields):
-        if name not in backticked:
+    seen_versions: Dict[str, int] = {}
+    for name, (source, version_name, _, fields_name) in SCHEMAS.items():
+        version, _, fields = schemas[name]
+        if version_name not in seen_versions:
+            documented = [
+                int(v) for v in re.findall(
+                    rf"`{version_name} = (\d+)`", text
+                )
+            ]
+            if not documented:
+                problems.append(
+                    f"{DOC} never states the {name} schema version "
+                    f"(expected a backticked '{version_name} = {version}')"
+                )
+            for doc_version in documented:
+                if doc_version != version:
+                    problems.append(
+                        f"{DOC} documents {version_name} = {doc_version}, "
+                        f"code declares {version}"
+                    )
+            seen_versions[version_name] = version
+        for field in sorted(fields):
+            if field not in backticked:
+                problems.append(
+                    f"{DOC} does not document the {name} field `{field}`"
+                )
+    return problems
+
+
+def check_record(snap: object, where: str, version: int,
+                 kind: Optional[str], fields: Fields) -> List[str]:
+    """One JSON object against one declared table."""
+    problems = []
+    if not isinstance(snap, dict):
+        return [f"{where}: record is not an object"]
+    if kind is not None and snap.get("kind") != kind:
+        problems.append(f"{where}: kind is {snap.get('kind')!r}, not {kind!r}")
+    if "schema_version" in fields and snap.get("schema_version") != version:
+        problems.append(
+            f"{where}: schema_version is {snap.get('schema_version')!r}, "
+            f"code declares {version}"
+        )
+    for name in sorted(set(snap) - set(fields)):
+        problems.append(f"{where}: undeclared field {name!r}")
+    for name, (type_name, nullable) in fields.items():
+        if name not in snap:
+            problems.append(f"{where}: missing field {name!r}")
+            continue
+        value = snap[name]
+        if value is None:
+            if not nullable:
+                problems.append(f"{where}: {name} is null but not nullable")
+        elif not _CHECKERS[type_name](value):
             problems.append(
-                f"{DOC} does not document the telemetry field `{name}`"
+                f"{where}: {name} must be {type_name}, got {value!r}"
             )
     return problems
 
 
-def check_file(path: Path, version: int, kind: str,
-               fields: Dict[str, Tuple[str, bool]]) -> List[str]:
-    """Every line of one telemetry file must match the schema."""
+def _read_jsonl(path: Path) -> Tuple[List[Tuple[int, object]], List[str]]:
+    """[(line_number, record)] tolerating a torn final line."""
     try:
         lines = path.read_text(encoding="utf-8").splitlines()
     except OSError as exc:
-        return [f"{path}: unreadable ({exc})"]
-    problems = []
-    last_seq = -1
-    snapshots = 0
+        return [], [f"{path}: unreadable ({exc})"]
+    records, problems = [], []
     for i, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
-            snap = json.loads(line)
+            records.append((i, json.loads(line)))
         except json.JSONDecodeError:
             if i == len(lines):
                 continue  # torn final line: writer was interrupted mid-append
             problems.append(f"{path}:{i}: invalid JSON")
-            continue
-        snapshots += 1
-        if not isinstance(snap, dict):
-            problems.append(f"{path}:{i}: line is not an object")
-            continue
-        if snap.get("kind") != kind:
-            problems.append(
-                f"{path}:{i}: kind is {snap.get('kind')!r}, not {kind!r}"
-            )
-        if snap.get("schema_version") != version:
-            problems.append(
-                f"{path}:{i}: schema_version is "
-                f"{snap.get('schema_version')!r}, code declares {version}"
-            )
-        for name in sorted(set(snap) - set(fields)):
-            problems.append(f"{path}:{i}: undeclared field {name!r}")
-        for name, (type_name, nullable) in fields.items():
-            if name not in snap:
-                problems.append(f"{path}:{i}: missing field {name!r}")
-                continue
-            value = snap[name]
-            if value is None:
-                if not nullable:
-                    problems.append(
-                        f"{path}:{i}: {name} is null but not nullable"
-                    )
-            elif not _CHECKERS[type_name](value):
-                problems.append(
-                    f"{path}:{i}: {name} must be {type_name}, "
-                    f"got {value!r}"
-                )
-        seq = snap.get("seq")
+    return records, problems
+
+
+def check_file(path: Path, version: int, kind: Optional[str],
+               fields: Fields) -> List[str]:
+    """Every line of one telemetry file must match the schema."""
+    records, problems = _read_jsonl(path)
+    last_seq = -1
+    for i, snap in records:
+        problems.extend(check_record(snap, f"{path}:{i}", version, kind,
+                                     fields))
+        seq = snap.get("seq") if isinstance(snap, dict) else None
         if isinstance(seq, int):
             if seq <= last_seq:
                 problems.append(
                     f"{path}:{i}: seq {seq} not increasing (last {last_seq})"
                 )
             last_seq = seq
-    if snapshots == 0:
+    if not records:
         problems.append(f"{path}: holds no telemetry snapshots")
+    return problems
+
+
+def check_span_file(path: Path, version: int, kind: Optional[str],
+                    fields: Fields) -> List[str]:
+    """Every line of one span-fragment file must match SPAN_FIELDS."""
+    records, problems = _read_jsonl(path)
+    trace_ids = set()
+    for i, span in records:
+        problems.extend(check_record(span, f"{path}:{i}", version, kind,
+                                     fields))
+        if isinstance(span, dict) and isinstance(span.get("trace_id"), str):
+            trace_ids.add(span["trace_id"])
+    if not records:
+        problems.append(f"{path}: holds no spans")
+    elif len(trace_ids) > 1:
+        problems.append(
+            f"{path}: fragment mixes trace ids {sorted(trace_ids)} "
+            f"(one trace id per fragment file)"
+        )
+    return problems
+
+
+def check_slo_file(path: Path, version: int, kind: Optional[str],
+                   fields: Fields) -> List[str]:
+    """A ``pckpt obs slo --json`` dump: a JSON array of SLO rows."""
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not isinstance(rows, list):
+        return [f"{path}: expected a JSON array of SLO rows"]
+    problems = []
+    for i, row in enumerate(rows):
+        problems.extend(check_record(row, f"{path}[{i}]", version, kind,
+                                     fields))
+    if not rows:
+        problems.append(f"{path}: holds no SLO rows")
+    return problems
+
+
+def check_gantt_file(path: Path, version: int, kind: Optional[str],
+                     fields: Fields, row_fields: Fields) -> List[str]:
+    """A ``pckpt sched gantt --json`` payload, rows included."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    problems = check_record(payload, str(path), version, kind, fields)
+    rows = payload.get("rows") if isinstance(payload, dict) else None
+    if isinstance(rows, list):
+        for i, row in enumerate(rows):
+            problems.extend(
+                check_record(row, f"{path}.rows[{i}]", version, None,
+                             row_fields)
+            )
+        if not rows:
+            problems.append(f"{path}: payload holds no rows")
+    return problems
+
+
+def check_stitched(path: Path, trace_id: Optional[str]) -> List[str]:
+    """A stitched Chrome trace must carry the propagation contract.
+
+    ``traceEvents`` present; ≥1 complete (``ph: X``) ``request`` span;
+    ≥1 ``kernel.run`` span; and with ``--trace-id``, every span-level
+    event's ``args.trace_id`` matches.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    problems = []
+    events = payload.get("traceEvents") if isinstance(payload, dict) else None
+    if not isinstance(events, list) or not events:
+        return [f"{path}: no traceEvents array"]
+    requests = [e for e in events if isinstance(e, dict)
+                and e.get("name") == "request" and e.get("ph") == "X"]
+    kernels = [e for e in events if isinstance(e, dict)
+               and e.get("name") == "kernel.run"]
+    if not requests:
+        problems.append(f"{path}: no complete 'request' root span")
+    if not kernels:
+        problems.append(f"{path}: no 'kernel.run' worker span "
+                        f"(campaign propagation broken)")
+    if trace_id is not None:
+        for e in requests + kernels:
+            args = e.get("args")
+            got = args.get("trace_id") if isinstance(args, dict) else None
+            if got != trace_id:
+                problems.append(
+                    f"{path}: span {e.get('name')!r} carries trace_id "
+                    f"{got!r}, expected {trace_id!r}"
+                )
     return problems
 
 
@@ -180,21 +322,52 @@ def main(argv=None) -> int:
     parser.add_argument("--file", nargs="+", type=Path, default=[],
                         metavar="PATH",
                         help="telemetry JSONL files to validate")
+    parser.add_argument("--span-file", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="span-fragment JSONL files to validate")
+    parser.add_argument("--slo-file", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="SLO-row JSON dumps to validate")
+    parser.add_argument("--gantt-file", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="Gantt payload JSON files to validate")
+    parser.add_argument("--stitched", nargs="+", type=Path, default=[],
+                        metavar="PATH",
+                        help="stitched Chrome traces to validate")
+    parser.add_argument("--trace-id", default=None, metavar="ID",
+                        help="with --stitched: the trace id every span "
+                             "must carry")
     args = parser.parse_args(argv)
 
-    version, kind, fields = declared_schema()
-    problems = check_docs(version, fields)
+    schemas = {
+        name: declared_schema(*spec) for name, spec in SCHEMAS.items()
+    }
+    problems = check_docs(schemas)
     for path in args.file:
-        problems.extend(check_file(path, version, kind, fields))
+        problems.extend(check_file(path, *schemas["telemetry"]))
+    for path in args.span_file:
+        problems.extend(check_span_file(path, *schemas["span"]))
+    for path in args.slo_file:
+        problems.extend(check_slo_file(path, *schemas["slo"]))
+    for path in args.gantt_file:
+        problems.extend(
+            check_gantt_file(path, *schemas["gantt"],
+                             row_fields=schemas["gantt-row"][2])
+        )
+    for path in args.stitched:
+        problems.extend(check_stitched(path, args.trace_id))
 
     if problems:
-        print("telemetry schema check FAILED:", file=sys.stderr)
+        print("obs schema check FAILED:", file=sys.stderr)
         for problem in problems:
             print(f"  - {problem}", file=sys.stderr)
         return 1
+    total_fields = sum(len(fields) for _, _, fields in schemas.values())
+    checked = (len(args.file) + len(args.span_file) + len(args.slo_file)
+               + len(args.gantt_file) + len(args.stitched))
     print(
-        f"telemetry schema OK (version {version}, {len(fields)} fields, "
-        f"{len(args.file)} file(s) checked)"
+        f"obs schemas OK ({len(schemas)} tables, {total_fields} fields, "
+        f"{checked} file(s) checked)"
     )
     return 0
 

@@ -41,6 +41,16 @@ CALL = re.compile(
     r"['\"]([\w/-]+)['\"]\s*,\s*['\"]([\w.-]+)['\"]"
 )
 
+#: Matches trace-context span emits (``repro.obs.context.SpanWriter``):
+#: ``writer.span("name", t0, ...)`` / ``writer.instant("name", t, ...)``
+#: — the first argument is the span *name* and the second is a
+#: timestamp, so these escape :data:`CALL` (which wants two string
+#: literals).  The negative lookahead keeps ``Trace.span("src", "kind")``
+#: sites from double-matching.
+SPAN_NAME = re.compile(
+    r"\.(?:span|instant)\(\s*['\"]([\w.-]+)['\"]\s*,\s*(?!['\"])"
+)
+
 #: The TIMELINE_CHAIN_KINDS tuple literal (names only, one per line).
 CHAIN_KINDS_BLOCK = re.compile(
     r"TIMELINE_CHAIN_KINDS\s*=\s*\(([^)]*)\)", re.DOTALL
@@ -57,6 +67,10 @@ def emitted_kinds() -> Dict[str, Set[str]]:
         for match in CALL.finditer(text):
             kind = match.group(2)
             found.setdefault(kind, set()).add(
+                str(path.relative_to(ROOT))
+            )
+        for match in SPAN_NAME.finditer(text):
+            found.setdefault(match.group(1), set()).add(
                 str(path.relative_to(ROOT))
             )
     return found
